@@ -1,0 +1,89 @@
+// Ablation: why not just give EVERY key d choices?
+//
+// The paper's core design decision is to treat the head specially instead
+// of raising d uniformly (Sec. I: "while the long tail of low-frequency
+// keys can be easily managed with two choices, the few elements in the head
+// needs additional choices"). This ablation runs the plain Greedy-d process
+// (uniform d for all keys) next to D-Choices and measures both imbalance
+// and memory.
+//
+// Expected outcome: uniform d only balances once d/n exceeds p1 — for
+// z = 2.0 at n = 50 that means d >= ~31 for EVERY key, which multiplies
+// memory by ~d/2 versus PKG; D-Choices reaches the same imbalance paying
+// the large d only for a handful of head keys.
+
+#include <cstdio>
+#include <vector>
+
+#include "common/bench_util.h"
+#include "slb/common/parallel.h"
+#include "slb/workload/datasets.h"
+
+namespace slb::bench {
+namespace {
+
+struct Point {
+  double z;
+  uint32_t d;  // 0 = D-Choices
+  double imbalance = 0;
+  uint64_t memory = 0;
+};
+
+int Main(int argc, char** argv) {
+  const BenchEnv env =
+      ParseBenchArgs(argc, argv, "Ablation: uniform Greedy-d vs D-Choices");
+  const uint32_t n = 50;
+  const uint64_t keys = 10000;
+  const uint64_t messages = env.MessagesOr(300000, 5000000);
+
+  PrintBanner("bench_ablation_power_of_d", "design ablation (not a paper figure)",
+              "n=50, |K|=1e4, m=" + std::to_string(messages));
+
+  const uint32_t ds[] = {1, 2, 3, 4, 8, 16, 32, 0};  // 0 = D-Choices
+  std::vector<Point> points;
+  for (double z : {1.0, 1.4, 2.0}) {
+    for (uint32_t d : ds) points.push_back(Point{z, d, 0, 0});
+  }
+
+  ParallelFor(points.size(), [&](size_t i) {
+    Point& p = points[i];
+    PartitionSimConfig config;
+    if (p.d == 0) {
+      config.algorithm = AlgorithmKind::kDChoices;
+    } else {
+      config.algorithm = AlgorithmKind::kGreedyD;
+      config.partitioner.fixed_d = p.d;
+    }
+    config.partitioner.num_workers = n;
+    config.partitioner.hash_seed = static_cast<uint64_t>(env.seed);
+    config.num_sources = static_cast<uint32_t>(env.sources);
+    config.track_memory = true;
+    const DatasetSpec spec =
+        MakeZipfSpec(p.z, keys, messages, static_cast<uint64_t>(env.seed));
+    auto gen = MakeGenerator(spec);
+    auto result = RunPartitionSimulation(config, gen.get());
+    if (!result.ok()) return;
+    p.imbalance = result->final_imbalance;
+    p.memory = result->memory_entries;
+  }, static_cast<size_t>(env.threads));
+
+  std::printf("#%-5s %10s %14s %16s\n", "skew", "scheme", "imbalance",
+              "mem entries");
+  for (const Point& p : points) {
+    char scheme[24];
+    if (p.d == 0) {
+      std::snprintf(scheme, sizeof(scheme), "D-C");
+    } else {
+      std::snprintf(scheme, sizeof(scheme), "greedy-%u", p.d);
+    }
+    std::printf("%-6.1f %10s %14s %16llu\n", p.z, scheme,
+                Sci(p.imbalance).c_str(),
+                static_cast<unsigned long long>(p.memory));
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace slb::bench
+
+int main(int argc, char** argv) { return slb::bench::Main(argc, argv); }

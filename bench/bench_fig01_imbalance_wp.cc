@@ -1,0 +1,54 @@
+// Figure 1 — load imbalance I(m) as a function of the number of workers on
+// the Wikipedia (WP) dataset, for PKG, D-Choices, and W-Choices.
+//
+// Expected shape (paper): PKG achieves low imbalance only at small scales
+// (5-10 workers) and degrades towards ~10% at 50-100 workers, while D-C and
+// W-C stay below s*eps everywhere.
+
+#include <cstdio>
+
+#include "common/bench_util.h"
+#include "slb/workload/datasets.h"
+
+namespace slb::bench {
+namespace {
+
+int Main(int argc, char** argv) {
+  const BenchEnv env =
+      ParseBenchArgs(argc, argv, "Fig. 1: imbalance vs workers on WP");
+  const double scale = env.paper ? 1.0 : 0.02;
+  DatasetSpec wp = MakeWikipediaSpec(scale);
+  if (env.messages > 0) wp.num_messages = static_cast<uint64_t>(env.messages);
+
+  PrintBanner("bench_fig01_imbalance_wp", "Figure 1",
+              "WP scale=" + std::to_string(scale) +
+                  ", m=" + std::to_string(wp.num_messages) +
+                  ", s=" + std::to_string(env.sources));
+  std::printf("#%-8s %10s %12s %12s %12s\n", "dataset", "workers", "PKG", "D-C",
+              "W-C");
+
+  const uint32_t workers[] = {5, 10, 20, 50, 100};
+  const AlgorithmKind algos[] = {AlgorithmKind::kPkg, AlgorithmKind::kDChoices,
+                                 AlgorithmKind::kWChoices};
+  for (uint32_t n : workers) {
+    double imbalance[3] = {0, 0, 0};
+    for (int a = 0; a < 3; ++a) {
+      PartitionSimConfig config;
+      config.algorithm = algos[a];
+      config.partitioner.num_workers = n;
+      config.partitioner.hash_seed = static_cast<uint64_t>(env.seed);
+      config.num_sources = static_cast<uint32_t>(env.sources);
+      imbalance[a] = RunAveraged(config, wp, env.runs,
+                                 static_cast<uint64_t>(env.seed))
+                         .mean_final_imbalance;
+    }
+    std::printf("%-9s %10u %12s %12s %12s\n", "WP", n, Sci(imbalance[0]).c_str(),
+                Sci(imbalance[1]).c_str(), Sci(imbalance[2]).c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace slb::bench
+
+int main(int argc, char** argv) { return slb::bench::Main(argc, argv); }

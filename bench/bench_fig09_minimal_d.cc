@@ -1,0 +1,111 @@
+// Figure 9 — comparison of the d computed by D-Choices' analysis with the
+// minimal d that empirically matches W-Choices' imbalance, for n in
+// {50, 100} over the skew grid (|K| = 1e4).
+//
+// For each point: run W-C to get the imbalance target, then find (by linear
+// scan over d, like the paper's exhaustive search, accelerated by
+// monotonicity) the smallest d for which Fixed-D matches it; report the
+// analytic d next to that minimum.
+//
+// Expected shape: the analytic d sits slightly above the empirical minimum
+// and never below it by more than sampling noise.
+
+#include <cstdio>
+#include <vector>
+
+#include "common/bench_util.h"
+#include "slb/analysis/choices.h"
+#include "slb/common/parallel.h"
+#include "slb/workload/datasets.h"
+
+namespace slb::bench {
+namespace {
+
+struct Point {
+  double z;
+  uint32_t n;
+  uint32_t analytic_d = 0;
+  uint32_t minimal_d = 0;
+  double wc_imbalance = 0;
+};
+
+double RunOnce(AlgorithmKind algo, uint32_t n, uint32_t fixed_d,
+               const DatasetSpec& spec, const BenchEnv& env) {
+  PartitionSimConfig config;
+  config.algorithm = algo;
+  config.partitioner.num_workers = n;
+  config.partitioner.fixed_d = fixed_d;
+  config.partitioner.hash_seed = static_cast<uint64_t>(env.seed);
+  config.num_sources = static_cast<uint32_t>(env.sources);
+  return RunAveraged(config, spec, env.runs, static_cast<uint64_t>(env.seed))
+      .mean_final_imbalance;
+}
+
+int Main(int argc, char** argv) {
+  const BenchEnv env = ParseBenchArgs(argc, argv, "Fig. 9: analytic vs minimal d");
+  const uint64_t keys = 10000;
+  const uint64_t messages = env.MessagesOr(200000, 10000000);
+  const double epsilon = 1e-4;
+
+  PrintBanner("bench_fig09_minimal_d", "Figure 9",
+              "|K|=1e4, m=" + std::to_string(messages) + ", eps=1e-4");
+
+  std::vector<Point> points;
+  for (uint32_t n : {50u, 100u}) {
+    for (double z : SkewGrid(env.paper)) points.push_back(Point{z, n, 0, 0, 0});
+  }
+
+  ParallelFor(points.size(), [&](size_t i) {
+    Point& p = points[i];
+    const DatasetSpec spec =
+        MakeZipfSpec(p.z, keys, messages, static_cast<uint64_t>(env.seed));
+
+    // Analytic d from the true pmf (as D-Choices would compute with a
+    // perfect sketch).
+    const ZipfDistribution zipf(p.z, keys);
+    const uint64_t head_size = zipf.CountAboveThreshold(1.0 / (5.0 * p.n));
+    const auto head =
+        HeadProfile::FromProbabilities(zipf.TopProbabilities(head_size));
+    p.analytic_d = FindOptimalChoices(head, p.n, epsilon);
+
+    // Empirical target: W-C's imbalance, with matching tolerance slack.
+    p.wc_imbalance = RunOnce(AlgorithmKind::kWChoices, p.n, 0, spec, env);
+    const double target =
+        std::max(p.wc_imbalance * 1.10,
+                 p.wc_imbalance + static_cast<double>(env.sources) * epsilon);
+
+    // Imbalance is (statistically) non-increasing in d: binary search the
+    // smallest d in [2, n] whose Fixed-D run meets the target.
+    uint32_t lo = 2;
+    uint32_t hi = p.n;
+    if (RunOnce(AlgorithmKind::kFixedDChoices, p.n, lo, spec, env) <= target) {
+      p.minimal_d = lo;
+      return;
+    }
+    while (hi - lo > 1) {
+      const uint32_t mid = lo + (hi - lo) / 2;
+      const double imb =
+          RunOnce(AlgorithmKind::kFixedDChoices, p.n, mid, spec, env);
+      if (imb <= target) {
+        hi = mid;
+      } else {
+        lo = mid;
+      }
+    }
+    p.minimal_d = hi;
+  }, static_cast<size_t>(env.threads));
+
+  std::printf("#%-6s %8s %12s %12s %14s %12s\n", "skew", "workers",
+              "analytic-d", "minimal-d", "analytic-d/n", "minimal-d/n");
+  for (const Point& p : points) {
+    std::printf("%-7.1f %8u %12u %12u %14.3f %12.3f\n", p.z, p.n, p.analytic_d,
+                p.minimal_d, static_cast<double>(p.analytic_d) / p.n,
+                static_cast<double>(p.minimal_d) / p.n);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace slb::bench
+
+int main(int argc, char** argv) { return slb::bench::Main(argc, argv); }

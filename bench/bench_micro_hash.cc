@@ -1,0 +1,75 @@
+// Micro-benchmarks: throughput of the hash primitives used on the routing
+// hot path (not a paper figure; engineering due diligence).
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+#include "slb/hash/hash.h"
+#include "slb/hash/hash_family.h"
+
+namespace slb {
+namespace {
+
+void BM_Fmix64(benchmark::State& state) {
+  uint64_t key = 0x12345;
+  for (auto _ : state) {
+    key = Murmur3Fmix64(key);
+    benchmark::DoNotOptimize(key);
+  }
+}
+BENCHMARK(BM_Fmix64);
+
+void BM_SeededHash64(benchmark::State& state) {
+  uint64_t key = 0x12345;
+  for (auto _ : state) {
+    key = SeededHash64(key, 7);
+    benchmark::DoNotOptimize(key);
+  }
+}
+BENCHMARK(BM_SeededHash64);
+
+void BM_Murmur3Buffer(benchmark::State& state) {
+  const std::string data(static_cast<size_t>(state.range(0)), 'x');
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Murmur3_x64_64(data.data(), data.size(), 1));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Murmur3Buffer)->Arg(8)->Arg(64)->Arg(1024);
+
+void BM_XxHash64Buffer(benchmark::State& state) {
+  const std::string data(static_cast<size_t>(state.range(0)), 'x');
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(XxHash64(data.data(), data.size(), 1));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_XxHash64Buffer)->Arg(8)->Arg(64)->Arg(1024);
+
+void BM_TabulationHash(benchmark::State& state) {
+  const TabulationHash hash(3);
+  uint64_t key = 1;
+  for (auto _ : state) {
+    key += hash.Hash(key);
+    benchmark::DoNotOptimize(key);
+  }
+}
+BENCHMARK(BM_TabulationHash);
+
+void BM_HashFamilyCandidates(benchmark::State& state) {
+  const uint32_t d = static_cast<uint32_t>(state.range(0));
+  HashFamily family(d, 100, 5);
+  uint32_t out[32];
+  uint64_t key = 0;
+  for (auto _ : state) {
+    family.Candidates(++key, d, out);
+    benchmark::DoNotOptimize(out[0]);
+  }
+}
+BENCHMARK(BM_HashFamilyCandidates)->Arg(2)->Arg(5)->Arg(20);
+
+}  // namespace
+}  // namespace slb
+
+BENCHMARK_MAIN();

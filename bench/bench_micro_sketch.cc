@@ -1,0 +1,74 @@
+// Micro-benchmarks: per-message update cost of the heavy-hitter sketches
+// (SpaceSaving is on every sender's hot path).
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "slb/common/rng.h"
+#include "slb/sketch/count_min.h"
+#include "slb/sketch/lossy_counting.h"
+#include "slb/sketch/misra_gries.h"
+#include "slb/sketch/space_saving.h"
+#include "slb/workload/zipf.h"
+
+namespace slb {
+namespace {
+
+std::vector<uint64_t> MakeKeys(double z, size_t count) {
+  ZipfDistribution zipf(z, 100000);
+  Rng rng(7);
+  std::vector<uint64_t> keys(count);
+  for (auto& k : keys) k = zipf.Sample(&rng);
+  return keys;
+}
+
+template <typename Sketch>
+void RunUpdates(benchmark::State& state, Sketch& sketch) {
+  const auto keys = MakeKeys(state.range(0) / 10.0, 1 << 16);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sketch.UpdateAndEstimate(keys[i++ & 0xffff]));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_SpaceSavingUpdate(benchmark::State& state) {
+  SpaceSaving sketch(1000);
+  RunUpdates(state, sketch);
+}
+BENCHMARK(BM_SpaceSavingUpdate)->Arg(5)->Arg(10)->Arg(20);  // z = 0.5, 1, 2
+
+void BM_MisraGriesUpdate(benchmark::State& state) {
+  MisraGries sketch(1000);
+  RunUpdates(state, sketch);
+}
+BENCHMARK(BM_MisraGriesUpdate)->Arg(5)->Arg(10)->Arg(20);
+
+void BM_LossyCountingUpdate(benchmark::State& state) {
+  LossyCounting sketch(0.001);
+  RunUpdates(state, sketch);
+}
+BENCHMARK(BM_LossyCountingUpdate)->Arg(5)->Arg(10)->Arg(20);
+
+void BM_CountMinUpdate(benchmark::State& state) {
+  CountMin sketch(2048, 4, 1000);
+  RunUpdates(state, sketch);
+}
+BENCHMARK(BM_CountMinUpdate)->Arg(5)->Arg(10)->Arg(20);
+
+void BM_SpaceSavingHeavyHitters(benchmark::State& state) {
+  SpaceSaving sketch(1000);
+  const auto keys = MakeKeys(1.5, 1 << 16);
+  for (uint64_t k : keys) sketch.UpdateAndEstimate(k);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sketch.HeavyHitters(0.001));
+  }
+}
+BENCHMARK(BM_SpaceSavingHeavyHitters);
+
+}  // namespace
+}  // namespace slb
+
+BENCHMARK_MAIN();

@@ -1,0 +1,78 @@
+#include "bench_util.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "slb/workload/datasets.h"
+
+namespace slb::bench {
+
+BenchEnv ParseBenchArgs(int argc, char** argv, const std::string& description,
+                        FlagSet* extra) {
+  static BenchEnv env;  // targets must outlive Parse
+  FlagSet own(description);
+  FlagSet& flags = extra != nullptr ? *extra : own;
+  flags.AddBool("paper", &env.paper, "use paper-scale parameters (slow)");
+  flags.AddInt64("messages", &env.messages,
+                 "stream length override (0 = per-bench default)");
+  flags.AddInt64("sources", &env.sources, "number of sources (paper: 5)");
+  flags.AddInt64("seed", &env.seed, "master RNG seed");
+  flags.AddInt64("runs", &env.runs, "independent runs to average");
+  flags.AddInt64("threads", &env.threads, "sweep parallelism (0 = hardware)");
+  const Status st = flags.Parse(argc, argv);
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s\n%s", st.ToString().c_str(), flags.Usage().c_str());
+    std::exit(2);
+  }
+  if (flags.help_requested()) std::exit(0);
+  return env;
+}
+
+void PrintBanner(const std::string& experiment, const std::string& paper_ref,
+                 const std::string& parameters) {
+  std::printf("# %s\n", experiment.c_str());
+  std::printf("# Reproduces: %s of \"When Two Choices Are not Enough\" "
+              "(Nasir et al., ICDE 2016)\n",
+              paper_ref.c_str());
+  std::printf("# Parameters: %s\n", parameters.c_str());
+}
+
+std::vector<double> SkewGrid(bool paper) {
+  std::vector<double> grid;
+  const double step = paper ? 0.1 : 0.2;
+  for (double z = step >= 0.2 ? 0.2 : 0.1; z <= 2.0 + 1e-9; z += step) {
+    grid.push_back(z);
+  }
+  return grid;
+}
+
+AveragedRun RunAveraged(const PartitionSimConfig& config, const DatasetSpec& spec,
+                        int64_t runs, uint64_t seed) {
+  AveragedRun out;
+  if (runs < 1) runs = 1;
+  for (int64_t r = 0; r < runs; ++r) {
+    DatasetSpec run_spec = spec;
+    run_spec.seed = seed + static_cast<uint64_t>(r);
+    auto gen = MakeGenerator(run_spec);
+    auto result = RunPartitionSimulation(config, gen.get());
+    if (!result.ok()) {
+      std::fprintf(stderr, "simulation failed: %s\n",
+                   result.status().ToString().c_str());
+      std::exit(1);
+    }
+    out.mean_final_imbalance += result->final_imbalance;
+    out.mean_avg_imbalance += result->avg_imbalance;
+    if (r == runs - 1) out.last = std::move(result.value());
+  }
+  out.mean_final_imbalance /= static_cast<double>(runs);
+  out.mean_avg_imbalance /= static_cast<double>(runs);
+  return out;
+}
+
+std::string Sci(double value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.4e", value);
+  return buf;
+}
+
+}  // namespace slb::bench

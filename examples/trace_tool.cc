@@ -1,0 +1,148 @@
+// Trace tool: record, inspect, and replay workload traces.
+//
+//   $ ./examples/trace_tool record --dataset wp --scale 0.01 --out wp.slbt
+//   $ ./examples/trace_tool stats wp.slbt
+//   $ ./examples/trace_tool replay wp.slbt --algo dc --workers 50
+//
+// Recording freezes a synthetic dataset into a file so experiments are
+// byte-identical across machines and so real traces (converted to the text
+// format, one key per line) can drive every simulator in this library.
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "slb/common/flags.h"
+#include "slb/common/string_util.h"
+#include "slb/sim/partition_simulator.h"
+#include "slb/workload/datasets.h"
+#include "slb/workload/trace.h"
+
+namespace {
+
+int Fail(const slb::Status& st) {
+  std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
+  return 1;
+}
+
+int RecordCommand(const std::string& dataset, double scale, double skew,
+                  int64_t keys, int64_t messages, const std::string& out) {
+  slb::DatasetSpec spec;
+  if (dataset == "wp") {
+    spec = slb::MakeWikipediaSpec(scale);
+  } else if (dataset == "tw") {
+    spec = slb::MakeTwitterSpec(scale);
+  } else if (dataset == "ct") {
+    spec = slb::MakeCashtagsSpec(scale);
+  } else if (dataset == "zf") {
+    spec = slb::MakeZipfSpec(skew, static_cast<uint64_t>(keys),
+                             static_cast<uint64_t>(messages));
+  } else {
+    std::fprintf(stderr, "unknown dataset '%s' (wp|tw|ct|zf)\n", dataset.c_str());
+    return 2;
+  }
+  auto gen = slb::MakeGenerator(spec);
+  const slb::Trace trace = slb::RecordTrace(gen.get());
+  if (slb::Status st = slb::WriteTrace(out, trace); !st.ok()) return Fail(st);
+  std::printf("recorded %s: %zu messages, key space %llu -> %s\n",
+              spec.name.c_str(), trace.keys.size(),
+              static_cast<unsigned long long>(trace.num_keys), out.c_str());
+  return 0;
+}
+
+int StatsCommand(const std::string& path) {
+  auto trace = slb::ReadTrace(path);
+  if (!trace.ok()) return Fail(trace.status());
+  std::unordered_map<uint64_t, uint64_t> counts;
+  for (uint64_t key : trace->keys) ++counts[key];
+  std::vector<uint64_t> freq;
+  freq.reserve(counts.size());
+  for (const auto& [key, f] : counts) freq.push_back(f);
+  std::sort(freq.rbegin(), freq.rend());
+  const double m = static_cast<double>(trace->keys.size());
+  std::printf("messages        : %s\n", slb::HumanCount(trace->keys.size()).c_str());
+  std::printf("distinct keys   : %s\n", slb::HumanCount(counts.size()).c_str());
+  for (size_t r = 0; r < std::min<size_t>(5, freq.size()); ++r) {
+    std::printf("p%zu              : %.4f%%\n", r + 1, 100.0 * freq[r] / m);
+  }
+  double head_mass = 0;
+  for (size_t r = 0; r < std::min<size_t>(100, freq.size()); ++r) {
+    head_mass += static_cast<double>(freq[r]);
+  }
+  std::printf("top-100 mass    : %.2f%%\n", 100.0 * head_mass / m);
+  return 0;
+}
+
+int ReplayCommand(const std::string& path, const std::string& algo_name,
+                  int64_t workers, int64_t sources) {
+  auto trace = slb::ReadTrace(path);
+  if (!trace.ok()) return Fail(trace.status());
+  auto kind = slb::ParseAlgorithmKind(algo_name);
+  if (!kind.ok()) return Fail(kind.status());
+
+  auto gen = slb::MakeTraceGenerator("replay", std::move(trace.value()));
+  slb::PartitionSimConfig config;
+  config.algorithm = kind.value();
+  config.partitioner.num_workers = static_cast<uint32_t>(workers);
+  config.partitioner.hash_seed = 42;
+  config.num_sources = static_cast<uint32_t>(sources);
+  config.track_memory = true;
+  auto result = slb::RunPartitionSimulation(config, gen.get());
+  if (!result.ok()) return Fail(result.status());
+  std::printf("algorithm       : %s\n", slb::AlgorithmKindName(kind.value()).c_str());
+  std::printf("imbalance I(m)  : %.3e\n", result->final_imbalance);
+  std::printf("head messages   : %.2f%%\n",
+              100.0 * static_cast<double>(result->head_messages) /
+                  static_cast<double>(result->total_messages));
+  std::printf("memory entries  : %llu distinct (key,worker) pairs\n",
+              static_cast<unsigned long long>(result->memory_entries));
+  std::printf("head choices d  : %u\n", result->final_head_choices);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string dataset = "zf";
+  std::string out = "stream.slbt";
+  std::string algo = "dc";
+  double scale = 0.01;
+  double skew = 1.4;
+  int64_t keys = 10000;
+  int64_t messages = 1000000;
+  int64_t workers = 50;
+  int64_t sources = 5;
+  slb::FlagSet flags(
+      "trace tool: record | stats <file> | replay <file>\n"
+      "subcommand is the first positional argument");
+  flags.AddString("dataset", &dataset, "record: wp | tw | ct | zf");
+  flags.AddString("out", &out, "record: output path");
+  flags.AddDouble("scale", &scale, "record: dataset scale factor");
+  flags.AddDouble("skew", &skew, "record (zf): Zipf exponent");
+  flags.AddInt64("keys", &keys, "record (zf): key cardinality");
+  flags.AddInt64("messages", &messages, "record (zf): stream length");
+  flags.AddString("algo", &algo, "replay: grouping algorithm");
+  flags.AddInt64("workers", &workers, "replay: worker count");
+  flags.AddInt64("sources", &sources, "replay: source count");
+  if (slb::Status st = flags.Parse(argc, argv); !st.ok()) {
+    std::fprintf(stderr, "%s\n%s", st.ToString().c_str(), flags.Usage().c_str());
+    return 2;
+  }
+  if (flags.help_requested()) return 0;
+  const auto& pos = flags.positional();
+  if (pos.empty()) {
+    std::fputs(flags.Usage().c_str(), stderr);
+    return 2;
+  }
+  if (pos[0] == "record") {
+    return RecordCommand(dataset, scale, skew, keys, messages, out);
+  }
+  if (pos[0] == "stats" && pos.size() >= 2) return StatsCommand(pos[1]);
+  if (pos[0] == "replay" && pos.size() >= 2) {
+    return ReplayCommand(pos[1], algo, workers, sources);
+  }
+  std::fputs(flags.Usage().c_str(), stderr);
+  return 2;
+}

@@ -1,0 +1,48 @@
+#include "slb/analysis/aggregation_model.h"
+
+#include <algorithm>
+
+namespace slb {
+
+namespace {
+
+AggregationCost Finish(uint64_t partials, uint64_t distinct) {
+  AggregationCost cost;
+  cost.partials = partials;
+  cost.amplification =
+      distinct > 0
+          ? static_cast<double>(partials) / static_cast<double>(distinct)
+          : 0.0;
+  return cost;
+}
+
+}  // namespace
+
+AggregationCost UniformChoicesAggregation(const FrequencyTable& window_counts,
+                                          uint32_t d) {
+  uint64_t partials = 0;
+  uint64_t distinct = 0;
+  for (uint64_t f : window_counts) {
+    if (f == 0) continue;
+    ++distinct;
+    partials += std::min<uint64_t>(f, d);
+  }
+  return Finish(partials, distinct);
+}
+
+AggregationCost HeadTailAggregation(const FrequencyTable& window_counts,
+                                    const std::unordered_set<uint64_t>& head,
+                                    uint32_t head_d) {
+  uint64_t partials = 0;
+  uint64_t distinct = 0;
+  for (uint64_t k = 0; k < window_counts.size(); ++k) {
+    const uint64_t f = window_counts[k];
+    if (f == 0) continue;
+    ++distinct;
+    const uint64_t cap = head.contains(k) ? head_d : 2;
+    partials += std::min(f, cap);
+  }
+  return Finish(partials, distinct);
+}
+
+}  // namespace slb

@@ -1,0 +1,38 @@
+// Aggregation-cost model (Sec. IV-B: "when splitting a key in d separate
+// partial states, if reconciliation is needed, there is also an aggregation
+// cost proportional to d").
+//
+// For windowed queries, every window each key contributes one partial per
+// worker that saw it; the reconciliation traffic per window is therefore
+//   sum_k min(f_k^w, d_k)
+// where f_k^w is the key's frequency inside the window and d_k its number
+// of choices. These helpers estimate that traffic for each scheme from a
+// window-level frequency table, so operators can budget the merge stage.
+
+#pragma once
+
+#include <cstdint>
+#include <unordered_set>
+
+#include "slb/analysis/memory_model.h"
+
+namespace slb {
+
+/// Expected per-window partials a downstream merger receives.
+struct AggregationCost {
+  uint64_t partials = 0;       // tuples entering the merge stage per window
+  double amplification = 0.0;  // partials / distinct keys in the window
+};
+
+/// Cost for a scheme where every key has up to `d` choices (d=1: KG, d=2:
+/// PKG, d=n: SG).
+AggregationCost UniformChoicesAggregation(const FrequencyTable& window_counts,
+                                          uint32_t d);
+
+/// Cost for the head/tail split: head keys up to `head_d` partials, tail
+/// keys up to 2 (D-Choices with head_d = d, W-Choices with head_d = n).
+AggregationCost HeadTailAggregation(const FrequencyTable& window_counts,
+                                    const std::unordered_set<uint64_t>& head,
+                                    uint32_t head_d);
+
+}  // namespace slb

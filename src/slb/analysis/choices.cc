@@ -1,0 +1,77 @@
+#include "slb/analysis/choices.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "slb/common/logging.h"
+
+namespace slb {
+
+double ExpectedWorkerSetSize(uint32_t n, double items) {
+  SLB_CHECK(n >= 1);
+  if (items <= 0.0) return 0.0;
+  const double nn = static_cast<double>(n);
+  return nn - nn * std::pow((nn - 1.0) / nn, items);
+}
+
+HeadProfile HeadProfile::FromProbabilities(std::vector<double> probs) {
+  std::sort(probs.begin(), probs.end(), std::greater<double>());
+  double head_mass = 0.0;
+  for (double p : probs) head_mass += p;
+  HeadProfile profile;
+  profile.probabilities = std::move(probs);
+  profile.tail_mass = std::clamp(1.0 - head_mass, 0.0, 1.0);
+  return profile;
+}
+
+double PrefixConstraintSlack(const HeadProfile& head, uint32_t n, uint32_t d,
+                             double epsilon, uint32_t h) {
+  SLB_CHECK(h >= 1 && h <= head.probabilities.size());
+  const double nn = static_cast<double>(n);
+
+  double prefix = 0.0;  // sum_{i<=h} p_i
+  for (uint32_t i = 0; i < h; ++i) prefix += head.probabilities[i];
+  double rest_head = 0.0;  // sum_{h<i<=|H|} p_i
+  for (size_t i = h; i < head.probabilities.size(); ++i) {
+    rest_head += head.probabilities[i];
+  }
+
+  const double bh =
+      ExpectedWorkerSetSize(n, static_cast<double>(h) * static_cast<double>(d));
+  const double ratio = bh / nn;
+
+  // Eqn. (3): prefix + (bh/n)^d * rest_head + (bh/n)^2 * tail
+  //             <= bh * (1/n + epsilon)
+  const double lhs = prefix + std::pow(ratio, static_cast<double>(d)) * rest_head +
+                     ratio * ratio * head.tail_mass;
+  const double rhs = bh * (1.0 / nn + epsilon);
+  return lhs - rhs;
+}
+
+bool ConstraintsSatisfied(const HeadProfile& head, uint32_t n, uint32_t d,
+                          double epsilon) {
+  for (uint32_t h = 1; h <= head.probabilities.size(); ++h) {
+    if (PrefixConstraintSlack(head, n, d, epsilon, h) > 0.0) return false;
+  }
+  return true;
+}
+
+uint32_t ChoicesLowerBound(double p1, uint32_t n) {
+  const double bound = p1 * static_cast<double>(n);
+  const auto ceil_bound = static_cast<uint32_t>(std::ceil(bound - 1e-12));
+  return std::max<uint32_t>(2, ceil_bound);
+}
+
+uint32_t FindOptimalChoices(const HeadProfile& head, uint32_t n, double epsilon) {
+  if (head.probabilities.empty()) return 2;
+  if (n <= 2) return n;  // degenerate deployments: nothing to tune
+
+  const double p1 = head.probabilities.front();
+  for (uint32_t d = std::min(ChoicesLowerBound(p1, n), n); d < n; ++d) {
+    if (ConstraintsSatisfied(head, n, d, epsilon)) return d;
+  }
+  // No d < n suffices ("we need bh ~= n w.h.p.", Sec. IV-A): switch to W-C.
+  return n;
+}
+
+}  // namespace slb

@@ -1,0 +1,48 @@
+// Analytical machinery of Sec. IV-A: the expected worker-set size b_h
+// (Eqn. 10), the prefix load constraints (Eqn. 3), and FINDOPTIMALCHOICES —
+// the minimal number of choices d that keeps expected imbalance below
+// epsilon.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace slb {
+
+/// Expected number of distinct workers hit when placing `items` hashes
+/// uniformly at random into n slots (Appendix A, Eqn. 10):
+///   b = n - n * ((n-1)/n)^items
+double ExpectedWorkerSetSize(uint32_t n, double items);
+
+/// Estimated head of the key distribution, as needed by the analysis:
+/// probabilities of the head keys sorted descending plus the remaining tail
+/// mass. Probabilities are of the *whole* stream (sum + tail_mass ~= 1).
+struct HeadProfile {
+  std::vector<double> probabilities;  // p1 >= p2 >= ... >= p_|H|
+  double tail_mass = 0.0;             // sum over keys outside the head
+
+  /// Builds a profile from (possibly unsorted) head probabilities; tail mass
+  /// is clamped to [0, 1].
+  static HeadProfile FromProbabilities(std::vector<double> probs);
+};
+
+/// Evaluates the Eqn. (3) constraint for one prefix length h (1-based):
+/// returns LHS - RHS; <= 0 means the constraint holds.
+double PrefixConstraintSlack(const HeadProfile& head, uint32_t n, uint32_t d,
+                             double epsilon, uint32_t h);
+
+/// True when the Eqn. (3) constraints hold for every prefix of the head.
+bool ConstraintsSatisfied(const HeadProfile& head, uint32_t n, uint32_t d,
+                          double epsilon);
+
+/// FINDOPTIMALCHOICES (Sec. IV-A): the smallest d in [2, n) such that every
+/// prefix constraint is satisfied, searching upward from the simple lower
+/// bound d >= p1 * n. Returns n when no d < n suffices — the caller should
+/// then switch to W-Choices (the paper's prescription).
+uint32_t FindOptimalChoices(const HeadProfile& head, uint32_t n, double epsilon);
+
+/// The analytic lower bound the search starts from: max(2, ceil(p1 * n)).
+uint32_t ChoicesLowerBound(double p1, uint32_t n);
+
+}  // namespace slb

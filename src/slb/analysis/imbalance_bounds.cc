@@ -1,0 +1,42 @@
+#include "slb/analysis/imbalance_bounds.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "slb/common/logging.h"
+
+namespace slb {
+
+double KeyGroupingImbalanceLowerBound(double p1, uint32_t n) {
+  SLB_CHECK(n >= 1);
+  return std::max(0.0, p1 - 1.0 / static_cast<double>(n));
+}
+
+double GreedyDImbalanceLowerBound(double p1, uint32_t n, uint32_t d) {
+  SLB_CHECK(n >= 1);
+  SLB_CHECK(d >= 1);
+  // The hottest key's load splits across at most d workers; the best case
+  // is an even p1/d per worker, hence max load >= p1/d.
+  return std::max(0.0, p1 / static_cast<double>(d) - 1.0 / static_cast<double>(n));
+}
+
+bool PkgAssumptionHolds(double p1, uint32_t n) {
+  return p1 <= 2.0 / static_cast<double>(n);
+}
+
+double HeadThresholdLower(uint32_t n) {
+  SLB_CHECK(n >= 1);
+  return 1.0 / (5.0 * static_cast<double>(n));
+}
+
+double HeadThresholdUpper(uint32_t n) {
+  SLB_CHECK(n >= 1);
+  return 2.0 / static_cast<double>(n);
+}
+
+uint32_t PkgBreakdownScale(double p1) {
+  if (p1 <= 0.0) return ~uint32_t{0};  // never breaks down
+  return static_cast<uint32_t>(std::floor(2.0 / p1)) + 1;
+}
+
+}  // namespace slb

@@ -1,0 +1,40 @@
+// Closed-form imbalance bounds from the PKG analysis ([7], as used in
+// Sec. III-A of this paper to derive the head threshold range).
+//
+// The paper selects theta from two facts about Greedy-2:
+//   * if p1 > 2/n, expected imbalance is at least (p1/2 - 1/n) — the load
+//     of the hottest key exceeds the capacity of its two workers;
+//   * if p1 <= 1/(5n), PKG's imbalance stays bounded w.h.p., so keys below
+//     1/(5n) never need more than two choices.
+// The generalization to d choices gives the lower bound used to seed
+// FINDOPTIMALCHOICES (d >= p1 * n). These functions make the bounds
+// available to tooling and are validated against simulation in tests.
+
+#pragma once
+
+#include <cstdint>
+
+namespace slb {
+
+/// Asymptotic imbalance lower bound for key grouping: the hottest key pins
+/// p1 of the stream on one worker, so I >= p1 - 1/n (clamped at 0).
+double KeyGroupingImbalanceLowerBound(double p1, uint32_t n);
+
+/// Asymptotic imbalance lower bound for Greedy-d applied to the hottest
+/// key: its d choices cover at most d workers, so I >= p1/d - 1/n
+/// (clamped at 0). d = 2 is the PKG bound of [7] quoted in Sec. III-A.
+double GreedyDImbalanceLowerBound(double p1, uint32_t n, uint32_t d);
+
+/// True when PKG's "two choices suffice" assumption holds for the hottest
+/// key (p1 <= 2/n) — the condition whose violation defines the head.
+bool PkgAssumptionHolds(double p1, uint32_t n);
+
+/// The paper's head-threshold range [1/(5n), 2/n] (Sec. III-A).
+double HeadThresholdLower(uint32_t n);
+double HeadThresholdUpper(uint32_t n);
+
+/// Smallest deployment size at which a key of frequency p1 violates the
+/// PKG assumption (the "scale wall" of Fig. 1): n > 2/p1.
+uint32_t PkgBreakdownScale(double p1);
+
+}  // namespace slb

@@ -1,0 +1,40 @@
+#include "slb/analysis/memory_model.h"
+
+#include <algorithm>
+
+namespace slb {
+
+uint64_t CappedMass(const FrequencyTable& counts, uint64_t cap) {
+  uint64_t total = 0;
+  for (uint64_t f : counts) total += std::min(f, cap);
+  return total;
+}
+
+uint64_t MemoryPkg(const FrequencyTable& counts) { return CappedMass(counts, 2); }
+
+uint64_t MemorySg(const FrequencyTable& counts, uint32_t n) {
+  return CappedMass(counts, n);
+}
+
+uint64_t MemoryDc(const FrequencyTable& counts,
+                  const std::unordered_set<uint64_t>& head, uint32_t d) {
+  uint64_t total = 0;
+  for (uint64_t k = 0; k < counts.size(); ++k) {
+    const uint64_t cap = head.contains(k) ? d : 2;
+    total += std::min(counts[k], cap);
+  }
+  return total;
+}
+
+uint64_t MemoryWc(const FrequencyTable& counts,
+                  const std::unordered_set<uint64_t>& head, uint32_t n) {
+  return MemoryDc(counts, head, n);
+}
+
+double OverheadPercent(uint64_t mem, uint64_t base) {
+  if (base == 0) return 0.0;
+  return 100.0 * (static_cast<double>(mem) - static_cast<double>(base)) /
+         static_cast<double>(base);
+}
+
+}  // namespace slb

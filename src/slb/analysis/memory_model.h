@@ -1,0 +1,48 @@
+// Memory-overhead models of Sec. IV-B.
+//
+// The state a stateful operator must keep is proportional to the number of
+// distinct (key, worker) assignments. The paper estimates:
+//   memPKG = sum_k min(f_k, 2)          (each key on at most 2 workers)
+//   memSG  = sum_k min(f_k, n)          (each key potentially everywhere)
+//   memDC  = d*|H| + 2*|K \ H|          (upper bound; Sec. IV-B)
+//   memWC  = n*|H| + 2*|K \ H|
+// The f_k-aware variants below additionally cap by the key's own frequency
+// (a key occurring once occupies one worker regardless of d) — this is the
+// form used for the Fig. 5/6 ratios.
+
+#pragma once
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "slb/workload/zipf.h"
+
+namespace slb {
+
+/// Frequency table of a concrete stream: counts[k] = occurrences of key k.
+/// (Keys are dense ranks/ids in [0, counts.size()).)
+using FrequencyTable = std::vector<uint64_t>;
+
+/// sum_k min(f_k, cap) — the building block of all the estimates.
+uint64_t CappedMass(const FrequencyTable& counts, uint64_t cap);
+
+/// memPKG = sum_k min(f_k, 2).
+uint64_t MemoryPkg(const FrequencyTable& counts);
+
+/// memSG = sum_k min(f_k, n).
+uint64_t MemorySg(const FrequencyTable& counts, uint32_t n);
+
+/// memDC given the head key set and its number of choices d:
+///   sum_{k in H} min(f_k, d) + sum_{k not in H} min(f_k, 2).
+uint64_t MemoryDc(const FrequencyTable& counts,
+                  const std::unordered_set<uint64_t>& head, uint32_t d);
+
+/// memWC: head keys on up to n workers.
+uint64_t MemoryWc(const FrequencyTable& counts,
+                  const std::unordered_set<uint64_t>& head, uint32_t n);
+
+/// Percentage overhead of `mem` relative to `base`: 100 * (mem - base) / base.
+double OverheadPercent(uint64_t mem, uint64_t base);
+
+}  // namespace slb

@@ -1,0 +1,137 @@
+#include "slb/common/flags.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+#include "slb/common/string_util.h"
+
+namespace slb {
+
+FlagSet::FlagSet(std::string program_description)
+    : description_(std::move(program_description)) {}
+
+void FlagSet::AddInt64(const std::string& name, int64_t* target,
+                       const std::string& help) {
+  flags_[name] = Flag{Type::kInt64, target, help, std::to_string(*target)};
+}
+
+void FlagSet::AddDouble(const std::string& name, double* target,
+                        const std::string& help) {
+  flags_[name] = Flag{Type::kDouble, target, help, FormatDouble(*target)};
+}
+
+void FlagSet::AddBool(const std::string& name, bool* target, const std::string& help) {
+  flags_[name] = Flag{Type::kBool, target, help, *target ? "true" : "false"};
+}
+
+void FlagSet::AddString(const std::string& name, std::string* target,
+                        const std::string& help) {
+  flags_[name] = Flag{Type::kString, target, help, *target};
+}
+
+Status FlagSet::SetValue(const std::string& name, const std::string& value) {
+  auto it = flags_.find(name);
+  if (it == flags_.end()) {
+    return Status::InvalidArgument("unknown flag --" + name);
+  }
+  Flag& flag = it->second;
+  switch (flag.type) {
+    case Type::kInt64: {
+      int64_t parsed = 0;
+      if (!ParseInt64(value, &parsed)) {
+        return Status::InvalidArgument("flag --" + name + ": bad integer '" + value +
+                                       "'");
+      }
+      *static_cast<int64_t*>(flag.target) = parsed;
+      return Status::OK();
+    }
+    case Type::kDouble: {
+      double parsed = 0;
+      if (!ParseDouble(value, &parsed)) {
+        return Status::InvalidArgument("flag --" + name + ": bad number '" + value +
+                                       "'");
+      }
+      *static_cast<double*>(flag.target) = parsed;
+      return Status::OK();
+    }
+    case Type::kBool: {
+      if (value == "true" || value == "1" || value == "yes") {
+        *static_cast<bool*>(flag.target) = true;
+      } else if (value == "false" || value == "0" || value == "no") {
+        *static_cast<bool*>(flag.target) = false;
+      } else {
+        return Status::InvalidArgument("flag --" + name + ": bad boolean '" + value +
+                                       "'");
+      }
+      return Status::OK();
+    }
+    case Type::kString:
+      *static_cast<std::string*>(flag.target) = value;
+      return Status::OK();
+  }
+  return Status::Internal("unreachable");
+}
+
+Status FlagSet::Parse(int argc, char** argv) {
+  std::vector<std::string> args;
+  args.reserve(static_cast<size_t>(argc > 0 ? argc - 1 : 0));
+  for (int i = 1; i < argc; ++i) args.emplace_back(argv[i]);
+  return Parse(args);
+}
+
+Status FlagSet::Parse(const std::vector<std::string>& args) {
+  positional_.clear();
+  for (size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    if (arg == "--help" || arg == "-h") {
+      help_requested_ = true;
+      std::fputs(Usage().c_str(), stdout);
+      continue;
+    }
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(arg);
+      continue;
+    }
+    std::string body = arg.substr(2);
+    auto eq = body.find('=');
+    if (eq != std::string::npos) {
+      SLB_RETURN_NOT_OK(SetValue(body.substr(0, eq), body.substr(eq + 1)));
+      continue;
+    }
+    // `--no-name` for booleans.
+    if (body.rfind("no-", 0) == 0) {
+      auto it = flags_.find(body.substr(3));
+      if (it != flags_.end() && it->second.type == Type::kBool) {
+        *static_cast<bool*>(it->second.target) = false;
+        continue;
+      }
+    }
+    auto it = flags_.find(body);
+    if (it == flags_.end()) {
+      return Status::InvalidArgument("unknown flag --" + body);
+    }
+    if (it->second.type == Type::kBool) {
+      *static_cast<bool*>(it->second.target) = true;
+      continue;
+    }
+    if (i + 1 >= args.size()) {
+      return Status::InvalidArgument("flag --" + body + " expects a value");
+    }
+    SLB_RETURN_NOT_OK(SetValue(body, args[++i]));
+  }
+  return Status::OK();
+}
+
+std::string FlagSet::Usage() const {
+  std::ostringstream out;
+  if (!description_.empty()) out << description_ << "\n\n";
+  out << "Flags:\n";
+  for (const auto& [name, flag] : flags_) {
+    out << "  --" << name << " (default: " << flag.default_repr << ")\n      "
+        << flag.help << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace slb

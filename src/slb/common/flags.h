@@ -1,0 +1,64 @@
+// Tiny command-line flag parser for the benchmark harness and examples.
+//
+// Supports `--name=value`, `--name value`, and bare boolean `--name` /
+// `--no-name`. Unrecognized flags produce an error Status so typos in
+// experiment scripts fail loudly instead of silently using defaults.
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "slb/common/status.h"
+
+namespace slb {
+
+/// Declarative flag set: register flags bound to caller-owned variables, then
+/// Parse(argc, argv).
+class FlagSet {
+ public:
+  explicit FlagSet(std::string program_description = "");
+
+  /// Registers a flag bound to `*target`; the current value of `*target` is
+  /// the default shown in help text. Pointers must outlive Parse().
+  void AddInt64(const std::string& name, int64_t* target, const std::string& help);
+  void AddDouble(const std::string& name, double* target, const std::string& help);
+  void AddBool(const std::string& name, bool* target, const std::string& help);
+  void AddString(const std::string& name, std::string* target, const std::string& help);
+
+  /// Parses argv. Leftover positional arguments are available via
+  /// positional(). Returns InvalidArgument on unknown flags or bad values.
+  Status Parse(int argc, char** argv);
+
+  /// Parses a pre-split token vector (convenient for tests).
+  Status Parse(const std::vector<std::string>& args);
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// True when `--help` was seen; Usage() has already been printed to stdout.
+  bool help_requested() const { return help_requested_; }
+
+  /// Human-readable help text for all registered flags.
+  std::string Usage() const;
+
+ private:
+  enum class Type { kInt64, kDouble, kBool, kString };
+
+  struct Flag {
+    Type type;
+    void* target;
+    std::string help;
+    std::string default_repr;
+  };
+
+  Status SetValue(const std::string& name, const std::string& value);
+
+  std::string description_;
+  std::map<std::string, Flag> flags_;
+  std::vector<std::string> positional_;
+  bool help_requested_ = false;
+};
+
+}  // namespace slb

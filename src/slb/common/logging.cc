@@ -1,0 +1,70 @@
+#include "slb/common/logging.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+
+namespace slb {
+
+namespace {
+
+std::atomic<int> g_min_level{static_cast<int>(LogLevel::kInfo)};
+
+// Serializes writes so that interleaved multi-threaded logs stay line-atomic.
+std::mutex& LogMutex() {
+  static std::mutex mu;
+  return mu;
+}
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarning:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kFatal:
+      return "FATAL";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void SetLogLevel(LogLevel level) { g_min_level.store(static_cast<int>(level)); }
+
+LogLevel GetLogLevel() { return static_cast<LogLevel>(g_min_level.load()); }
+
+namespace internal {
+
+bool LogLevelEnabled(LogLevel level) {
+  return static_cast<int>(level) >= g_min_level.load(std::memory_order_relaxed) ||
+         level == LogLevel::kFatal;
+}
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line) : level_(level) {
+  // Strip directories for terser output.
+  const char* base = file;
+  for (const char* p = file; *p != '\0'; ++p) {
+    if (*p == '/') base = p + 1;
+  }
+  stream_ << "[" << LevelName(level) << " " << base << ":" << line << "] ";
+}
+
+LogMessage::~LogMessage() {
+  {
+    std::lock_guard<std::mutex> lock(LogMutex());
+    std::fprintf(stderr, "%s\n", stream_.str().c_str());
+    std::fflush(stderr);
+  }
+  if (level_ == LogLevel::kFatal) {
+    std::abort();
+  }
+}
+
+}  // namespace internal
+}  // namespace slb

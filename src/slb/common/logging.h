@@ -1,0 +1,63 @@
+// Minimal leveled logging to stderr.
+//
+// The library itself logs nothing on hot paths; logging is used by the
+// benchmark harness and examples for progress reporting. SLB_CHECK aborts
+// the process on failure (fatal), mirroring the glog/Arrow DCHECK idiom.
+
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace slb {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kFatal = 4,
+};
+
+/// Global minimum level; messages below it are discarded. Fatal is never
+/// filtered.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Stream-style log sink; emits on destruction. Fatal messages abort.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+bool LogLevelEnabled(LogLevel level);
+
+}  // namespace internal
+}  // namespace slb
+
+#define SLB_LOG(level)                                                         \
+  if (!::slb::internal::LogLevelEnabled(::slb::LogLevel::k##level)) {          \
+  } else                                                                       \
+    ::slb::internal::LogMessage(::slb::LogLevel::k##level, __FILE__, __LINE__) \
+        .stream()
+
+/// Aborts with a diagnostic when `cond` is false. Enabled in all build types;
+/// use only for programmer errors, not data-dependent conditions.
+#define SLB_CHECK(cond)                                                      \
+  if (cond) {                                                                \
+  } else                                                                     \
+    ::slb::internal::LogMessage(::slb::LogLevel::kFatal, __FILE__, __LINE__) \
+        .stream()                                                            \
+        << "Check failed: " #cond " "

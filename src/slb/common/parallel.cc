@@ -1,0 +1,39 @@
+#include "slb/common/parallel.h"
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace slb {
+
+void ParallelFor(size_t count, const std::function<void(size_t)>& fn,
+                 size_t num_threads) {
+  if (count == 0) return;
+  if (num_threads == 0) {
+    num_threads = std::thread::hardware_concurrency();
+    if (num_threads == 0) num_threads = 1;
+  }
+  num_threads = std::min(num_threads, count);
+  if (num_threads <= 1) {
+    for (size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+
+  // Dynamic work stealing via a shared atomic counter: sweep points have very
+  // uneven costs (m scales with n and |K|), so static chunking would straggle.
+  std::atomic<size_t> next{0};
+  std::vector<std::thread> threads;
+  threads.reserve(num_threads);
+  for (size_t t = 0; t < num_threads; ++t) {
+    threads.emplace_back([&]() {
+      while (true) {
+        const size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= count) return;
+        fn(i);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+}
+
+}  // namespace slb

@@ -1,0 +1,21 @@
+// Simple blocking parallel-for over an index range.
+//
+// Experiment sweeps (one simulation per (z, n, algorithm) point) are
+// embarrassingly parallel; this helper fans them out over hardware threads.
+// Each worker thread processes a contiguous chunk, so callers that want
+// determinism should make each index fully self-contained (own Rng seed).
+
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace slb {
+
+/// Runs fn(i) for every i in [0, count) across up to `num_threads` threads
+/// (0 = hardware concurrency). Blocks until all indices complete. Exceptions
+/// escaping `fn` terminate the process (the library itself never throws).
+void ParallelFor(size_t count, const std::function<void(size_t)>& fn,
+                 size_t num_threads = 0);
+
+}  // namespace slb

@@ -1,0 +1,84 @@
+// Deterministic, fast pseudo-random number generation.
+//
+// All randomized components of the library (workload generators, simulators,
+// tie-breaking) take an explicit Rng so that every experiment is reproducible
+// from a single seed. The generator is xoshiro256**, seeded via SplitMix64,
+// which is the standard seeding recipe recommended by the xoshiro authors.
+
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace slb {
+
+/// SplitMix64 step: advances `state` and returns the next 64-bit output.
+/// Used for seeding and as a cheap stateless mixer.
+inline uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// Mixes a 64-bit value into a well-distributed 64-bit value (stateless).
+inline uint64_t Mix64(uint64_t x) {
+  uint64_t s = x;
+  return SplitMix64(&s);
+}
+
+/// xoshiro256** generator. Satisfies the C++ UniformRandomBitGenerator
+/// concept so it can be used with <random> distributions when needed.
+class Rng {
+ public:
+  using result_type = uint64_t;
+
+  /// Seeds the four 64-bit words of state from `seed` via SplitMix64.
+  explicit Rng(uint64_t seed = 0x853c49e6748fea9bULL) { Seed(seed); }
+
+  void Seed(uint64_t seed) {
+    uint64_t sm = seed;
+    for (auto& word : state_) word = SplitMix64(&sm);
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~uint64_t{0}; }
+
+  /// Next raw 64 bits.
+  uint64_t Next() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  uint64_t operator()() { return Next(); }
+
+  /// Uniform integer in [0, bound) without modulo bias (Lemire's method).
+  uint64_t NextBounded(uint64_t bound) {
+    // Multiply-shift maps a uniform 64-bit value into [0, bound). The bias is
+    // at most bound / 2^64, negligible for every bound used in this library.
+    return static_cast<uint64_t>(
+        (static_cast<__uint128_t>(Next()) * static_cast<__uint128_t>(bound)) >> 64);
+  }
+
+  /// Uniform double in [0, 1) with 53 bits of randomness.
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli draw with success probability p.
+  bool NextBool(double p) { return NextDouble() < p; }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+  std::array<uint64_t, 4> state_;
+};
+
+}  // namespace slb

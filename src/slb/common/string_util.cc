@@ -1,0 +1,114 @@
+#include "slb/common/string_util.h"
+
+#include <cctype>
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace slb {
+
+bool ParseInt64(const std::string& text, int64_t* out) {
+  if (text.empty()) return false;
+  std::string body = text;
+  int64_t multiplier = 1;
+  char last = body.back();
+  if (last == 'k' || last == 'K') {
+    multiplier = 1000;
+    body.pop_back();
+  } else if (last == 'm' || last == 'M') {
+    multiplier = 1000000;
+    body.pop_back();
+  } else if (last == 'g' || last == 'G') {
+    multiplier = 1000000000;
+    body.pop_back();
+  }
+  if (body.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  long long parsed = std::strtoll(body.c_str(), &end, 10);
+  if (errno != 0 || end == body.c_str() || *end != '\0') {
+    // Allow scientific notation for integers too, e.g. "1e7".
+    errno = 0;
+    double as_double = std::strtod(body.c_str(), &end);
+    if (errno != 0 || end == body.c_str() || *end != '\0') return false;
+    if (std::floor(as_double) != as_double) return false;
+    parsed = static_cast<long long>(as_double);
+  }
+  *out = static_cast<int64_t>(parsed) * multiplier;
+  return true;
+}
+
+bool ParseDouble(const std::string& text, double* out) {
+  if (text.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  double parsed = std::strtod(text.c_str(), &end);
+  if (errno != 0 || end == text.c_str() || *end != '\0') return false;
+  *out = parsed;
+  return true;
+}
+
+std::string FormatDouble(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", value);
+  return buf;
+}
+
+std::vector<std::string> SplitString(std::string_view text, char delim) {
+  std::vector<std::string> parts;
+  size_t start = 0;
+  while (true) {
+    size_t pos = text.find(delim, start);
+    if (pos == std::string_view::npos) {
+      parts.emplace_back(text.substr(start));
+      return parts;
+    }
+    parts.emplace_back(text.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+std::string JoinStrings(const std::vector<std::string>& parts,
+                        std::string_view delim) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out.append(delim);
+    out.append(parts[i]);
+  }
+  return out;
+}
+
+std::string_view TrimWhitespace(std::string_view text) {
+  size_t begin = 0;
+  while (begin < text.size() &&
+         std::isspace(static_cast<unsigned char>(text[begin]))) {
+    ++begin;
+  }
+  size_t end = text.size();
+  while (end > begin && std::isspace(static_cast<unsigned char>(text[end - 1]))) {
+    --end;
+  }
+  return text.substr(begin, end - begin);
+}
+
+bool StartsWith(std::string_view text, std::string_view prefix) {
+  return text.size() >= prefix.size() && text.substr(0, prefix.size()) == prefix;
+}
+
+std::string HumanCount(uint64_t value) {
+  char buf[32];
+  if (value >= 1000000000ULL) {
+    std::snprintf(buf, sizeof(buf), "%.1fG", static_cast<double>(value) / 1e9);
+  } else if (value >= 1000000ULL) {
+    std::snprintf(buf, sizeof(buf), "%.1fM", static_cast<double>(value) / 1e6);
+  } else if (value >= 1000ULL) {
+    std::snprintf(buf, sizeof(buf), "%.1fk", static_cast<double>(value) / 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%llu", static_cast<unsigned long long>(value));
+  }
+  return buf;
+}
+
+}  // namespace slb

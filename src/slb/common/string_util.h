@@ -1,0 +1,39 @@
+// String parsing/formatting helpers shared across the library.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace slb {
+
+/// Parses a signed 64-bit integer. Accepts scientific-style suffixes used in
+/// experiment configs: k/K (*1e3), m/M (*1e6), g/G (*1e9), e.g. "2m" == 2000000.
+/// Returns false (leaving *out untouched) on any malformed input.
+bool ParseInt64(const std::string& text, int64_t* out);
+
+/// Parses a double; returns false on malformed input or trailing garbage.
+bool ParseDouble(const std::string& text, double* out);
+
+/// Formats a double compactly ("0.5", "1e-04" style), trimming trailing zeros.
+std::string FormatDouble(double value);
+
+/// Splits on a delimiter; empty tokens are preserved.
+std::vector<std::string> SplitString(std::string_view text, char delim);
+
+/// Joins tokens with a delimiter.
+std::string JoinStrings(const std::vector<std::string>& parts,
+                        std::string_view delim);
+
+/// Removes leading/trailing ASCII whitespace.
+std::string_view TrimWhitespace(std::string_view text);
+
+/// True when `text` starts with `prefix`.
+bool StartsWith(std::string_view text, std::string_view prefix);
+
+/// Human-readable count, e.g. 21500000 -> "21.5M".
+std::string HumanCount(uint64_t value);
+
+}  // namespace slb

@@ -1,0 +1,56 @@
+#include "slb/core/basic_groupings.h"
+
+#include <algorithm>
+
+#include "slb/common/logging.h"
+
+namespace slb {
+
+KeyGrouping::KeyGrouping(const PartitionerOptions& options)
+    : family_(1, options.num_workers, options.hash_seed) {}
+
+uint32_t KeyGrouping::Route(uint64_t key) {
+  ++messages_;
+  return family_.Worker(key, 0);
+}
+
+ShuffleGrouping::ShuffleGrouping(const PartitionerOptions& options)
+    : num_workers_(options.num_workers) {
+  SLB_CHECK(num_workers_ >= 1);
+}
+
+uint32_t ShuffleGrouping::Route(uint64_t /*key*/) {
+  ++messages_;
+  const uint32_t worker = next_;
+  next_ = (next_ + 1) % num_workers_;
+  return worker;
+}
+
+GreedyD::GreedyD(const PartitionerOptions& options, uint32_t d, std::string name)
+    : family_(std::clamp(d, 1u, options.num_workers), options.num_workers,
+              options.hash_seed),
+      d_(std::clamp(d, 1u, options.num_workers)),
+      name_(std::move(name)),
+      loads_(options.num_workers, 0) {
+  SLB_CHECK(options.num_workers >= 1);
+}
+
+uint32_t GreedyD::Route(uint64_t key) {
+  ++messages_;
+  uint32_t best = family_.Worker(key, 0);
+  uint64_t best_load = loads_[best];
+  for (uint32_t i = 1; i < d_; ++i) {
+    const uint32_t candidate = family_.Worker(key, i);
+    if (loads_[candidate] < best_load) {
+      best = candidate;
+      best_load = loads_[candidate];
+    }
+  }
+  ++loads_[best];
+  return best;
+}
+
+PartialKeyGrouping::PartialKeyGrouping(const PartitionerOptions& options)
+    : inner_(options, 2, "PKG") {}
+
+}  // namespace slb

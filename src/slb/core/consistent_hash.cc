@@ -1,0 +1,68 @@
+#include "slb/core/consistent_hash.h"
+
+#include <algorithm>
+
+#include "slb/common/logging.h"
+#include "slb/hash/hash.h"
+
+namespace slb {
+
+ConsistentHashRing::ConsistentHashRing(uint32_t num_workers,
+                                       uint32_t virtual_nodes, uint64_t seed)
+    : num_workers_(0), virtual_nodes_(virtual_nodes), seed_(seed) {
+  SLB_CHECK(num_workers >= 1);
+  SLB_CHECK(virtual_nodes >= 1);
+  ring_.reserve(static_cast<size_t>(num_workers) * virtual_nodes);
+  for (uint32_t w = 0; w < num_workers; ++w) AddWorker();
+}
+
+void ConsistentHashRing::InsertWorkerPoints(uint32_t worker) {
+  for (uint32_t v = 0; v < virtual_nodes_; ++v) {
+    const uint64_t position =
+        SeededHash64((static_cast<uint64_t>(worker) << 32) | v, seed_);
+    ring_.push_back(Point{position, worker});
+  }
+}
+
+void ConsistentHashRing::AddWorker() {
+  InsertWorkerPoints(num_workers_);
+  ++num_workers_;
+  std::sort(ring_.begin(), ring_.end());
+}
+
+void ConsistentHashRing::RemoveWorker(uint32_t worker) {
+  SLB_CHECK(worker < num_workers_) << "no such worker";
+  SLB_CHECK(num_workers_ > 1) << "cannot remove the last worker";
+  // Drop the worker's points; re-label the last worker id to keep ids dense
+  // (the ring identifies workers by index, as the partitioner interface
+  // expects a contiguous [0, n)).
+  const uint32_t last = num_workers_ - 1;
+  ring_.erase(std::remove_if(ring_.begin(), ring_.end(),
+                             [worker](const Point& p) {
+                               return p.worker == worker;
+                             }),
+              ring_.end());
+  if (worker != last) {
+    for (Point& p : ring_) {
+      if (p.worker == last) p.worker = worker;
+    }
+  }
+  --num_workers_;
+  std::sort(ring_.begin(), ring_.end());
+}
+
+uint32_t ConsistentHashRing::Owner(uint64_t key) const {
+  const uint64_t h = Murmur3Fmix64(key ^ seed_);
+  // First point clockwise from h (wrapping).
+  auto it = std::lower_bound(
+      ring_.begin(), ring_.end(), Point{h, 0},
+      [](const Point& a, const Point& b) { return a.position < b.position; });
+  if (it == ring_.end()) it = ring_.begin();
+  return it->worker;
+}
+
+ConsistentHashGrouping::ConsistentHashGrouping(const PartitionerOptions& options,
+                                               uint32_t virtual_nodes)
+    : ring_(options.num_workers, virtual_nodes, options.hash_seed) {}
+
+}  // namespace slb

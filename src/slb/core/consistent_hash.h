@@ -1,0 +1,77 @@
+// Consistent-hash key grouping (related-work baseline, cf. Gedik [8]).
+//
+// A classic ring with virtual nodes: each worker owns `virtual_nodes`
+// pseudo-random points on a 64-bit ring and a key routes to the owner of
+// the first point clockwise from its hash. Load-balance-wise it behaves
+// like KG (one owner per key — skew hits one worker in full), but worker
+// additions/removals move only ~1/n of the key space, which is the property
+// migration-based balancers build on. Included both as a baseline and as
+// the substrate a routing-table approach would need.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "slb/core/partitioner.h"
+
+namespace slb {
+
+class ConsistentHashRing {
+ public:
+  ConsistentHashRing(uint32_t num_workers, uint32_t virtual_nodes,
+                     uint64_t seed);
+
+  /// Owner of `key`: the worker whose ring point follows hash(key).
+  uint32_t Owner(uint64_t key) const;
+
+  /// Adds one worker (id = current worker count). O(v log R) rebuild.
+  void AddWorker();
+
+  /// Removes the given worker; its ranges fall to clockwise successors.
+  void RemoveWorker(uint32_t worker);
+
+  uint32_t num_workers() const { return num_workers_; }
+  size_t ring_size() const { return ring_.size(); }
+
+ private:
+  struct Point {
+    uint64_t position;
+    uint32_t worker;
+    bool operator<(const Point& other) const {
+      return position < other.position ||
+             (position == other.position && worker < other.worker);
+    }
+  };
+
+  void InsertWorkerPoints(uint32_t worker);
+
+  uint32_t num_workers_;
+  uint32_t virtual_nodes_;
+  uint64_t seed_;
+  std::vector<Point> ring_;  // sorted by position
+};
+
+/// StreamPartitioner adapter so the ring plugs into simulators and benches.
+class ConsistentHashGrouping final : public StreamPartitioner {
+ public:
+  /// `virtual_nodes` per worker; 128 is a common production choice.
+  ConsistentHashGrouping(const PartitionerOptions& options,
+                         uint32_t virtual_nodes = 128);
+
+  uint32_t Route(uint64_t key) override {
+    ++messages_;
+    return ring_.Owner(key);
+  }
+  uint32_t num_workers() const override { return ring_.num_workers(); }
+  std::string name() const override { return "CH"; }
+  uint64_t messages_routed() const override { return messages_; }
+
+  const ConsistentHashRing& ring() const { return ring_; }
+
+ private:
+  ConsistentHashRing ring_;
+  uint64_t messages_ = 0;
+};
+
+}  // namespace slb

@@ -1,0 +1,30 @@
+#include "slb/core/d_choices.h"
+
+#include <algorithm>
+
+namespace slb {
+
+void DChoices::Reoptimize() {
+  const FrequencyEstimator& sk = sketch();
+  if (sk.total() == 0) return;
+  ++reoptimize_count_;
+
+  // Snapshot the estimated head from the sketch: keys whose estimated
+  // frequency is at least theta. Convert counts to probabilities.
+  const auto heavy = sk.HeavyHitters(options().theta());
+  if (heavy.empty()) {
+    d_ = 2;
+    return;
+  }
+  std::vector<double> probs;
+  probs.reserve(heavy.size());
+  const double total = static_cast<double>(sk.total());
+  for (const HeavyKey& hk : heavy) {
+    probs.push_back(static_cast<double>(hk.count) / total);
+  }
+  const HeadProfile head = HeadProfile::FromProbabilities(std::move(probs));
+  d_ = std::max<uint32_t>(
+      2, FindOptimalChoices(head, num_workers(), options().epsilon));
+}
+
+}  // namespace slb

@@ -1,0 +1,44 @@
+// D-Choices (Sec. III-B / IV-A) — the paper's primary contribution.
+//
+// Head keys are routed with the Greedy-d process where d is the *minimal*
+// number of choices that keeps expected imbalance below epsilon, computed
+// online by FINDOPTIMALCHOICES from the sketch's current estimate of the
+// head. When no d < n satisfies the constraints, the algorithm degenerates
+// to W-Choices (least loaded of all workers), as the paper prescribes.
+
+#pragma once
+
+#include <cstdint>
+
+#include "slb/analysis/choices.h"
+#include "slb/core/head_tail_partitioner.h"
+
+namespace slb {
+
+class DChoices final : public HeadTailPartitioner {
+ public:
+  explicit DChoices(const PartitionerOptions& options)
+      : HeadTailPartitioner(options) {}
+
+  std::string name() const override { return "D-C"; }
+
+  /// Current optimizer output: d in [2, n]; n means "acting as W-Choices".
+  uint32_t head_choices() const override { return d_; }
+
+  /// Number of times FINDOPTIMALCHOICES has run (diagnostics).
+  uint64_t reoptimize_count() const { return reoptimize_count_; }
+
+ protected:
+  uint32_t RouteHead(uint64_t key) override {
+    if (d_ >= num_workers()) return LeastLoadedOverall();
+    return LeastLoadedOfChoices(key, d_);
+  }
+
+  void Reoptimize() override;
+
+ private:
+  uint32_t d_ = 2;
+  uint64_t reoptimize_count_ = 0;
+};
+
+}  // namespace slb

@@ -1,0 +1,109 @@
+#include "slb/core/head_tail_partitioner.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "slb/common/logging.h"
+#include "slb/sketch/count_min.h"
+#include "slb/sketch/decaying_space_saving.h"
+#include "slb/sketch/lossy_counting.h"
+#include "slb/sketch/misra_gries.h"
+#include "slb/sketch/space_saving.h"
+
+namespace slb {
+
+std::unique_ptr<FrequencyEstimator> HeadTailPartitioner::MakeSketch(
+    const PartitionerOptions& options) {
+  const double theta = options.theta();
+  size_t capacity = options.sketch_capacity;
+  if (capacity == 0) {
+    // Auto-size so the count error stays below theta/2 of the stream:
+    // SpaceSaving/Misra-Gries error <= N/capacity, so capacity = 2/theta.
+    capacity = static_cast<size_t>(std::ceil(2.0 / theta));
+    capacity = std::max<size_t>(capacity, 64);
+  }
+  switch (options.sketch) {
+    case SketchKind::kSpaceSaving:
+      return std::make_unique<SpaceSaving>(capacity);
+    case SketchKind::kMisraGries:
+      return std::make_unique<MisraGries>(capacity);
+    case SketchKind::kLossyCounting:
+      return std::make_unique<LossyCounting>(std::min(0.5, theta / 2.0));
+    case SketchKind::kCountMin:
+      return std::make_unique<CountMin>(CountMin::ForError(
+          std::min(0.5, theta / 2.0), 1e-4, capacity,
+          options.hash_seed ^ 0xc01dbeefULL));
+    case SketchKind::kDecayingSpaceSaving: {
+      // One half-life per ~4/theta messages: long enough that a stable
+      // head key keeps a decisive count, short enough to forget yesterday's
+      // hot keys within a few head-turnover periods.
+      const auto half_life =
+          static_cast<uint64_t>(std::max(1024.0, std::ceil(4.0 / theta)));
+      return std::make_unique<DecayingSpaceSaving>(capacity, half_life);
+    }
+  }
+  return nullptr;
+}
+
+HeadTailPartitioner::HeadTailPartitioner(const PartitionerOptions& options)
+    : options_(options),
+      family_(options.num_workers, options.num_workers, options.hash_seed),
+      sketch_(MakeSketch(options)),
+      loads_(options.num_workers, 0) {
+  SLB_CHECK(options_.num_workers >= 1);
+  SLB_CHECK(options_.theta_ratio > 0.0) << "theta must be positive";
+  SLB_CHECK(sketch_ != nullptr);
+}
+
+uint32_t HeadTailPartitioner::LeastLoadedOfChoices(uint64_t key, uint32_t d) const {
+  uint32_t best = family_.Worker(key, 0);
+  uint64_t best_load = loads_[best];
+  for (uint32_t i = 1; i < d; ++i) {
+    const uint32_t candidate = family_.Worker(key, i);
+    if (loads_[candidate] < best_load) {
+      best = candidate;
+      best_load = loads_[candidate];
+    }
+  }
+  return best;
+}
+
+uint32_t HeadTailPartitioner::LeastLoadedOverall() const {
+  uint32_t best = 0;
+  uint64_t best_load = loads_[0];
+  for (uint32_t w = 1; w < loads_.size(); ++w) {
+    if (loads_[w] < best_load) {
+      best = w;
+      best_load = loads_[w];
+    }
+  }
+  return best;
+}
+
+uint32_t HeadTailPartitioner::Route(uint64_t key) {
+  if (messages_ >= next_reoptimize_) {
+    Reoptimize();
+    // Warm-up: re-run the optimizer at doubling intervals (64, 128, ...) so
+    // the head policy adapts within the first few thousand messages, then
+    // settle into the steady-state cadence.
+    const uint64_t doubled = std::max<uint64_t>(messages_ * 2, 64);
+    next_reoptimize_ =
+        std::min(doubled, messages_ + options_.reoptimize_interval);
+  }
+  ++messages_;
+  const uint64_t estimate = sketch_->UpdateAndEstimate(key);
+
+  // k is in the head iff its estimated frequency clears theta. The floor of
+  // 2 occurrences avoids declaring every key "hot" in the first 1/theta
+  // messages of the stream, where theta * messages < 1.
+  const double threshold =
+      std::max(2.0, options_.theta() * static_cast<double>(messages_));
+  last_was_head_ = static_cast<double>(estimate) >= threshold;
+
+  const uint32_t worker =
+      last_was_head_ ? RouteHead(key) : LeastLoadedOfChoices(key, 2);
+  ++loads_[worker];
+  return worker;
+}
+
+}  // namespace slb

@@ -1,0 +1,108 @@
+// Stream partitioning interface (Sec. II-B / Sec. III of the paper).
+//
+// A StreamPartitioner is *sender-local* state: each source operator instance
+// owns one. Route(key) returns the downstream worker for the next message
+// with that key, updating the sender's local load estimate, exactly as in
+// Algorithm 1. All senders share hash seeds, so a key's candidate worker set
+// is identical across senders; load vectors and sketches are per-sender
+// ("the load is determined based only on local information available at the
+// sender", Sec. III-B).
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "slb/common/status.h"
+
+namespace slb {
+
+/// The grouping schemes of Table II plus internal building blocks.
+enum class AlgorithmKind {
+  kKeyGrouping,     // KG : hashing, 1 choice
+  kShuffleGrouping, // SG : round-robin, stateless
+  kPkg,             // PKG: power of both choices [7]
+  kDChoices,        // D-C: head keys get analytically-minimal d choices
+  kWChoices,        // W-C: head keys get all n workers
+  kRoundRobinHead,  // RR : head keys round-robin, tail PKG (baseline)
+  kFixedDChoices,   // head keys get a caller-fixed d (used by Fig. 9 search)
+  kGreedyD,         // every key gets d choices (power-of-d ablation)
+};
+
+/// Parses "kg", "sg", "pkg", "dc"/"d-c", "wc"/"w-c", "rr" (case-insensitive).
+Result<AlgorithmKind> ParseAlgorithmKind(const std::string& text);
+std::string AlgorithmKindName(AlgorithmKind kind);
+
+/// Which frequency estimator head-aware algorithms use (sketch ablation).
+enum class SketchKind {
+  kSpaceSaving,          // the paper's choice [11]
+  kMisraGries,
+  kLossyCounting,
+  kCountMin,
+  kDecayingSpaceSaving,  // recency-weighted extension for drifting streams
+};
+
+struct PartitionerOptions {
+  uint32_t num_workers = 1;
+
+  /// Seed for the hash family; MUST be equal across senders of one stream.
+  uint64_t hash_seed = 0;
+
+  /// Head threshold as a multiple of 1/n: theta = theta_ratio / n.
+  /// Paper default theta = 1/(5n) (Sec. III-A) => theta_ratio = 0.2.
+  double theta_ratio = 0.2;
+
+  /// Imbalance tolerance epsilon for the D-Choices optimizer (Table III).
+  double epsilon = 1e-4;
+
+  /// Sketch counters per sender; 0 = auto (2/theta, i.e. 10n at the default
+  /// theta), which bounds SpaceSaving error below theta/2 of the stream.
+  size_t sketch_capacity = 0;
+
+  SketchKind sketch = SketchKind::kSpaceSaving;
+
+  /// Messages between FINDOPTIMALCHOICES refreshes in D-Choices. The paper's
+  /// Algorithm 1 calls it per message; recomputing on a short interval is
+  /// behaviourally identical (the head evolves slowly) and keeps routing O(1).
+  uint32_t reoptimize_interval = 2048;
+
+  /// Fixed d for kFixedDChoices / kGreedyD.
+  uint32_t fixed_d = 2;
+
+  /// Effective threshold: theta_ratio / num_workers.
+  double theta() const {
+    return theta_ratio / static_cast<double>(num_workers);
+  }
+};
+
+/// Sender-local stream partitioning function P_t (Sec. II-B).
+class StreamPartitioner {
+ public:
+  virtual ~StreamPartitioner() = default;
+
+  /// Routes one message; returns the destination worker in [0, num_workers).
+  virtual uint32_t Route(uint64_t key) = 0;
+
+  virtual uint32_t num_workers() const = 0;
+  virtual std::string name() const = 0;
+
+  /// Messages this sender has routed.
+  virtual uint64_t messages_routed() const = 0;
+
+  /// Diagnostics for the evaluation harness -------------------------------
+
+  /// True when the most recent Route() classified its key as a head key.
+  virtual bool last_was_head() const { return false; }
+
+  /// Number of choices currently granted to head keys (2 when the algorithm
+  /// has no separate head handling; n for W-Choices).
+  virtual uint32_t head_choices() const { return 2; }
+};
+
+/// Creates a sender-local partitioner instance.
+Result<std::unique_ptr<StreamPartitioner>> CreatePartitioner(
+    AlgorithmKind kind, const PartitionerOptions& options);
+
+}  // namespace slb

@@ -1,0 +1,98 @@
+#include <algorithm>
+#include <cctype>
+
+#include "slb/core/basic_groupings.h"
+#include "slb/core/d_choices.h"
+#include "slb/core/head_tail_partitioner.h"
+#include "slb/core/partitioner.h"
+
+namespace slb {
+
+namespace {
+
+std::string ToLower(std::string text) {
+  std::transform(text.begin(), text.end(), text.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return text;
+}
+
+}  // namespace
+
+Result<AlgorithmKind> ParseAlgorithmKind(const std::string& text) {
+  const std::string t = ToLower(text);
+  if (t == "kg" || t == "key" || t == "keygrouping") {
+    return AlgorithmKind::kKeyGrouping;
+  }
+  if (t == "sg" || t == "shuffle" || t == "shufflegrouping") {
+    return AlgorithmKind::kShuffleGrouping;
+  }
+  if (t == "pkg" || t == "partial") return AlgorithmKind::kPkg;
+  if (t == "dc" || t == "d-c" || t == "dchoices" || t == "d-choices") {
+    return AlgorithmKind::kDChoices;
+  }
+  if (t == "wc" || t == "w-c" || t == "wchoices" || t == "w-choices") {
+    return AlgorithmKind::kWChoices;
+  }
+  if (t == "rr" || t == "roundrobin" || t == "round-robin") {
+    return AlgorithmKind::kRoundRobinHead;
+  }
+  if (t == "fixed" || t == "fixedd" || t == "fixed-d") {
+    return AlgorithmKind::kFixedDChoices;
+  }
+  if (t == "greedyd" || t == "greedy-d") return AlgorithmKind::kGreedyD;
+  return Status::InvalidArgument("unknown algorithm: " + text);
+}
+
+std::string AlgorithmKindName(AlgorithmKind kind) {
+  switch (kind) {
+    case AlgorithmKind::kKeyGrouping:
+      return "KG";
+    case AlgorithmKind::kShuffleGrouping:
+      return "SG";
+    case AlgorithmKind::kPkg:
+      return "PKG";
+    case AlgorithmKind::kDChoices:
+      return "D-C";
+    case AlgorithmKind::kWChoices:
+      return "W-C";
+    case AlgorithmKind::kRoundRobinHead:
+      return "RR";
+    case AlgorithmKind::kFixedDChoices:
+      return "Fixed-D";
+    case AlgorithmKind::kGreedyD:
+      return "Greedy-D";
+  }
+  return "?";
+}
+
+Result<std::unique_ptr<StreamPartitioner>> CreatePartitioner(
+    AlgorithmKind kind, const PartitionerOptions& options) {
+  if (options.num_workers < 1) {
+    return Status::InvalidArgument("num_workers must be >= 1");
+  }
+  if (options.theta_ratio <= 0.0) {
+    return Status::InvalidArgument("theta_ratio must be positive");
+  }
+  switch (kind) {
+    case AlgorithmKind::kKeyGrouping:
+      return std::unique_ptr<StreamPartitioner>(new KeyGrouping(options));
+    case AlgorithmKind::kShuffleGrouping:
+      return std::unique_ptr<StreamPartitioner>(new ShuffleGrouping(options));
+    case AlgorithmKind::kPkg:
+      return std::unique_ptr<StreamPartitioner>(new PartialKeyGrouping(options));
+    case AlgorithmKind::kDChoices:
+      return std::unique_ptr<StreamPartitioner>(new DChoices(options));
+    case AlgorithmKind::kWChoices:
+      return std::unique_ptr<StreamPartitioner>(new WChoices(options));
+    case AlgorithmKind::kRoundRobinHead:
+      return std::unique_ptr<StreamPartitioner>(new RoundRobinHead(options));
+    case AlgorithmKind::kFixedDChoices:
+      return std::unique_ptr<StreamPartitioner>(new FixedDChoices(options));
+    case AlgorithmKind::kGreedyD:
+      return std::unique_ptr<StreamPartitioner>(
+          new GreedyD(options, options.fixed_d, "Greedy-D"));
+  }
+  return Status::InvalidArgument("unhandled algorithm kind");
+}
+
+}  // namespace slb

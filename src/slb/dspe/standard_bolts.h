@@ -1,0 +1,149 @@
+// Reusable bolts for common streaming-aggregation patterns.
+//
+// These are the operators the paper's motivating applications are built
+// from (Sec. V: "computing statistics for classification, or extracting
+// frequent patterns"), written against the topology API so examples and
+// tests can compose them. All are deterministic and single-threaded (the
+// engine serializes task execution).
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "slb/dspe/topology.h"
+#include "slb/sketch/space_saving.h"
+
+namespace slb {
+
+/// Running per-key sum. The canonical stateful operator: its state fan-out
+/// across tasks is exactly what the paper's memory analysis charges.
+/// Optionally mirrors updates into a caller-owned sink (the engine owns the
+/// bolt instances, so callers must not keep raw pointers into them).
+class CountingBolt final : public Bolt {
+ public:
+  using Sink = std::function<void(uint64_t key, uint64_t value)>;
+
+  explicit CountingBolt(Sink sink = nullptr) : sink_(std::move(sink)) {}
+
+  void Execute(const TopologyTuple& tuple, OutputCollector*) override {
+    counts_[tuple.key] += tuple.value;
+    if (sink_) sink_(tuple.key, tuple.value);
+  }
+  size_t StateEntries() const override { return counts_.size(); }
+
+ private:
+  std::unordered_map<uint64_t, uint64_t> counts_;
+  Sink sink_;
+};
+
+/// Emits one partial-sum tuple per key every `window` input tuples — the
+/// periodic "flush" stage that makes multi-worker key splitting exact:
+/// downstream, a MergingBolt adds the partials back together (the
+/// aggregation phase of Sec. IV-B, cost proportional to d).
+class WindowedSumBolt final : public Bolt {
+ public:
+  explicit WindowedSumBolt(uint64_t window) : window_(window) {}
+
+  void Execute(const TopologyTuple& tuple, OutputCollector* out) override {
+    partial_[tuple.key] += tuple.value;
+    if (++since_flush_ >= window_) Flush(out);
+  }
+
+  size_t StateEntries() const override { return partial_.size(); }
+
+ private:
+  void Flush(OutputCollector* out) {
+    for (const auto& [key, sum] : partial_) {
+      out->Emit(TopologyTuple{key, sum});
+    }
+    partial_.clear();
+    since_flush_ = 0;
+  }
+
+  uint64_t window_;
+  uint64_t since_flush_ = 0;
+  std::unordered_map<uint64_t, uint64_t> partial_;
+};
+
+/// Adds up partial sums per key (the reconciliation stage downstream of a
+/// WindowedSumBolt; routed with key grouping so each key's partials meet).
+class MergingBolt final : public Bolt {
+ public:
+  using Sink = std::function<void(uint64_t key, uint64_t value)>;
+
+  explicit MergingBolt(Sink sink = nullptr) : sink_(std::move(sink)) {}
+
+  void Execute(const TopologyTuple& tuple, OutputCollector*) override {
+    totals_[tuple.key] += tuple.value;
+    if (sink_) sink_(tuple.key, tuple.value);
+  }
+  size_t StateEntries() const override { return totals_.size(); }
+
+ private:
+  std::unordered_map<uint64_t, uint64_t> totals_;
+  Sink sink_;
+};
+
+/// Tracks the top keys of its sub-stream with a SpaceSaving sketch and
+/// periodically emits its current heavy hitters (key, estimated count) —
+/// the distributed top-k pattern ([11, 12]).
+class TopKBolt final : public Bolt {
+ public:
+  TopKBolt(size_t sketch_capacity, size_t k, uint64_t report_every)
+      : sketch_(sketch_capacity), k_(k), report_every_(report_every) {}
+
+  void Execute(const TopologyTuple& tuple, OutputCollector* out) override {
+    sketch_.UpdateAndEstimate(tuple.key);
+    if (++since_report_ >= report_every_) {
+      since_report_ = 0;
+      auto counters = sketch_.Counters();
+      if (counters.size() > k_) counters.resize(k_);
+      for (const HeavyKey& hk : counters) {
+        out->Emit(TopologyTuple{hk.key, hk.count});
+      }
+    }
+  }
+  size_t StateEntries() const override { return sketch_.memory_counters(); }
+
+ private:
+  SpaceSaving sketch_;
+  size_t k_;
+  uint64_t report_every_;
+  uint64_t since_report_ = 0;
+};
+
+/// Applies a pure function to each tuple (stateless transform; the kind of
+/// operator shuffle grouping is ideal for).
+class MapBolt final : public Bolt {
+ public:
+  using Fn = std::function<TopologyTuple(const TopologyTuple&)>;
+
+  explicit MapBolt(Fn fn) : fn_(std::move(fn)) {}
+
+  void Execute(const TopologyTuple& tuple, OutputCollector* out) override {
+    out->Emit(fn_(tuple));
+  }
+
+ private:
+  Fn fn_;
+};
+
+/// Drops tuples failing a predicate.
+class FilterBolt final : public Bolt {
+ public:
+  using Predicate = std::function<bool(const TopologyTuple&)>;
+
+  explicit FilterBolt(Predicate pred) : pred_(std::move(pred)) {}
+
+  void Execute(const TopologyTuple& tuple, OutputCollector* out) override {
+    if (pred_(tuple)) out->Emit(tuple);
+  }
+
+ private:
+  Predicate pred_;
+};
+
+}  // namespace slb

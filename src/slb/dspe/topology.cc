@@ -1,0 +1,348 @@
+#include "slb/dspe/topology.h"
+
+#include <algorithm>
+#include <deque>
+#include <queue>
+#include <unordered_map>
+
+#include "slb/common/logging.h"
+
+namespace slb {
+
+TopologyBuilder& TopologyBuilder::AddSpout(const std::string& name,
+                                           SpoutFactory factory,
+                                           uint32_t parallelism) {
+  topology_.spouts.push_back(SpoutDecl{name, std::move(factory), parallelism});
+  return *this;
+}
+
+TopologyBuilder& TopologyBuilder::AddBolt(const std::string& name,
+                                          BoltFactory factory,
+                                          uint32_t parallelism) {
+  topology_.bolts.push_back(BoltDecl{name, std::move(factory), parallelism, {}});
+  return *this;
+}
+
+TopologyBuilder& TopologyBuilder::Input(const std::string& upstream,
+                                        Grouping grouping) {
+  SLB_CHECK(!topology_.bolts.empty()) << "Input() requires a bolt; call AddBolt";
+  topology_.bolts.back().inputs.emplace_back(upstream, grouping);
+  return *this;
+}
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Flattened runtime structures.
+
+struct Edge {
+  uint32_t to_component;  // index into components
+  Grouping grouping;
+};
+
+struct Component {
+  std::string name;
+  bool is_spout = false;
+  uint32_t parallelism = 0;
+  uint32_t first_task = 0;  // global task id of instance 0
+  std::vector<Edge> outputs;
+};
+
+struct InFlight {
+  TopologyTuple tuple;
+  uint64_t root = 0;  // index into root bookkeeping
+};
+
+struct Task {
+  uint32_t component = 0;
+  uint32_t index = 0;  // instance index within the component
+  bool busy = false;
+  std::deque<InFlight> queue;
+  // One sender-local partitioner per outgoing edge of the component.
+  std::vector<std::unique_ptr<StreamPartitioner>> partitioners;
+  std::unique_ptr<Spout> spout;
+  std::unique_ptr<Bolt> bolt;
+  uint64_t processed = 0;
+  // Spout-only:
+  uint32_t credits = 0;
+  bool exhausted = false;
+};
+
+struct Root {
+  double emit_time_s = 0.0;
+  uint64_t pending = 0;
+  uint32_t spout_task = 0;
+};
+
+enum class EventType : uint8_t { kSpoutEmit, kTaskDone };
+
+struct Event {
+  double time_s;
+  EventType type;
+  uint32_t task;
+  bool operator>(const Event& other) const { return time_s > other.time_s; }
+};
+
+class Collector final : public OutputCollector {
+ public:
+  void Emit(const TopologyTuple& tuple) override { emitted.push_back(tuple); }
+  std::vector<TopologyTuple> emitted;
+};
+
+}  // namespace
+
+Result<TopologyStats> ExecuteTopology(const TopologyBuilder::Topology& topology,
+                                      const TopologyOptions& options) {
+  if (topology.spouts.empty()) {
+    return Status::InvalidArgument("topology needs at least one spout");
+  }
+  if (options.spout_service_ms <= 0 || options.bolt_service_ms <= 0) {
+    return Status::InvalidArgument("service times must be positive");
+  }
+  if (options.max_pending_per_spout < 1) {
+    return Status::InvalidArgument("max_pending_per_spout must be >= 1");
+  }
+
+  // --- Flatten components and validate the DAG. ---------------------------
+  std::vector<Component> components;
+  std::unordered_map<std::string, uint32_t> by_name;
+  for (const auto& spout : topology.spouts) {
+    if (spout.parallelism < 1) {
+      return Status::InvalidArgument("spout '" + spout.name +
+                                     "' needs parallelism >= 1");
+    }
+    if (!by_name.emplace(spout.name, components.size()).second) {
+      return Status::InvalidArgument("duplicate component name: " + spout.name);
+    }
+    components.push_back(Component{spout.name, true, spout.parallelism, 0, {}});
+  }
+  for (const auto& bolt : topology.bolts) {
+    if (bolt.parallelism < 1) {
+      return Status::InvalidArgument("bolt '" + bolt.name +
+                                     "' needs parallelism >= 1");
+    }
+    if (!by_name.emplace(bolt.name, components.size()).second) {
+      return Status::InvalidArgument("duplicate component name: " + bolt.name);
+    }
+    if (bolt.inputs.empty()) {
+      return Status::InvalidArgument("bolt '" + bolt.name + "' has no inputs");
+    }
+    components.push_back(Component{bolt.name, false, bolt.parallelism, 0, {}});
+  }
+  for (const auto& bolt : topology.bolts) {
+    const uint32_t to = by_name.at(bolt.name);
+    for (const auto& [upstream, grouping] : bolt.inputs) {
+      auto it = by_name.find(upstream);
+      if (it == by_name.end()) {
+        return Status::InvalidArgument("bolt '" + bolt.name +
+                                       "' consumes unknown component '" +
+                                       upstream + "'");
+      }
+      if (it->second == to) {
+        return Status::InvalidArgument("bolt '" + bolt.name +
+                                       "' cannot consume itself");
+      }
+      components[it->second].outputs.push_back(Edge{to, grouping});
+    }
+  }
+  // Cycle check: DFS over the component graph.
+  {
+    enum class Mark : uint8_t { kWhite, kGray, kBlack };
+    std::vector<Mark> marks(components.size(), Mark::kWhite);
+    std::function<bool(uint32_t)> has_cycle = [&](uint32_t c) {
+      marks[c] = Mark::kGray;
+      for (const Edge& e : components[c].outputs) {
+        if (marks[e.to_component] == Mark::kGray) return true;
+        if (marks[e.to_component] == Mark::kWhite && has_cycle(e.to_component)) {
+          return true;
+        }
+      }
+      marks[c] = Mark::kBlack;
+      return false;
+    };
+    for (uint32_t c = 0; c < components.size(); ++c) {
+      if (marks[c] == Mark::kWhite && has_cycle(c)) {
+        return Status::InvalidArgument("topology contains a cycle");
+      }
+    }
+  }
+
+  // --- Instantiate tasks. --------------------------------------------------
+  std::vector<Task> tasks;
+  for (uint32_t c = 0; c < components.size(); ++c) {
+    components[c].first_task = static_cast<uint32_t>(tasks.size());
+    for (uint32_t i = 0; i < components[c].parallelism; ++i) {
+      Task task;
+      task.component = c;
+      task.index = i;
+      if (components[c].is_spout) {
+        task.spout = topology.spouts[c].factory(i);
+        task.credits = options.max_pending_per_spout;
+        if (task.spout == nullptr) {
+          return Status::InvalidArgument("spout factory returned null");
+        }
+      } else {
+        const auto& decl = topology.bolts[c - topology.spouts.size()];
+        task.bolt = decl.factory(i);
+        if (task.bolt == nullptr) {
+          return Status::InvalidArgument("bolt factory returned null");
+        }
+        task.bolt->Prepare(i, components[c].parallelism);
+      }
+      tasks.push_back(std::move(task));
+    }
+  }
+  // Partitioners: one per (task, outgoing edge); hash seed shared per edge so
+  // all senders agree on candidate sets (Sec. III).
+  for (Task& task : tasks) {
+    const Component& comp = components[task.component];
+    for (size_t e = 0; e < comp.outputs.size(); ++e) {
+      const Edge& edge = comp.outputs[e];
+      PartitionerOptions popt = edge.grouping.options;
+      popt.num_workers = components[edge.to_component].parallelism;
+      popt.hash_seed =
+          options.hash_seed ^ (0x9e3779b97f4a7c15ULL * (task.component + 1)) ^
+          (0x517cc1b727220a95ULL * (e + 1));
+      auto partitioner = CreatePartitioner(edge.grouping.algorithm, popt);
+      if (!partitioner.ok()) return partitioner.status();
+      task.partitioners.push_back(std::move(partitioner.value()));
+    }
+  }
+
+  // --- Event loop. ----------------------------------------------------------
+  const double spout_service_s = options.spout_service_ms / 1e3;
+  const double bolt_service_s = options.bolt_service_ms / 1e3;
+  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> events;
+  std::vector<Root> roots;
+  Histogram latency_ms(1 << 18, options.seed ^ 0xabcdULL);
+  TopologyStats stats;
+  double now_s = 0.0;
+  double last_ack_s = 0.0;
+
+  // Routes `tuple` along every outgoing edge of `task`; returns copies made.
+  auto route_downstream = [&](Task& task, const TopologyTuple& tuple,
+                              uint64_t root) {
+    const Component& comp = components[task.component];
+    uint64_t copies = 0;
+    for (size_t e = 0; e < comp.outputs.size(); ++e) {
+      const Edge& edge = comp.outputs[e];
+      const uint32_t idx = task.partitioners[e]->Route(tuple.key);
+      const uint32_t target = components[edge.to_component].first_task + idx;
+      tasks[target].queue.push_back(InFlight{tuple, root});
+      ++copies;
+      if (!tasks[target].busy) {
+        tasks[target].busy = true;
+        events.push(Event{now_s + bolt_service_s, EventType::kTaskDone, target});
+      }
+    }
+    return copies;
+  };
+
+  auto maybe_schedule_spout = [&](uint32_t task_id) {
+    Task& task = tasks[task_id];
+    if (task.busy || task.exhausted || task.credits == 0) return;
+    task.busy = true;
+    events.push(Event{now_s + spout_service_s, EventType::kSpoutEmit, task_id});
+  };
+
+  auto ack_root = [&](uint64_t root_id) {
+    Root& root = roots[root_id];
+    latency_ms.Add((now_s - root.emit_time_s) * 1e3);
+    ++stats.roots_acked;
+    last_ack_s = now_s;
+    Task& spout_task = tasks[root.spout_task];
+    ++spout_task.credits;
+    maybe_schedule_spout(root.spout_task);
+  };
+
+  for (uint32_t t = 0; t < tasks.size(); ++t) {
+    if (tasks[t].spout != nullptr) maybe_schedule_spout(t);
+  }
+
+  while (!events.empty()) {
+    const Event ev = events.top();
+    events.pop();
+    now_s = ev.time_s;
+    Task& task = tasks[ev.task];
+
+    if (ev.type == EventType::kSpoutEmit) {
+      task.busy = false;
+      TopologyTuple tuple;
+      if (!task.spout->NextTuple(&tuple)) {
+        task.exhausted = true;
+        continue;
+      }
+      ++task.processed;
+      ++stats.tuples_processed;
+      --task.credits;
+      roots.push_back(Root{now_s, 0, ev.task});
+      const uint64_t root_id = roots.size() - 1;
+      const uint64_t copies = route_downstream(task, tuple, root_id);
+      roots[root_id].pending = copies;
+      if (copies == 0) ack_root(root_id);  // spout with no consumers
+      maybe_schedule_spout(ev.task);
+      continue;
+    }
+
+    // kTaskDone: the head-of-queue tuple finishes processing at this bolt.
+    SLB_CHECK(!task.queue.empty());
+    const InFlight in_flight = task.queue.front();
+    task.queue.pop_front();
+    ++task.processed;
+    ++stats.tuples_processed;
+    if (options.max_tuples != 0 && stats.tuples_processed > options.max_tuples) {
+      return Status::FailedPrecondition(
+          "tuple budget exceeded; emission loop in topology?");
+    }
+
+    Collector collector;
+    task.bolt->Execute(in_flight.tuple, &collector);
+    Root& root = roots[in_flight.root];
+    for (const TopologyTuple& out : collector.emitted) {
+      root.pending += route_downstream(task, out, in_flight.root);
+    }
+    SLB_CHECK(root.pending > 0);
+    if (--root.pending == 0) ack_root(in_flight.root);
+
+    if (!task.queue.empty()) {
+      events.push(Event{now_s + bolt_service_s, EventType::kTaskDone, ev.task});
+    } else {
+      task.busy = false;
+    }
+  }
+
+  // --- Collect statistics. --------------------------------------------------
+  stats.makespan_s = last_ack_s;
+  stats.throughput_per_s =
+      last_ack_s > 0 ? static_cast<double>(stats.roots_acked) / last_ack_s : 0.0;
+  stats.latency_avg_ms = latency_ms.mean();
+  stats.latency_p50_ms = latency_ms.p50();
+  stats.latency_p95_ms = latency_ms.p95();
+  stats.latency_p99_ms = latency_ms.p99();
+
+  for (const Component& comp : components) {
+    ComponentStats cs;
+    cs.name = comp.name;
+    uint64_t total = 0;
+    for (uint32_t i = 0; i < comp.parallelism; ++i) {
+      total += tasks[comp.first_task + i].processed;
+    }
+    cs.tuples_processed = total;
+    cs.task_loads.resize(comp.parallelism, 0.0);
+    double max_load = 0.0;
+    for (uint32_t i = 0; i < comp.parallelism; ++i) {
+      const Task& task = tasks[comp.first_task + i];
+      cs.task_loads[i] = total > 0 ? static_cast<double>(task.processed) /
+                                         static_cast<double>(total)
+                                   : 0.0;
+      max_load = std::max(max_load, cs.task_loads[i]);
+      if (task.bolt != nullptr) cs.state_entries += task.bolt->StateEntries();
+    }
+    cs.imbalance =
+        total > 0 ? max_load - 1.0 / static_cast<double>(comp.parallelism) : 0.0;
+    stats.components.push_back(std::move(cs));
+  }
+  return stats;
+}
+
+}  // namespace slb

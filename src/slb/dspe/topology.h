@@ -1,0 +1,165 @@
+// A Storm-like topology programming model (the paper's deployment target).
+//
+// The paper evaluates its groupings inside Apache Storm: spouts emit keyed
+// tuples, bolts process them, and every spout->bolt / bolt->bolt edge is
+// partitioned by a grouping scheme. This module reproduces that programming
+// model on top of the library's discrete-event engine, so applications can
+// be written once and executed deterministically:
+//
+//   TopologyBuilder builder;
+//   builder.AddSpout("words", spout_factory, /*parallelism=*/4);
+//   builder.AddBolt("count", bolt_factory, /*parallelism=*/20)
+//          .Input("words", Grouping::DChoices());
+//   Result<TopologyStats> stats = ExecuteTopology(builder.Build(), options);
+//
+// Execution semantics (mirroring Storm with max-spout-pending acking):
+//   * every task (spout or bolt instance) is a FIFO queue with a
+//     deterministic per-tuple service time;
+//   * a spout may have at most `max_pending` tuple *trees* in flight; the
+//     tree is acked when the root tuple and every descendant emitted while
+//     processing it have been fully processed;
+//   * each upstream task owns a sender-local partitioner per outgoing edge
+//     (the paper's Sec. III: local load estimates, shared hash functions).
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "slb/common/histogram.h"
+#include "slb/common/status.h"
+#include "slb/core/partitioner.h"
+
+namespace slb {
+
+/// A keyed message flowing through the topology.
+struct TopologyTuple {
+  uint64_t key = 0;
+  uint64_t value = 0;
+};
+
+/// Emits tuples produced by a bolt while executing an input tuple.
+class OutputCollector {
+ public:
+  virtual ~OutputCollector() = default;
+  virtual void Emit(const TopologyTuple& tuple) = 0;
+};
+
+/// A data source instance (Storm spout). One instance exists per task.
+class Spout {
+ public:
+  virtual ~Spout() = default;
+  /// Produces the next tuple; returns false when the source is exhausted.
+  virtual bool NextTuple(TopologyTuple* out) = 0;
+};
+
+/// A processing operator instance (Storm bolt). One instance per task.
+class Bolt {
+ public:
+  virtual ~Bolt() = default;
+  /// Called once before execution with this instance's task index.
+  virtual void Prepare(uint32_t task_index, uint32_t parallelism) {
+    (void)task_index;
+    (void)parallelism;
+  }
+  /// Processes one tuple; may Emit() downstream tuples.
+  virtual void Execute(const TopologyTuple& tuple, OutputCollector* out) = 0;
+  /// Entries of operator state held by this instance (memory accounting).
+  virtual size_t StateEntries() const { return 0; }
+};
+
+using SpoutFactory = std::function<std::unique_ptr<Spout>(uint32_t task_index)>;
+using BoltFactory = std::function<std::unique_ptr<Bolt>(uint32_t task_index)>;
+
+/// Grouping configuration of one edge.
+struct Grouping {
+  AlgorithmKind algorithm = AlgorithmKind::kShuffleGrouping;
+  /// theta_ratio/epsilon/sketch knobs for head-aware schemes; num_workers
+  /// and hash_seed are filled in by the engine.
+  PartitionerOptions options;
+
+  static Grouping Key() { return {AlgorithmKind::kKeyGrouping, {}}; }
+  static Grouping Shuffle() { return {AlgorithmKind::kShuffleGrouping, {}}; }
+  static Grouping Pkg() { return {AlgorithmKind::kPkg, {}}; }
+  static Grouping DChoices() { return {AlgorithmKind::kDChoices, {}}; }
+  static Grouping WChoices() { return {AlgorithmKind::kWChoices, {}}; }
+};
+
+/// Declarative topology description.
+class TopologyBuilder {
+ public:
+  TopologyBuilder& AddSpout(const std::string& name, SpoutFactory factory,
+                            uint32_t parallelism);
+
+  /// Adds a bolt; connect inputs with Input() on the returned reference.
+  TopologyBuilder& AddBolt(const std::string& name, BoltFactory factory,
+                           uint32_t parallelism);
+
+  /// Connects the most recently added bolt to an upstream component.
+  TopologyBuilder& Input(const std::string& upstream, Grouping grouping);
+
+  struct SpoutDecl {
+    std::string name;
+    SpoutFactory factory;
+    uint32_t parallelism;
+  };
+  struct BoltDecl {
+    std::string name;
+    BoltFactory factory;
+    uint32_t parallelism;
+    std::vector<std::pair<std::string, Grouping>> inputs;
+  };
+  struct Topology {
+    std::vector<SpoutDecl> spouts;
+    std::vector<BoltDecl> bolts;
+  };
+
+  Topology Build() const { return topology_; }
+
+ private:
+  Topology topology_;
+};
+
+/// Engine knobs (the cluster model; defaults match sim/dspe_simulator).
+struct TopologyOptions {
+  double spout_service_ms = 0.3;  // per-tuple emission cost at the spout
+  double bolt_service_ms = 1.0;   // per-tuple processing cost at every bolt
+  uint32_t max_pending_per_spout = 70;
+  uint64_t hash_seed = 42;
+  uint64_t seed = 42;
+  /// Safety valve: abort after this many processed tuples (0 = unlimited).
+  uint64_t max_tuples = 0;
+};
+
+/// Per-component execution statistics.
+struct ComponentStats {
+  std::string name;
+  uint64_t tuples_processed = 0;
+  /// Normalized per-task load and the resulting imbalance (Sec. II-B).
+  std::vector<double> task_loads;
+  double imbalance = 0.0;
+  /// Total state entries across this component's tasks (bolts only).
+  size_t state_entries = 0;
+};
+
+struct TopologyStats {
+  double makespan_s = 0.0;
+  double throughput_per_s = 0.0;  // spout-root tuples acked per second
+  uint64_t roots_acked = 0;
+  uint64_t tuples_processed = 0;  // including bolt-emitted descendants
+  /// Root-tree completion latency (emission -> full tree acked), ms.
+  double latency_avg_ms = 0.0;
+  double latency_p50_ms = 0.0;
+  double latency_p95_ms = 0.0;
+  double latency_p99_ms = 0.0;
+  std::vector<ComponentStats> components;
+};
+
+/// Runs the topology to spout exhaustion; deterministic for a fixed seed.
+Result<TopologyStats> ExecuteTopology(const TopologyBuilder::Topology& topology,
+                                      const TopologyOptions& options);
+
+}  // namespace slb

@@ -1,0 +1,17 @@
+#include "slb/hash/hash_family.h"
+
+#include "slb/common/logging.h"
+#include "slb/common/rng.h"
+
+namespace slb {
+
+HashFamily::HashFamily(uint32_t max_functions, uint32_t num_workers, uint64_t seed)
+    : max_functions_(max_functions), num_workers_(num_workers), seed_(seed) {
+  SLB_CHECK(max_functions >= 1) << "a hash family needs at least one function";
+  SLB_CHECK(num_workers >= 1) << "need at least one worker";
+  seeds_.resize(max_functions_);
+  uint64_t sm = seed ^ 0xabcdef0123456789ULL;
+  for (auto& s : seeds_) s = SplitMix64(&sm);
+}
+
+}  // namespace slb

@@ -1,0 +1,47 @@
+// A family of d independent hash functions K -> [n], as used by Greedy-d.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "slb/hash/hash.h"
+
+namespace slb {
+
+/// The hash functions F_1..F_d of the Greedy-d process (Sec. III-B).
+///
+/// Candidate i for key k is `Worker(k, i)`. All partitioners in the library
+/// share one family per sender so that, per the paper, the *same* key always
+/// maps to the same candidate set regardless of which sender routes it
+/// (families are seeded identically across senders).
+class HashFamily {
+ public:
+  /// `max_functions` is the largest d any caller will request (<= n is
+  /// typical); `num_workers` is n; `seed` derives all per-function seeds.
+  HashFamily(uint32_t max_functions, uint32_t num_workers, uint64_t seed = 0);
+
+  /// The i-th candidate worker for `key`, i in [0, max_functions).
+  uint32_t Worker(uint64_t key, uint32_t i) const {
+    return HashToRange(SeededHash64(key, seeds_[i]), num_workers_);
+  }
+
+  /// Writes the first `d` candidates for `key` into `out` (size >= d).
+  /// Candidates may repeat: hash collisions are part of the model the
+  /// paper analyzes (expected distinct count b in Eqn. 10).
+  void Candidates(uint64_t key, uint32_t d, uint32_t* out) const {
+    for (uint32_t i = 0; i < d; ++i) out[i] = Worker(key, i);
+  }
+
+  uint32_t max_functions() const { return max_functions_; }
+  uint32_t num_workers() const { return num_workers_; }
+  uint64_t seed() const { return seed_; }
+
+ private:
+  uint32_t max_functions_;
+  uint32_t num_workers_;
+  uint64_t seed_;
+  std::vector<uint64_t> seeds_;
+};
+
+}  // namespace slb

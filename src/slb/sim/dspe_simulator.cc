@@ -1,0 +1,179 @@
+#include "slb/sim/dspe_simulator.h"
+
+#include <algorithm>
+#include <deque>
+#include <memory>
+#include <queue>
+
+#include "slb/common/logging.h"
+#include "slb/common/rng.h"
+
+namespace slb {
+
+namespace {
+
+// In-flight tuple bookkeeping.
+struct Tuple {
+  double emit_time_s;
+  uint32_t source;
+  uint32_t worker;
+};
+
+enum class EventType : uint8_t { kTransportDone, kWorkerDone };
+
+struct Event {
+  double time_s;
+  EventType type;
+  uint32_t worker;  // meaningful for kWorkerDone
+
+  bool operator>(const Event& other) const { return time_s > other.time_s; }
+};
+
+}  // namespace
+
+Result<DspeResult> RunDspeSimulation(const DspeConfig& config) {
+  if (config.num_sources < 1) {
+    return Status::InvalidArgument("need at least one source");
+  }
+  if (config.num_messages < 1) {
+    return Status::InvalidArgument("need at least one message");
+  }
+  if (config.worker_service_ms <= 0 || config.transport_rate_per_s <= 0) {
+    return Status::InvalidArgument("service times must be positive");
+  }
+  if (config.max_pending_per_source < 1) {
+    return Status::InvalidArgument("need a positive credit window");
+  }
+
+  const uint32_t s = config.num_sources;
+  const uint32_t n = config.partitioner.num_workers;
+  const double worker_service_s = config.worker_service_ms / 1e3;
+  const double transport_service_s = 1.0 / config.transport_rate_per_s;
+
+  // Sender-local partitioners and per-source generators.
+  std::vector<std::unique_ptr<StreamPartitioner>> senders;
+  senders.reserve(s);
+  for (uint32_t i = 0; i < s; ++i) {
+    auto sender = CreatePartitioner(config.algorithm, config.partitioner);
+    if (!sender.ok()) return sender.status();
+    senders.push_back(std::move(sender.value()));
+  }
+  const ZipfDistribution zipf(config.zipf_exponent, config.num_keys);
+  std::vector<Rng> rngs;
+  rngs.reserve(s);
+  for (uint32_t i = 0; i < s; ++i) rngs.emplace_back(config.seed + 1000003ULL * i);
+
+  // Per-source emission budget: split the total as evenly as possible.
+  std::vector<uint64_t> remaining(s, config.num_messages / s);
+  for (uint64_t i = 0; i < config.num_messages % s; ++i) ++remaining[i];
+  std::vector<uint32_t> credits(s, config.max_pending_per_source);
+
+  std::deque<Tuple> transport_queue;
+  bool transport_busy = false;
+  std::vector<std::deque<Tuple>> worker_queues(n);
+  std::vector<bool> worker_busy(n, false);
+
+  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> events;
+
+  DspeResult result;
+  Histogram latency_ms(1 << 19, config.seed ^ 0x1a7e9cULL);
+  std::vector<RunningStats> worker_latency(n);
+  double last_completion_s = 0.0;
+
+  double now_s = 0.0;
+
+  auto try_emit = [&](uint32_t source) {
+    while (credits[source] > 0 && remaining[source] > 0) {
+      --credits[source];
+      --remaining[source];
+      const uint64_t key = zipf.Sample(&rngs[source]);
+      const uint32_t worker = senders[source]->Route(key);
+      transport_queue.push_back(Tuple{now_s, source, worker});
+      if (!transport_busy) {
+        transport_busy = true;
+        events.push(Event{now_s + transport_service_s, EventType::kTransportDone, 0});
+      }
+    }
+  };
+
+  for (uint32_t source = 0; source < s; ++source) try_emit(source);
+
+  while (!events.empty()) {
+    const Event ev = events.top();
+    events.pop();
+    now_s = ev.time_s;
+
+    if (ev.type == EventType::kTransportDone) {
+      SLB_CHECK(!transport_queue.empty());
+      const Tuple tuple = transport_queue.front();
+      transport_queue.pop_front();
+      // Deliver to the destination worker's queue.
+      worker_queues[tuple.worker].push_back(tuple);
+      if (!worker_busy[tuple.worker]) {
+        worker_busy[tuple.worker] = true;
+        events.push(
+            Event{now_s + worker_service_s, EventType::kWorkerDone, tuple.worker});
+      }
+      if (!transport_queue.empty()) {
+        events.push(
+            Event{now_s + transport_service_s, EventType::kTransportDone, 0});
+      } else {
+        transport_busy = false;
+      }
+      continue;
+    }
+
+    // kWorkerDone: the tuple at the head of this worker's queue finishes.
+    const uint32_t w = ev.worker;
+    SLB_CHECK(!worker_queues[w].empty());
+    const Tuple tuple = worker_queues[w].front();
+    worker_queues[w].pop_front();
+
+    const double latency = (now_s - tuple.emit_time_s) * 1e3;
+    latency_ms.Add(latency);
+    worker_latency[w].Add(latency);
+    ++result.completed;
+    last_completion_s = now_s;
+
+    // Ack: the source regains a credit and emits its next tuple.
+    ++credits[tuple.source];
+    try_emit(tuple.source);
+
+    if (!worker_queues[w].empty()) {
+      events.push(Event{now_s + worker_service_s, EventType::kWorkerDone, w});
+    } else {
+      worker_busy[w] = false;
+    }
+  }
+
+  SLB_CHECK(result.completed == config.num_messages)
+      << "conservation violated: completed " << result.completed << " of "
+      << config.num_messages;
+
+  result.makespan_s = last_completion_s;
+  result.throughput_per_s =
+      last_completion_s > 0
+          ? static_cast<double>(result.completed) / last_completion_s
+          : 0.0;
+  result.latency_avg_ms = latency_ms.mean();
+  result.latency_p50_ms = latency_ms.p50();
+  result.latency_p95_ms = latency_ms.p95();
+  result.latency_p99_ms = latency_ms.p99();
+  result.latency_max_ms = latency_ms.max();
+
+  // Fig. 14 reporting: distribution across workers of per-worker averages.
+  Histogram across_workers(0, 1);
+  double max_avg = 0.0;
+  for (const RunningStats& stats : worker_latency) {
+    if (stats.count() == 0) continue;
+    across_workers.Add(stats.mean());
+    max_avg = std::max(max_avg, stats.mean());
+  }
+  result.max_worker_avg_latency_ms = max_avg;
+  result.p50_worker_avg_latency_ms = across_workers.p50();
+  result.p95_worker_avg_latency_ms = across_workers.p95();
+  result.p99_worker_avg_latency_ms = across_workers.p99();
+  return result;
+}
+
+}  // namespace slb

@@ -1,0 +1,80 @@
+// Discrete-event DSPE simulator — the stand-in for the paper's Apache Storm
+// cluster deployment (Sec. V, Q4; Figs. 13-14).
+//
+// Queueing model (see DESIGN.md for the substitution argument):
+//
+//   sources --(credit window)--> transport stage --> worker FIFO queues
+//
+//   * Each of the `s` sources generates keyed tuples from the workload
+//     distribution, routes them with its sender-local partitioner, and may
+//     have at most `max_pending_per_source` tuples in flight (Storm's "max
+//     spout pending" acking backpressure).
+//   * The transport stage is a single FIFO server with aggregate rate
+//     `transport_rate_per_s`. It models the framework's per-tuple emission /
+//     serialization / dispatch cost, which is what bounds the throughput of
+//     a *balanced* Storm topology (the paper's SG plateau).
+//   * Each worker is a FIFO queue with deterministic service time
+//     `worker_service_ms` (the paper injects 1 ms of CPU per tuple; the
+//     default adds the framework's per-tuple processing overhead on top).
+//
+// Under imbalance the hottest worker's queue absorbs the whole credit
+// window, which simultaneously caps throughput at service_rate / max_share
+// and inflates tail latency to window * service_time — exactly the
+// mechanism the paper measures on the cluster.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "slb/common/histogram.h"
+#include "slb/common/status.h"
+#include "slb/core/partitioner.h"
+#include "slb/workload/zipf.h"
+
+namespace slb {
+
+struct DspeConfig {
+  AlgorithmKind algorithm = AlgorithmKind::kShuffleGrouping;
+  PartitionerOptions partitioner;  // num_workers = n (paper: 80)
+
+  uint32_t num_sources = 48;       // paper: 48 spouts
+  uint64_t num_messages = 200000;  // total tuples (paper: 2e6)
+
+  /// Workload: Zipf(z, num_keys) drawn independently per source.
+  double zipf_exponent = 1.4;
+  uint64_t num_keys = 10000;
+
+  double worker_service_ms = 1.5;     // 1 ms injected delay + framework cost
+  double transport_rate_per_s = 3300; // aggregate emission capacity
+  uint32_t max_pending_per_source = 70;
+
+  uint64_t seed = 42;
+};
+
+struct DspeResult {
+  /// Sustained throughput: completed tuples / makespan.
+  double throughput_per_s = 0.0;
+  double makespan_s = 0.0;
+
+  /// Tuple-level end-to-end latency (emission -> processing completion).
+  double latency_avg_ms = 0.0;
+  double latency_p50_ms = 0.0;
+  double latency_p95_ms = 0.0;
+  double latency_p99_ms = 0.0;
+  double latency_max_ms = 0.0;
+
+  /// The paper's Fig. 14 reporting: per-worker *average* latencies, then the
+  /// max / percentiles across workers.
+  double max_worker_avg_latency_ms = 0.0;
+  double p50_worker_avg_latency_ms = 0.0;
+  double p95_worker_avg_latency_ms = 0.0;
+  double p99_worker_avg_latency_ms = 0.0;
+
+  uint64_t completed = 0;
+};
+
+/// Runs the closed-loop event simulation to completion of all tuples.
+Result<DspeResult> RunDspeSimulation(const DspeConfig& config);
+
+}  // namespace slb

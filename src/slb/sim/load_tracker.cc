@@ -1,0 +1,65 @@
+#include "slb/sim/load_tracker.h"
+
+#include <algorithm>
+
+#include "slb/common/logging.h"
+
+namespace slb {
+
+LoadTracker::LoadTracker(uint32_t num_workers, bool track_memory)
+    : counts_(num_workers, 0),
+      head_counts_(num_workers, 0),
+      track_memory_(track_memory) {
+  SLB_CHECK(num_workers >= 1);
+}
+
+void LoadTracker::Record(uint32_t worker, uint64_t key, bool is_head) {
+  SLB_CHECK(worker < counts_.size()) << "worker id out of range";
+  ++counts_[worker];
+  ++total_;
+  if (is_head) {
+    ++head_counts_[worker];
+    ++head_messages_;
+  }
+  if (track_memory_) {
+    key_worker_pairs_.insert(key * counts_.size() + worker);
+  }
+}
+
+double LoadTracker::Imbalance() const {
+  if (total_ == 0) return 0.0;
+  const uint64_t max_count = *std::max_element(counts_.begin(), counts_.end());
+  return static_cast<double>(max_count) / static_cast<double>(total_) -
+         1.0 / static_cast<double>(counts_.size());
+}
+
+std::vector<double> LoadTracker::NormalizedLoads() const {
+  std::vector<double> loads(counts_.size(), 0.0);
+  if (total_ == 0) return loads;
+  for (size_t w = 0; w < counts_.size(); ++w) {
+    loads[w] = static_cast<double>(counts_[w]) / static_cast<double>(total_);
+  }
+  return loads;
+}
+
+std::vector<double> LoadTracker::NormalizedHeadLoads() const {
+  std::vector<double> loads(head_counts_.size(), 0.0);
+  if (total_ == 0) return loads;
+  for (size_t w = 0; w < head_counts_.size(); ++w) {
+    loads[w] =
+        static_cast<double>(head_counts_[w]) / static_cast<double>(total_);
+  }
+  return loads;
+}
+
+std::vector<double> LoadTracker::NormalizedTailLoads() const {
+  std::vector<double> loads(counts_.size(), 0.0);
+  if (total_ == 0) return loads;
+  for (size_t w = 0; w < counts_.size(); ++w) {
+    loads[w] = static_cast<double>(counts_[w] - head_counts_[w]) /
+               static_cast<double>(total_);
+  }
+  return loads;
+}
+
+}  // namespace slb

@@ -1,0 +1,61 @@
+// Ground-truth load accounting for simulations.
+//
+// Tracks the *actual* per-worker message counts (across all senders) and
+// computes the paper's imbalance metric
+//   I(t) = max_w L_w(t) - avg_w L_w(t),
+// with loads normalized by the total number of messages (Sec. II-B). Also
+// tracks the head/tail load split per worker (Fig. 8) and, optionally, the
+// distinct (key, worker) assignments that determine memory overhead
+// (Sec. IV-B, Figs. 5-6).
+
+#pragma once
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+namespace slb {
+
+class LoadTracker {
+ public:
+  /// `track_memory` enables distinct (key,worker) accounting (costs one hash
+  /// set insert per message).
+  explicit LoadTracker(uint32_t num_workers, bool track_memory = false);
+
+  /// Records one message routed to `worker`; `is_head` is the router's
+  /// classification of the key (for the head/tail breakdown).
+  void Record(uint32_t worker, uint64_t key, bool is_head);
+
+  uint32_t num_workers() const { return static_cast<uint32_t>(counts_.size()); }
+  uint64_t total() const { return total_; }
+
+  /// I(t) = max_w L_w - 1/n (the average normalized load is exactly 1/n).
+  double Imbalance() const;
+
+  /// Normalized loads L_w (fractions of the total stream).
+  std::vector<double> NormalizedLoads() const;
+
+  /// Normalized per-worker load carried by head / tail keys.
+  std::vector<double> NormalizedHeadLoads() const;
+  std::vector<double> NormalizedTailLoads() const;
+
+  uint64_t head_messages() const { return head_messages_; }
+
+  /// Distinct (key, worker) assignments — the measured memory footprint.
+  /// Valid only when constructed with track_memory = true.
+  uint64_t memory_entries() const { return key_worker_pairs_.size(); }
+  bool tracks_memory() const { return track_memory_; }
+
+  /// Raw per-worker counts.
+  const std::vector<uint64_t>& counts() const { return counts_; }
+
+ private:
+  std::vector<uint64_t> counts_;
+  std::vector<uint64_t> head_counts_;
+  uint64_t total_ = 0;
+  uint64_t head_messages_ = 0;
+  bool track_memory_;
+  std::unordered_set<uint64_t> key_worker_pairs_;  // key * n + worker
+};
+
+}  // namespace slb

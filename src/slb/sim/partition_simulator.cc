@@ -1,0 +1,71 @@
+#include "slb/sim/partition_simulator.h"
+
+#include <algorithm>
+
+#include "slb/common/logging.h"
+
+namespace slb {
+
+Result<PartitionSimResult> RunPartitionSimulation(const PartitionSimConfig& config,
+                                                  StreamGenerator* stream) {
+  if (stream == nullptr) {
+    return Status::InvalidArgument("stream must not be null");
+  }
+  if (config.num_sources < 1) {
+    return Status::InvalidArgument("need at least one source");
+  }
+
+  // One sender-local partitioner per source, identical configuration
+  // (and hence identical hash functions — only load estimates differ).
+  std::vector<std::unique_ptr<StreamPartitioner>> senders;
+  senders.reserve(config.num_sources);
+  for (uint32_t si = 0; si < config.num_sources; ++si) {
+    auto sender = CreatePartitioner(config.algorithm, config.partitioner);
+    if (!sender.ok()) return sender.status();
+    senders.push_back(std::move(sender.value()));
+  }
+
+  stream->Reset();
+  const uint64_t m = stream->num_messages();
+  LoadTracker tracker(config.partitioner.num_workers, config.track_memory);
+
+  PartitionSimResult result;
+  const uint32_t samples = std::max<uint32_t>(1, config.num_samples);
+  const uint64_t sample_every = std::max<uint64_t>(1, m / samples);
+
+  for (uint64_t i = 0; i < m; ++i) {
+    const uint64_t key = stream->NextKey();
+    // The input stream reaches the sources via shuffle grouping (Sec. V-A):
+    // round-robin across sources.
+    StreamPartitioner& sender = *senders[i % config.num_sources];
+    const uint32_t worker = sender.Route(key);
+    tracker.Record(worker, key, sender.last_was_head());
+
+    if ((i + 1) % sample_every == 0 || i + 1 == m) {
+      result.imbalance_series.push_back(tracker.Imbalance());
+      result.sample_positions.push_back(i + 1);
+    }
+  }
+
+  result.final_imbalance = tracker.Imbalance();
+  if (!result.imbalance_series.empty()) {
+    double sum = 0.0;
+    double max_v = 0.0;
+    for (double v : result.imbalance_series) {
+      sum += v;
+      max_v = std::max(max_v, v);
+    }
+    result.avg_imbalance = sum / static_cast<double>(result.imbalance_series.size());
+    result.max_imbalance = max_v;
+  }
+  result.worker_loads = tracker.NormalizedLoads();
+  result.worker_head_loads = tracker.NormalizedHeadLoads();
+  result.worker_tail_loads = tracker.NormalizedTailLoads();
+  result.memory_entries = tracker.memory_entries();
+  result.final_head_choices = senders.front()->head_choices();
+  result.head_messages = tracker.head_messages();
+  result.total_messages = tracker.total();
+  return result;
+}
+
+}  // namespace slb

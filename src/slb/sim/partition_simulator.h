@@ -1,0 +1,67 @@
+// The paper's simulation setup (Sec. V-A, "Simulation"): the simplest DAG —
+// a set of sources S receiving the input stream via shuffle grouping, one
+// partitioned intermediate stream, and a set of workers W. Each source runs
+// its own sender-local partitioner (own load vector, own sketch); the
+// simulator measures ground-truth imbalance over time, the head/tail load
+// split, and the distinct (key,worker) memory footprint.
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "slb/common/status.h"
+#include "slb/core/partitioner.h"
+#include "slb/sim/load_tracker.h"
+#include "slb/workload/stream_generator.h"
+
+namespace slb {
+
+struct PartitionSimConfig {
+  AlgorithmKind algorithm = AlgorithmKind::kPkg;
+  PartitionerOptions partitioner;
+
+  /// Number of source operator instances (Table III default s = 5).
+  uint32_t num_sources = 5;
+
+  /// Points at which the imbalance time series I(t) is sampled.
+  uint32_t num_samples = 60;
+
+  /// Enables distinct (key,worker) memory accounting (Figs. 5-6).
+  bool track_memory = false;
+};
+
+struct PartitionSimResult {
+  /// I(m): imbalance at the end of the stream (the paper's headline metric).
+  double final_imbalance = 0.0;
+  /// Mean/max of I(t) over the sampled series.
+  double avg_imbalance = 0.0;
+  double max_imbalance = 0.0;
+
+  /// I(t) sampled num_samples times, plus the message index of each sample.
+  std::vector<double> imbalance_series;
+  std::vector<uint64_t> sample_positions;
+
+  /// Final normalized per-worker loads, split by head/tail (Fig. 8).
+  std::vector<double> worker_loads;
+  std::vector<double> worker_head_loads;
+  std::vector<double> worker_tail_loads;
+
+  /// Distinct (key,worker) pairs (only when track_memory).
+  uint64_t memory_entries = 0;
+
+  /// d reported by source 0 at the end (D-Choices diagnostics).
+  uint32_t final_head_choices = 0;
+
+  uint64_t head_messages = 0;
+  uint64_t total_messages = 0;
+};
+
+/// Runs the full stream through `config.num_sources` independent senders.
+/// The generator is Reset() before use. Returns InvalidArgument for bad
+/// configurations.
+Result<PartitionSimResult> RunPartitionSimulation(const PartitionSimConfig& config,
+                                                  StreamGenerator* stream);
+
+}  // namespace slb

@@ -1,0 +1,92 @@
+#include "slb/sketch/count_min.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "slb/common/logging.h"
+#include "slb/hash/hash.h"
+
+namespace slb {
+
+CountMin::CountMin(size_t width, size_t depth, size_t candidates, uint64_t seed)
+    : width_(width), depth_(depth), max_candidates_(candidates), seed_(seed) {
+  SLB_CHECK(width >= 1 && depth >= 1) << "CountMin needs positive dimensions";
+  SLB_CHECK(candidates >= 1) << "CountMin needs a positive candidate budget";
+  cells_.assign(width_ * depth_, 0);
+  candidates_.reserve(max_candidates_ * 2);
+}
+
+CountMin CountMin::ForError(double epsilon, double delta, size_t candidates,
+                            uint64_t seed) {
+  SLB_CHECK(epsilon > 0 && epsilon < 1) << "epsilon must be in (0,1)";
+  SLB_CHECK(delta > 0 && delta < 1) << "delta must be in (0,1)";
+  const size_t width = static_cast<size_t>(std::ceil(std::exp(1.0) / epsilon));
+  const size_t depth = static_cast<size_t>(std::ceil(std::log(1.0 / delta)));
+  return CountMin(width, std::max<size_t>(depth, 1), candidates, seed);
+}
+
+size_t CountMin::Cell(size_t row, uint64_t key) const {
+  const uint64_t h = SeededHash64(key, seed_ + 0x51ed2701u * (row + 1));
+  return row * width_ + HashToRange(h, static_cast<uint32_t>(width_));
+}
+
+void CountMin::Reset() {
+  total_ = 0;
+  std::fill(cells_.begin(), cells_.end(), 0);
+  candidates_.clear();
+}
+
+uint64_t CountMin::UpdateAndEstimate(uint64_t key) {
+  ++total_;
+  uint64_t est = ~uint64_t{0};
+  for (size_t row = 0; row < depth_; ++row) {
+    uint64_t& cell = cells_[Cell(row, key)];
+    ++cell;
+    est = std::min(est, cell);
+  }
+  candidates_[key] = est;
+  MaybePruneCandidates();
+  return est;
+}
+
+void CountMin::MaybePruneCandidates() {
+  if (candidates_.size() <= max_candidates_ * 2) return;
+  // Keep the max_candidates_ hottest; amortized cheap (runs every
+  // ~max_candidates_ insertions).
+  std::vector<std::pair<uint64_t, uint64_t>> all(candidates_.begin(),
+                                                 candidates_.end());
+  std::nth_element(all.begin(), all.begin() + max_candidates_, all.end(),
+                   [](const auto& a, const auto& b) { return a.second > b.second; });
+  all.resize(max_candidates_);
+  candidates_.clear();
+  candidates_.insert(all.begin(), all.end());
+}
+
+uint64_t CountMin::Estimate(uint64_t key) const {
+  uint64_t est = ~uint64_t{0};
+  for (size_t row = 0; row < depth_; ++row) {
+    est = std::min(est, cells_[Cell(row, key)]);
+  }
+  return est;
+}
+
+std::vector<HeavyKey> CountMin::HeavyHitters(double phi) const {
+  const double threshold = phi * static_cast<double>(total_);
+  std::vector<HeavyKey> out;
+  for (const auto& [key, cached] : candidates_) {
+    const uint64_t est = Estimate(key);
+    if (static_cast<double>(est) >= threshold) {
+      // CMS cannot bound the per-key error exactly; report the generic bound.
+      const uint64_t err_bound = static_cast<uint64_t>(
+          std::ceil(std::exp(1.0) / static_cast<double>(width_) *
+                    static_cast<double>(total_)));
+      out.push_back(HeavyKey{key, est, err_bound});
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const HeavyKey& a, const HeavyKey& b) {
+    return a.count > b.count || (a.count == b.count && a.key < b.key);
+  });
+  return out;
+}
+
+}  // namespace slb

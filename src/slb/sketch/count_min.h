@@ -1,0 +1,58 @@
+// Count-Min sketch (Cormode & Muthukrishnan, 2005) with a candidate set for
+// heavy-hitter reporting.
+//
+// The sketch itself answers point queries with one-sided error:
+//   true <= Estimate(key) <= true + epsilon * N   w.p. >= 1 - delta,
+// for width = ceil(e / epsilon) and depth = ceil(ln(1/delta)).
+// Because a plain CMS cannot enumerate keys, a bounded candidate map of the
+// hottest recently-seen keys is maintained alongside (standard practice) so
+// HeavyHitters() can be served.
+
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "slb/sketch/frequency_estimator.h"
+
+namespace slb {
+
+class CountMin final : public FrequencyEstimator {
+ public:
+  /// `width` cells per row, `depth` rows, `candidates` bound on the tracked
+  /// candidate heavy keys, `seed` for the row hash functions.
+  CountMin(size_t width, size_t depth, size_t candidates, uint64_t seed = 7);
+
+  /// Convenience: sizes the sketch for error `epsilon` w.p. 1-`delta`.
+  static CountMin ForError(double epsilon, double delta, size_t candidates,
+                           uint64_t seed = 7);
+
+  uint64_t UpdateAndEstimate(uint64_t key) override;
+  uint64_t Estimate(uint64_t key) const override;
+  uint64_t total() const override { return total_; }
+  std::vector<HeavyKey> HeavyHitters(double phi) const override;
+  size_t memory_counters() const override {
+    return width_ * depth_ + candidates_.size();
+  }
+  void Reset() override;
+  std::string name() const override { return "countmin"; }
+
+  size_t width() const { return width_; }
+  size_t depth() const { return depth_; }
+
+ private:
+  size_t Cell(size_t row, uint64_t key) const;
+  void MaybePruneCandidates();
+
+  size_t width_;
+  size_t depth_;
+  size_t max_candidates_;
+  uint64_t seed_;
+  uint64_t total_ = 0;
+  std::vector<uint64_t> cells_;  // row-major depth_ x width_
+  // Tracked candidate heavy keys -> last estimated count.
+  std::unordered_map<uint64_t, uint64_t> candidates_;
+};
+
+}  // namespace slb

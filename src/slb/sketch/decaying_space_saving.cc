@@ -1,0 +1,27 @@
+#include "slb/sketch/decaying_space_saving.h"
+
+#include "slb/common/logging.h"
+
+namespace slb {
+
+DecayingSpaceSaving::DecayingSpaceSaving(size_t capacity, uint64_t half_life)
+    : inner_(capacity), half_life_(half_life) {
+  SLB_CHECK(half_life >= 1) << "half life must be positive";
+}
+
+void DecayingSpaceSaving::Reset() {
+  inner_.Reset();
+  since_decay_ = 0;
+  decays_ = 0;
+}
+
+uint64_t DecayingSpaceSaving::UpdateAndEstimate(uint64_t key) {
+  if (++since_decay_ >= half_life_) {
+    inner_.ScaleDown(2);
+    since_decay_ = 0;
+    ++decays_;
+  }
+  return inner_.UpdateAndEstimate(key);
+}
+
+}  // namespace slb

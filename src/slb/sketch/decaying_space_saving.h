@@ -1,0 +1,51 @@
+// Time-decaying SpaceSaving — an extension beyond the paper.
+//
+// The paper's CT experiments (Figs. 11-12) show that concept drift "poses
+// additional challenges to our method, especially for the heavy hitters
+// algorithm that tracks the head": a plain sketch accumulates the WHOLE
+// stream, so a key that was hot yesterday keeps out-counting today's hot
+// key for a long time. This estimator applies periodic exponential decay:
+// every `half_life` updates all counts (and the running total) are halved,
+// making estimates recency-weighted while preserving SpaceSaving's
+// one-sided error relative to the decayed stream.
+//
+// Used via SketchKind::kDecayingSpaceSaving in PartitionerOptions; the
+// sketch-ablation bench quantifies the effect on drifting workloads.
+
+#pragma once
+
+#include <cstdint>
+
+#include "slb/sketch/space_saving.h"
+
+namespace slb {
+
+class DecayingSpaceSaving final : public FrequencyEstimator {
+ public:
+  /// `capacity` monitored counters; counts halve every `half_life` updates.
+  DecayingSpaceSaving(size_t capacity, uint64_t half_life);
+
+  uint64_t UpdateAndEstimate(uint64_t key) override;
+  uint64_t Estimate(uint64_t key) const override { return inner_.Estimate(key); }
+  /// Decayed stream mass (halved together with the counters, so frequency
+  /// ratios Estimate()/total() stay comparable against thresholds).
+  uint64_t total() const override { return inner_.total(); }
+  std::vector<HeavyKey> HeavyHitters(double phi) const override {
+    return inner_.HeavyHitters(phi);
+  }
+  size_t memory_counters() const override { return inner_.memory_counters(); }
+  void Reset() override;
+  std::string name() const override { return "decaying-spacesaving"; }
+
+  uint64_t half_life() const { return half_life_; }
+  uint64_t decays_performed() const { return decays_; }
+  const SpaceSaving& inner() const { return inner_; }
+
+ private:
+  SpaceSaving inner_;
+  uint64_t half_life_;
+  uint64_t since_decay_ = 0;
+  uint64_t decays_ = 0;
+};
+
+}  // namespace slb

@@ -1,0 +1,67 @@
+#include "slb/sketch/distributed_tracker.h"
+
+#include <algorithm>
+
+#include "slb/common/logging.h"
+
+namespace slb {
+
+DistributedHeadTracker::DistributedHeadTracker(uint32_t num_sources,
+                                               size_t capacity,
+                                               uint64_t sync_interval)
+    : capacity_(capacity), sync_interval_(sync_interval), global_(capacity) {
+  SLB_CHECK(num_sources >= 1);
+  SLB_CHECK(capacity >= 1);
+  locals_.reserve(num_sources);
+  for (uint32_t i = 0; i < num_sources; ++i) {
+    locals_.push_back(std::make_unique<SpaceSaving>(capacity));
+  }
+  updates_since_sync_.assign(num_sources, 0);
+}
+
+void DistributedHeadTracker::Update(uint32_t source, uint64_t key) {
+  SLB_CHECK(source < locals_.size());
+  ++total_;
+  locals_[source]->UpdateAndEstimate(key);
+  if (sync_interval_ > 0 && ++updates_since_sync_[source] >= sync_interval_) {
+    ForceSync();
+  }
+}
+
+void DistributedHeadTracker::ForceSync() {
+  // Merge every local delta into the global snapshot, then reset the deltas
+  // (their mass now lives in the snapshot).
+  for (auto& local : locals_) {
+    if (local->total() == 0) continue;
+    global_.Merge(*local);
+    local->Reset();
+  }
+  std::fill(updates_since_sync_.begin(), updates_since_sync_.end(), 0);
+  ++syncs_;
+}
+
+uint64_t DistributedHeadTracker::EstimateGlobal(uint32_t source,
+                                                uint64_t key) const {
+  SLB_CHECK(source < locals_.size());
+  // Snapshot estimate plus the local delta. Deltas at OTHER sources since
+  // the last sync are not visible — the staleness the sync period bounds.
+  return global_.Estimate(key) + locals_[source]->Estimate(key);
+}
+
+bool DistributedHeadTracker::IsGlobalHeavy(uint32_t source, uint64_t key,
+                                           double phi) const {
+  return static_cast<double>(EstimateGlobal(source, key)) >=
+         phi * static_cast<double>(total_);
+}
+
+std::vector<HeavyKey> DistributedHeadTracker::GlobalHeavyHitters(
+    double phi) const {
+  const double threshold = phi * static_cast<double>(total_);
+  std::vector<HeavyKey> out;
+  for (const HeavyKey& hk : global_.Counters()) {
+    if (static_cast<double>(hk.count) >= threshold) out.push_back(hk);
+  }
+  return out;
+}
+
+}  // namespace slb

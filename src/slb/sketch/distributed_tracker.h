@@ -1,0 +1,75 @@
+// Distributed heavy-hitter tracking across sources.
+//
+// Sec. III-A: "we track the head H of the key distribution in a distributed
+// fashion across sources", leveraging the mergeable-summary generalization
+// of SpaceSaving (Berinde et al., TODS'10 [12]). Each source owns a local
+// SpaceSaving instance; a coordinator periodically collects and merges the
+// local summaries into a global view and redistributes it. Between syncs,
+// sources answer head queries from the latest global snapshot plus their
+// local delta, so a key that becomes hot at ONE source is still detected
+// globally after at most one sync period.
+//
+// This module is the communication-free simulation of that protocol: the
+// coordinator is an object, the "network" is a method call, and the sync
+// period is counted in per-source updates. The per-sender partitioners use
+// purely local sketches by default (as the paper's implementation does);
+// DistributedHeadTracker is the building block for deployments where
+// sources see disjoint key subsets.
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "slb/sketch/space_saving.h"
+
+namespace slb {
+
+class DistributedHeadTracker {
+ public:
+  /// `num_sources` participating sources, each with a `capacity`-counter
+  /// local summary; the coordinator merges every `sync_interval` updates
+  /// per source (0 = only on demand via ForceSync()).
+  DistributedHeadTracker(uint32_t num_sources, size_t capacity,
+                         uint64_t sync_interval);
+
+  /// Records one observation at `source`. O(1); may trigger a sync.
+  void Update(uint32_t source, uint64_t key);
+
+  /// Global estimate: merged snapshot plus the source-local delta since the
+  /// last sync (upper bound on the true global count).
+  uint64_t EstimateGlobal(uint32_t source, uint64_t key) const;
+
+  /// True when the key's global estimated frequency clears `phi`.
+  bool IsGlobalHeavy(uint32_t source, uint64_t key, double phi) const;
+
+  /// Heavy hitters of the merged snapshot at threshold `phi` of the global
+  /// stream.
+  std::vector<HeavyKey> GlobalHeavyHitters(double phi) const;
+
+  /// Merges all local summaries into the global snapshot immediately and
+  /// resets the local deltas.
+  void ForceSync();
+
+  /// Total updates observed across all sources (exact).
+  uint64_t total() const { return total_; }
+
+  uint64_t syncs_performed() const { return syncs_; }
+
+  const SpaceSaving& global_snapshot() const { return global_; }
+  const SpaceSaving& local_summary(uint32_t source) const {
+    return *locals_[source];
+  }
+
+ private:
+  size_t capacity_;
+  uint64_t sync_interval_;
+  uint64_t total_ = 0;
+  uint64_t syncs_ = 0;
+  std::vector<std::unique_ptr<SpaceSaving>> locals_;  // deltas since last sync
+  std::vector<uint64_t> updates_since_sync_;
+  SpaceSaving global_;
+};
+
+}  // namespace slb

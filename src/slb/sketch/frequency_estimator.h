@@ -1,0 +1,61 @@
+// Abstract interface for streaming frequency / heavy-hitter estimation.
+//
+// The paper's partitioners (Sec. III-A) need, per sender, an online answer to
+// "is this key's frequency above threshold theta?" plus a snapshot of the
+// estimated head of the distribution. SpaceSaving [11] is the algorithm the
+// paper uses; Misra-Gries, Lossy Counting and Count-Min are provided as
+// drop-in alternates for the sketch-ablation study (bench_ablation_sketch).
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace slb {
+
+/// One reported heavy key: `count` is an upper bound on the true frequency,
+/// `count - error` a lower bound (error == 0 means the count is exact).
+struct HeavyKey {
+  uint64_t key = 0;
+  uint64_t count = 0;
+  uint64_t error = 0;
+
+  bool operator==(const HeavyKey&) const = default;
+};
+
+/// Streaming frequency estimator over a keyed stream.
+///
+/// Implementations guarantee that Estimate() never underestimates the true
+/// count by more than their documented bound, and that HeavyHitters(phi)
+/// returns a superset of all keys with true frequency >= phi * total().
+class FrequencyEstimator {
+ public:
+  virtual ~FrequencyEstimator() = default;
+
+  /// Observes one occurrence of `key` and returns the new estimated count
+  /// (an upper bound on the true count). Hot path: O(1) for all provided
+  /// implementations.
+  virtual uint64_t UpdateAndEstimate(uint64_t key) = 0;
+
+  /// Upper bound on the number of occurrences of `key` seen so far.
+  virtual uint64_t Estimate(uint64_t key) const = 0;
+
+  /// Total number of updates observed.
+  virtual uint64_t total() const = 0;
+
+  /// All keys whose estimated frequency is >= phi * total(), sorted by
+  /// descending count. Guaranteed to contain every key with true frequency
+  /// >= phi * total() (one-sided error).
+  virtual std::vector<HeavyKey> HeavyHitters(double phi) const = 0;
+
+  /// Number of counters/cells the structure currently holds (memory proxy).
+  virtual size_t memory_counters() const = 0;
+
+  /// Resets to the empty state.
+  virtual void Reset() = 0;
+
+  virtual std::string name() const = 0;
+};
+
+}  // namespace slb

@@ -1,0 +1,73 @@
+#include "slb/sketch/lossy_counting.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "slb/common/logging.h"
+
+namespace slb {
+
+LossyCounting::LossyCounting(double epsilon) : epsilon_(epsilon) {
+  SLB_CHECK(epsilon > 0.0 && epsilon < 1.0) << "epsilon must be in (0,1)";
+  width_ = static_cast<uint64_t>(std::ceil(1.0 / epsilon));
+}
+
+void LossyCounting::Reset() {
+  total_ = 0;
+  current_window_ = 1;
+  entries_.clear();
+}
+
+void LossyCounting::PruneWindow() {
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (it->second.count + it->second.delta <= current_window_) {
+      it = entries_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+uint64_t LossyCounting::UpdateAndEstimate(uint64_t key) {
+  ++total_;
+  auto it = entries_.find(key);
+  uint64_t upper;
+  if (it != entries_.end()) {
+    ++it->second.count;
+    upper = it->second.count + it->second.delta;
+  } else {
+    entries_.emplace(key, Entry{1, current_window_ - 1});
+    upper = 1 + (current_window_ - 1);
+  }
+  if (total_ % width_ == 0) {
+    PruneWindow();
+    ++current_window_;
+  }
+  return upper;
+}
+
+uint64_t LossyCounting::Estimate(uint64_t key) const {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    // An untracked key may have occurred up to once per elapsed window.
+    return current_window_ - 1;
+  }
+  return it->second.count + it->second.delta;
+}
+
+std::vector<HeavyKey> LossyCounting::HeavyHitters(double phi) const {
+  const double threshold = phi * static_cast<double>(total_);
+  std::vector<HeavyKey> out;
+  for (const auto& [key, entry] : entries_) {
+    const uint64_t upper = entry.count + entry.delta;
+    if (static_cast<double>(upper) >= threshold) {
+      out.push_back(HeavyKey{key, upper, entry.delta});
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const HeavyKey& a, const HeavyKey& b) {
+    return a.count > b.count || (a.count == b.count && a.key < b.key);
+  });
+  return out;
+}
+
+}  // namespace slb

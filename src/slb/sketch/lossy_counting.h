@@ -1,0 +1,50 @@
+// Lossy Counting (Manku & Motwani, VLDB'02).
+//
+// Divides the stream into windows of width ceil(1/epsilon). Each tracked key
+// stores (count, delta) where delta bounds the occurrences it may have had
+// before tracking started. At every window boundary, entries with
+// count + delta <= current window id are pruned. Guarantees:
+//   count <= true <= count + delta <= count + epsilon * N.
+
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "slb/sketch/frequency_estimator.h"
+
+namespace slb {
+
+class LossyCounting final : public FrequencyEstimator {
+ public:
+  /// `epsilon` is the frequency error bound (e.g. 1/(10n) for head tracking
+  /// at threshold 1/(5n)).
+  explicit LossyCounting(double epsilon);
+
+  uint64_t UpdateAndEstimate(uint64_t key) override;
+  uint64_t Estimate(uint64_t key) const override;
+  uint64_t total() const override { return total_; }
+  std::vector<HeavyKey> HeavyHitters(double phi) const override;
+  size_t memory_counters() const override { return entries_.size(); }
+  void Reset() override;
+  std::string name() const override { return "lossycounting"; }
+
+  double epsilon() const { return epsilon_; }
+  uint64_t window_width() const { return width_; }
+
+ private:
+  struct Entry {
+    uint64_t count;
+    uint64_t delta;
+  };
+
+  void PruneWindow();
+
+  double epsilon_;
+  uint64_t width_;
+  uint64_t total_ = 0;
+  uint64_t current_window_ = 1;
+  std::unordered_map<uint64_t, Entry> entries_;
+};
+
+}  // namespace slb

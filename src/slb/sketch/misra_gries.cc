@@ -1,0 +1,64 @@
+#include "slb/sketch/misra_gries.h"
+
+#include <algorithm>
+
+#include "slb/common/logging.h"
+
+namespace slb {
+
+MisraGries::MisraGries(size_t capacity) : capacity_(capacity) {
+  SLB_CHECK(capacity >= 1) << "MisraGries capacity must be positive";
+  counts_.reserve(capacity * 2);
+}
+
+void MisraGries::Reset() {
+  total_ = 0;
+  decrements_ = 0;
+  counts_.clear();
+}
+
+uint64_t MisraGries::UpdateAndEstimate(uint64_t key) {
+  ++total_;
+  auto it = counts_.find(key);
+  if (it != counts_.end()) {
+    return ++it->second + decrements_;
+  }
+  if (counts_.size() < capacity_) {
+    counts_.emplace(key, 1);
+    return 1 + decrements_;
+  }
+  // Full: decrement every counter by one; the incoming key's single
+  // occurrence cancels against the round as well (it is not inserted).
+  ++decrements_;
+  for (auto iter = counts_.begin(); iter != counts_.end();) {
+    if (--iter->second == 0) {
+      iter = counts_.erase(iter);
+    } else {
+      ++iter;
+    }
+  }
+  return decrements_;  // key is unmonitored; upper bound is decrements_.
+}
+
+uint64_t MisraGries::Estimate(uint64_t key) const {
+  auto it = counts_.find(key);
+  const uint64_t stored = it == counts_.end() ? 0 : it->second;
+  return stored + decrements_;
+}
+
+std::vector<HeavyKey> MisraGries::HeavyHitters(double phi) const {
+  const double threshold = phi * static_cast<double>(total_);
+  std::vector<HeavyKey> out;
+  for (const auto& [key, count] : counts_) {
+    const uint64_t upper = count + decrements_;
+    if (static_cast<double>(upper) >= threshold) {
+      out.push_back(HeavyKey{key, upper, decrements_});
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const HeavyKey& a, const HeavyKey& b) {
+    return a.count > b.count || (a.count == b.count && a.key < b.key);
+  });
+  return out;
+}
+
+}  // namespace slb

@@ -1,0 +1,46 @@
+// Misra-Gries frequent-items summary (Misra & Gries, 1982).
+//
+// Keeps at most `capacity` counters. When a new key arrives into a full
+// summary, all counters are decremented (zeroed ones are dropped) — the
+// classic "cancel one of each" step. The global number of decrement rounds
+// `decrements()` bounds the underestimation: for every key,
+//   count <= true <= count + decrements().
+// Amortized O(1) per update: each full-decrement round of cost O(capacity)
+// cancels `capacity` prior increments.
+//
+// Provided as a drop-in alternative to SpaceSaving for the sketch ablation.
+
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "slb/sketch/frequency_estimator.h"
+
+namespace slb {
+
+class MisraGries final : public FrequencyEstimator {
+ public:
+  explicit MisraGries(size_t capacity);
+
+  uint64_t UpdateAndEstimate(uint64_t key) override;
+  uint64_t Estimate(uint64_t key) const override;
+  uint64_t total() const override { return total_; }
+  std::vector<HeavyKey> HeavyHitters(double phi) const override;
+  size_t memory_counters() const override { return counts_.size(); }
+  void Reset() override;
+  std::string name() const override { return "misragries"; }
+
+  size_t capacity() const { return capacity_; }
+
+  /// Number of global decrement rounds so far (== max underestimation).
+  uint64_t decrements() const { return decrements_; }
+
+ private:
+  size_t capacity_;
+  uint64_t total_ = 0;
+  uint64_t decrements_ = 0;
+  std::unordered_map<uint64_t, uint64_t> counts_;
+};
+
+}  // namespace slb

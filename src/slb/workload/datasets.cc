@@ -1,0 +1,102 @@
+#include "slb/workload/datasets.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "slb/common/logging.h"
+
+namespace slb {
+
+namespace {
+
+uint64_t Scaled(uint64_t value, double scale, uint64_t floor_value) {
+  const auto scaled = static_cast<uint64_t>(static_cast<double>(value) * scale);
+  return std::max(scaled, floor_value);
+}
+
+DatasetSpec CalibratedSpec(std::string name, uint64_t messages, uint64_t keys,
+                           double p1, uint64_t epochs, double drift,
+                           double scale) {
+  DatasetSpec spec;
+  spec.name = std::move(name);
+  spec.num_messages = Scaled(messages, scale, 10000);
+  spec.num_keys = Scaled(keys, scale, 100);
+  spec.target_p1 = p1;
+  spec.zipf_exponent = CalibrateZipfExponent(spec.num_keys, p1);
+  spec.num_epochs = epochs;
+  spec.drift_swap_fraction = drift;
+  return spec;
+}
+
+}  // namespace
+
+DatasetSpec MakeWikipediaSpec(double scale) {
+  // Table I: 22M messages, 2.9M keys, p1 = 9.32%. Fig. 12 reports WP over
+  // ~40 hours. No drift: the page-popularity mix within one day is stable.
+  return CalibratedSpec("WP", 22000000, 2900000, 0.0932, 40, 0.0, scale);
+}
+
+DatasetSpec MakeTwitterSpec(double scale) {
+  // Table I: 1.2G messages, 31M keys, p1 = 2.67%; ~30 hours in Fig. 12.
+  return CalibratedSpec("TW", 1200000000, 31000000, 0.0267, 30, 0.0, scale);
+}
+
+DatasetSpec MakeCashtagsSpec(double scale) {
+  // Table I: 690k messages, 2.9k keys, p1 = 3.29%; ~80 hours in Fig. 12.
+  // "characterized by high concept drift ... the distribution of keys
+  // changes drastically throughout time". A cashtag stays hot for a stretch
+  // of hours before another takes over, so the *instantaneous* skew is much
+  // higher than the whole-stream p1 of Table I. We calibrate the per-epoch
+  // distribution to 4x the whole-stream p1 and reshuffle 5% of identities
+  // per hour; the resulting whole-stream maximum key frequency lands close
+  // to the 3.29% Table I reports (validated in bench_table1_datasets).
+  DatasetSpec spec = CalibratedSpec("CT", 690000, 2900, 4 * 0.0329, 80, 0.05, scale);
+  spec.target_p1 = 0.0329;  // what Table I reports for the whole stream
+  return spec;
+}
+
+DatasetSpec MakeZipfSpec(double z, uint64_t num_keys, uint64_t num_messages,
+                         uint64_t seed) {
+  DatasetSpec spec;
+  spec.name = "ZF";
+  spec.num_messages = num_messages;
+  spec.num_keys = num_keys;
+  spec.zipf_exponent = z;
+  spec.target_p1 = ZipfTopProbability(z, num_keys);
+  spec.seed = seed;
+  return spec;
+}
+
+std::unique_ptr<SyntheticStreamGenerator> MakeGenerator(const DatasetSpec& spec) {
+  SyntheticStreamGenerator::Options options;
+  options.name = spec.name;
+  options.zipf_exponent = spec.zipf_exponent;
+  options.num_keys = spec.num_keys;
+  options.num_messages = spec.num_messages;
+  options.seed = spec.seed;
+  options.num_epochs = std::max<uint64_t>(1, spec.num_epochs);
+  options.drift_swap_fraction = spec.drift_swap_fraction;
+  return std::make_unique<SyntheticStreamGenerator>(options);
+}
+
+DatasetStats MeasureDataset(StreamGenerator* gen) {
+  SLB_CHECK(gen != nullptr);
+  gen->Reset();
+  std::unordered_map<uint64_t, uint64_t> counts;
+  counts.reserve(gen->num_keys() * 2);
+  const uint64_t m = gen->num_messages();
+  uint64_t max_count = 0;
+  for (uint64_t i = 0; i < m; ++i) {
+    const uint64_t c = ++counts[gen->NextKey()];
+    max_count = std::max(max_count, c);
+  }
+  DatasetStats stats;
+  stats.messages = m;
+  stats.distinct_keys = counts.size();
+  stats.measured_p1 =
+      m == 0 ? 0.0 : static_cast<double>(max_count) / static_cast<double>(m);
+  gen->Reset();
+  return stats;
+}
+
+}  // namespace slb

@@ -1,0 +1,34 @@
+#include "slb/workload/key_mapper.h"
+
+#include <algorithm>
+
+#include "slb/common/logging.h"
+
+namespace slb {
+
+DriftingKeyMapper::DriftingKeyMapper(uint64_t num_keys, double swap_fraction,
+                                     uint64_t seed)
+    : swap_fraction_(swap_fraction) {
+  SLB_CHECK(num_keys >= 1) << "mapper needs at least one key";
+  SLB_CHECK(swap_fraction >= 0.0 && swap_fraction <= 1.0)
+      << "swap fraction must be in [0,1]";
+  perm_.resize(num_keys);
+  std::iota(perm_.begin(), perm_.end(), 0);
+  // Start from a random permutation so rank != key from the outset.
+  Rng rng(seed);
+  for (uint64_t i = num_keys; i > 1; --i) {
+    std::swap(perm_[i - 1], perm_[rng.NextBounded(i)]);
+  }
+}
+
+void DriftingKeyMapper::AdvanceEpoch(Rng* rng) {
+  const uint64_t n = perm_.size();
+  const auto swaps = static_cast<uint64_t>(swap_fraction_ * static_cast<double>(n));
+  for (uint64_t s = 0; s < swaps; ++s) {
+    const uint64_t a = rng->NextBounded(n);
+    const uint64_t b = rng->NextBounded(n);
+    std::swap(perm_[a], perm_[b]);
+  }
+}
+
+}  // namespace slb

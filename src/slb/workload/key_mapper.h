@@ -1,0 +1,47 @@
+// Rank -> key-identity mapping, including concept drift.
+//
+// Distributions sample *ranks* (0 = hottest). A KeyMapper turns ranks into
+// stable key identities. The drifting mapper models the paper's CT (Twitter
+// cashtags) workload, whose key distribution "changes drastically throughout
+// time": at every epoch boundary a fraction of the rank->key permutation is
+// re-drawn, so the identity of the hot keys migrates while the *shape* of
+// the distribution stays fixed.
+
+#pragma once
+
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "slb/common/rng.h"
+
+namespace slb {
+
+/// Identity mapping: key == rank. The plain ZF/WP/TW model.
+class IdentityKeyMapper {
+ public:
+  uint64_t Map(uint64_t rank) const { return rank; }
+  void AdvanceEpoch(Rng*) {}
+};
+
+/// Permutation mapping with per-epoch partial reshuffle.
+class DriftingKeyMapper {
+ public:
+  /// `swap_fraction` of keys take part in random transpositions at every
+  /// epoch boundary (1.0 re-draws an entirely new permutation-ish mapping;
+  /// 0.0 is static).
+  DriftingKeyMapper(uint64_t num_keys, double swap_fraction, uint64_t seed = 17);
+
+  uint64_t Map(uint64_t rank) const { return perm_[rank]; }
+
+  /// Applies the per-epoch reshuffle.
+  void AdvanceEpoch(Rng* rng);
+
+  double swap_fraction() const { return swap_fraction_; }
+
+ private:
+  std::vector<uint64_t> perm_;
+  double swap_fraction_;
+};
+
+}  // namespace slb

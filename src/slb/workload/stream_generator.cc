@@ -1,0 +1,59 @@
+#include "slb/workload/stream_generator.h"
+
+#include <algorithm>
+
+#include "slb/common/logging.h"
+
+namespace slb {
+
+SyntheticStreamGenerator::SyntheticStreamGenerator(const Options& options)
+    : options_(options),
+      zipf_(options.zipf_exponent, options.num_keys),
+      mapper_(options.num_keys,
+              options.drift_swap_fraction > 0.0 ? options.drift_swap_fraction : 0.0,
+              options.seed ^ 0x5eedULL),
+      drifting_(options.drift_swap_fraction > 0.0),
+      rng_(options.seed) {
+  SLB_CHECK(options_.num_epochs >= 1) << "need at least one epoch";
+  SLB_CHECK(options_.num_messages >= 1) << "need at least one message";
+  epoch_length_ =
+      std::max<uint64_t>(1, options_.num_messages / options_.num_epochs);
+}
+
+uint64_t SyntheticStreamGenerator::NextKey() {
+  const uint64_t new_epoch = std::min(position_ / epoch_length_,
+                                      options_.num_epochs - 1);
+  if (new_epoch != epoch_) {
+    // Advance the mapper once per crossed boundary (sequential consumption
+    // crosses one boundary at a time).
+    while (epoch_ < new_epoch) {
+      if (drifting_) mapper_.AdvanceEpoch(&rng_);
+      ++epoch_;
+    }
+  }
+  ++position_;
+  const uint64_t rank = zipf_.Sample(&rng_);
+  return drifting_ ? mapper_.Map(rank) : rank;
+}
+
+void SyntheticStreamGenerator::Reset() {
+  position_ = 0;
+  epoch_ = 0;
+  rng_.Seed(options_.seed);
+  if (drifting_) {
+    mapper_ = DriftingKeyMapper(options_.num_keys, options_.drift_swap_fraction,
+                                options_.seed ^ 0x5eedULL);
+  }
+}
+
+VectorStreamGenerator::VectorStreamGenerator(std::string name,
+                                             std::vector<uint64_t> keys,
+                                             uint64_t num_keys)
+    : name_(std::move(name)), keys_(std::move(keys)), num_keys_(num_keys) {}
+
+uint64_t VectorStreamGenerator::NextKey() {
+  SLB_CHECK(position_ < keys_.size()) << "stream exhausted; call Reset()";
+  return keys_[position_++];
+}
+
+}  // namespace slb

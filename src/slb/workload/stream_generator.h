@@ -1,0 +1,98 @@
+// Keyed message stream generation.
+//
+// A StreamGenerator yields the key sequence of one experiment run. The
+// synthetic generator combines a Zipf rank distribution with a key mapper
+// (identity or drifting) and a deterministic seed, so every run is exactly
+// reproducible. A trace-backed generator replays recorded streams.
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "slb/common/rng.h"
+#include "slb/workload/key_mapper.h"
+#include "slb/workload/zipf.h"
+
+namespace slb {
+
+/// Pull-based key stream of a fixed configured length.
+class StreamGenerator {
+ public:
+  virtual ~StreamGenerator() = default;
+
+  /// Next key. Callers must not pull more than num_messages() keys per pass;
+  /// use Reset() to start a new identical (same-seed) pass.
+  virtual uint64_t NextKey() = 0;
+
+  /// Restarts the stream from the beginning (same sequence).
+  virtual void Reset() = 0;
+
+  virtual uint64_t num_messages() const = 0;
+  virtual uint64_t num_keys() const = 0;
+  virtual std::string name() const = 0;
+};
+
+/// Synthetic Zipf stream with optional concept drift.
+class SyntheticStreamGenerator final : public StreamGenerator {
+ public:
+  struct Options {
+    std::string name = "ZF";
+    double zipf_exponent = 1.0;
+    uint64_t num_keys = 10000;
+    uint64_t num_messages = 1000000;
+    uint64_t seed = 42;
+    /// Number of epochs ("hours") the stream is divided into; the mapper
+    /// advances at each boundary. Must be >= 1.
+    uint64_t num_epochs = 1;
+    /// Fraction of keys reshuffled per epoch (0 = static identities).
+    double drift_swap_fraction = 0.0;
+  };
+
+  explicit SyntheticStreamGenerator(const Options& options);
+
+  uint64_t NextKey() override;
+  void Reset() override;
+  uint64_t num_messages() const override { return options_.num_messages; }
+  uint64_t num_keys() const override { return options_.num_keys; }
+  std::string name() const override { return options_.name; }
+
+  /// Current epoch index (advances as the stream is consumed).
+  uint64_t current_epoch() const { return epoch_; }
+
+  const ZipfDistribution& distribution() const { return zipf_; }
+  const Options& options() const { return options_; }
+
+ private:
+  Options options_;
+  ZipfDistribution zipf_;
+  DriftingKeyMapper mapper_;
+  bool drifting_;
+  Rng rng_;
+  uint64_t position_ = 0;
+  uint64_t epoch_ = 0;
+  uint64_t epoch_length_;
+};
+
+/// Replays an in-memory key vector (e.g. loaded from a trace file).
+class VectorStreamGenerator final : public StreamGenerator {
+ public:
+  VectorStreamGenerator(std::string name, std::vector<uint64_t> keys,
+                        uint64_t num_keys);
+
+  uint64_t NextKey() override;
+  void Reset() override { position_ = 0; }
+  uint64_t num_messages() const override { return keys_.size(); }
+  uint64_t num_keys() const override { return num_keys_; }
+  std::string name() const override { return name_; }
+
+ private:
+  std::string name_;
+  std::vector<uint64_t> keys_;
+  uint64_t num_keys_;
+  size_t position_ = 0;
+};
+
+}  // namespace slb

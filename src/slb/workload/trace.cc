@@ -1,0 +1,122 @@
+#include "slb/workload/trace.h"
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+
+#include "slb/common/logging.h"
+#include "slb/common/string_util.h"
+
+namespace slb {
+
+namespace {
+
+constexpr char kMagic[4] = {'S', 'L', 'B', 'T'};
+constexpr uint32_t kVersion = 1;
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+}  // namespace
+
+Status WriteTrace(const std::string& path, const Trace& trace) {
+  FilePtr file(std::fopen(path.c_str(), "wb"));
+  if (!file) return Status::IOError("cannot open for write: " + path);
+
+  const uint64_t count = trace.keys.size();
+  if (std::fwrite(kMagic, 1, 4, file.get()) != 4 ||
+      std::fwrite(&kVersion, sizeof(kVersion), 1, file.get()) != 1 ||
+      std::fwrite(&trace.num_keys, sizeof(trace.num_keys), 1, file.get()) != 1 ||
+      std::fwrite(&count, sizeof(count), 1, file.get()) != 1) {
+    return Status::IOError("short write of header: " + path);
+  }
+  if (count > 0 &&
+      std::fwrite(trace.keys.data(), sizeof(uint64_t), count, file.get()) != count) {
+    return Status::IOError("short write of keys: " + path);
+  }
+  return Status::OK();
+}
+
+Result<Trace> ReadTrace(const std::string& path) {
+  FilePtr file(std::fopen(path.c_str(), "rb"));
+  if (!file) return Status::IOError("cannot open for read: " + path);
+
+  char magic[4];
+  uint32_t version = 0;
+  Trace trace;
+  uint64_t count = 0;
+  if (std::fread(magic, 1, 4, file.get()) != 4 ||
+      std::fread(&version, sizeof(version), 1, file.get()) != 1 ||
+      std::fread(&trace.num_keys, sizeof(trace.num_keys), 1, file.get()) != 1 ||
+      std::fread(&count, sizeof(count), 1, file.get()) != 1) {
+    return Status::Corruption("truncated trace header: " + path);
+  }
+  if (std::memcmp(magic, kMagic, 4) != 0) {
+    return Status::Corruption("bad magic in trace: " + path);
+  }
+  if (version != kVersion) {
+    return Status::Corruption("unsupported trace version " + std::to_string(version));
+  }
+  trace.keys.resize(count);
+  if (count > 0 &&
+      std::fread(trace.keys.data(), sizeof(uint64_t), count, file.get()) != count) {
+    return Status::Corruption("truncated trace body: " + path);
+  }
+  return trace;
+}
+
+Status WriteTextTrace(const std::string& path, const Trace& trace) {
+  FilePtr file(std::fopen(path.c_str(), "w"));
+  if (!file) return Status::IOError("cannot open for write: " + path);
+  std::fprintf(file.get(), "# slb text trace; num_keys=%llu\n",
+               static_cast<unsigned long long>(trace.num_keys));
+  for (uint64_t key : trace.keys) {
+    std::fprintf(file.get(), "%llu\n", static_cast<unsigned long long>(key));
+  }
+  return Status::OK();
+}
+
+Result<Trace> ReadTextTrace(const std::string& path) {
+  FilePtr file(std::fopen(path.c_str(), "r"));
+  if (!file) return Status::IOError("cannot open for read: " + path);
+  Trace trace;
+  char line[256];
+  uint64_t max_key = 0;
+  while (std::fgets(line, sizeof(line), file.get()) != nullptr) {
+    std::string_view text = TrimWhitespace(line);
+    if (text.empty() || text[0] == '#') continue;
+    int64_t key = 0;
+    if (!ParseInt64(std::string(text), &key) || key < 0) {
+      return Status::Corruption("bad key line in " + path + ": " +
+                                std::string(text));
+    }
+    trace.keys.push_back(static_cast<uint64_t>(key));
+    max_key = std::max(max_key, static_cast<uint64_t>(key));
+  }
+  trace.num_keys = trace.keys.empty() ? 0 : max_key + 1;
+  return trace;
+}
+
+Trace RecordTrace(StreamGenerator* gen) {
+  SLB_CHECK(gen != nullptr);
+  gen->Reset();
+  Trace trace;
+  trace.num_keys = gen->num_keys();
+  const uint64_t m = gen->num_messages();
+  trace.keys.reserve(m);
+  for (uint64_t i = 0; i < m; ++i) trace.keys.push_back(gen->NextKey());
+  gen->Reset();
+  return trace;
+}
+
+std::unique_ptr<VectorStreamGenerator> MakeTraceGenerator(std::string name,
+                                                          Trace trace) {
+  return std::make_unique<VectorStreamGenerator>(
+      std::move(name), std::move(trace.keys), trace.num_keys);
+}
+
+}  // namespace slb

@@ -1,0 +1,45 @@
+// Trace recording and replay.
+//
+// Binary format (little-endian):
+//   magic "SLBT" | u32 version | u64 num_keys | u64 num_messages | keys...
+// Each key is a fixed u64. A text format (one decimal key per line, '#'
+// comments) is also supported for hand-written fixtures.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "slb/common/status.h"
+#include "slb/workload/stream_generator.h"
+
+namespace slb {
+
+struct Trace {
+  uint64_t num_keys = 0;  // declared key-space cardinality
+  std::vector<uint64_t> keys;
+};
+
+/// Writes a trace in the binary format.
+Status WriteTrace(const std::string& path, const Trace& trace);
+
+/// Reads a binary trace; validates magic/version and length.
+Result<Trace> ReadTrace(const std::string& path);
+
+/// Reads a text trace: one key per line, blank lines and '#' comments
+/// ignored. num_keys is inferred as max(key)+1.
+Result<Trace> ReadTextTrace(const std::string& path);
+
+/// Writes a text trace.
+Status WriteTextTrace(const std::string& path, const Trace& trace);
+
+/// Materializes a generator's full stream into a trace (for record/replay
+/// experiments and cross-implementation validation).
+Trace RecordTrace(StreamGenerator* gen);
+
+/// Wraps a trace in a StreamGenerator for replay.
+std::unique_ptr<VectorStreamGenerator> MakeTraceGenerator(std::string name,
+                                                          Trace trace);
+
+}  // namespace slb

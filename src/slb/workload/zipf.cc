@@ -1,0 +1,204 @@
+#include "slb/workload/zipf.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "slb/common/logging.h"
+
+namespace slb {
+
+double GeneralizedHarmonic(double z, uint64_t k) {
+  // Exact summation up to a cutoff; Euler-Maclaurin for the smooth tail.
+  // The tail approximation's error is O(z(z+1)(z+2) a^{-z-3}) ~ 1e-15 at
+  // a = 1e5, far below the bisection tolerance used by calibration.
+  constexpr uint64_t kExactCutoff = 100000;
+  const uint64_t exact_upto = std::min(k, kExactCutoff);
+  // Sum smallest-to-largest terms for better floating-point accuracy.
+  double sum = 0.0;
+  for (uint64_t i = exact_upto; i >= 1; --i) {
+    sum += std::pow(static_cast<double>(i), -z);
+  }
+  if (k <= kExactCutoff) return sum;
+
+  // sum_{i=a}^{k} i^-z ~= I(a,k) + (f(a)+f(k))/2 + (f'(k)-f'(a))/12, with
+  // f(x) = x^-z, starting the tail at a = cutoff + 1.
+  const double a = static_cast<double>(kExactCutoff + 1);
+  const double b = static_cast<double>(k);
+  double integral;
+  if (std::fabs(z - 1.0) < 1e-12) {
+    integral = std::log(b / a);
+  } else {
+    integral = (std::pow(b, 1.0 - z) - std::pow(a, 1.0 - z)) / (1.0 - z);
+  }
+  const double fa = std::pow(a, -z);
+  const double fb = std::pow(b, -z);
+  const double dfa = -z * std::pow(a, -z - 1.0);
+  const double dfb = -z * std::pow(b, -z - 1.0);
+  return sum + integral + 0.5 * (fa + fb) + (dfb - dfa) / 12.0;
+}
+
+double ZipfTopProbability(double z, uint64_t num_keys) {
+  return 1.0 / GeneralizedHarmonic(z, num_keys);
+}
+
+double CalibrateZipfExponent(uint64_t num_keys, double p1) {
+  SLB_CHECK(num_keys >= 2) << "need at least two keys to calibrate";
+  SLB_CHECK(p1 > 0.0 && p1 < 1.0) << "target p1 must be in (0,1)";
+  // p1(z) = 1/H(z,K) is strictly increasing in z; bisect.
+  double lo = 0.0;
+  double hi = 64.0;
+  SLB_CHECK(ZipfTopProbability(lo, num_keys) <= p1)
+      << "target p1 below uniform 1/K; unreachable";
+  for (int iter = 0; iter < 200; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    if (ZipfTopProbability(mid, num_keys) < p1) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+    if (hi - lo < 1e-12) break;
+  }
+  return 0.5 * (lo + hi);
+}
+
+namespace {
+
+// (e^x - 1) / x, stable near zero.
+double Helper2(double x) {
+  if (std::fabs(x) > 1e-8) return std::expm1(x) / x;
+  return 1.0 + x * 0.5 * (1.0 + x / 3.0 * (1.0 + x * 0.25));
+}
+
+// log(1+x) / x, stable near zero.
+double Helper1(double x) {
+  if (std::fabs(x) > 1e-8) return std::log1p(x) / x;
+  return 1.0 - x * (0.5 - x * (1.0 / 3.0 - x * 0.25));
+}
+
+}  // namespace
+
+ZipfDistribution::ZipfDistribution(double z, uint64_t num_keys, Method method)
+    : z_(z), num_keys_(num_keys) {
+  SLB_CHECK(num_keys_ >= 1) << "Zipf needs at least one key";
+  SLB_CHECK(z_ >= 0.0) << "Zipf exponent must be non-negative";
+  harmonic_ = GeneralizedHarmonic(z_, num_keys_);
+
+  const bool use_alias = method == Method::kAliasTable ||
+                         (method == Method::kAuto && num_keys_ <= kAliasLimit);
+  if (use_alias) {
+    BuildAliasTable();
+  } else {
+    // Rejection-inversion precomputation (ranks are 1-based internally).
+    ri_h_integral_x1_ = HIntegral(1.5) - 1.0;
+    ri_h_integral_n_ = HIntegral(static_cast<double>(num_keys_) + 0.5);
+    ri_s_ = 2.0 - HIntegralInverse(HIntegral(2.5) - H(2.0));
+  }
+}
+
+double ZipfDistribution::Probability(uint64_t rank) const {
+  if (rank >= num_keys_) return 0.0;
+  return std::pow(static_cast<double>(rank + 1), -z_) / harmonic_;
+}
+
+std::vector<double> ZipfDistribution::TopProbabilities(uint64_t count) const {
+  count = std::min(count, num_keys_);
+  std::vector<double> out(count);
+  for (uint64_t r = 0; r < count; ++r) out[r] = Probability(r);
+  return out;
+}
+
+uint64_t ZipfDistribution::CountAboveThreshold(double threshold) const {
+  if (threshold <= 0.0) return num_keys_;
+  if (Probability(0) < threshold) return 0;
+  // pmf decreases in rank: binary search the last rank still >= threshold.
+  uint64_t lo = 0;             // P(lo) >= threshold
+  uint64_t hi = num_keys_;     // P(hi) < threshold (one past the end)
+  while (hi - lo > 1) {
+    const uint64_t mid = lo + (hi - lo) / 2;
+    if (Probability(mid) >= threshold) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo + 1;
+}
+
+void ZipfDistribution::BuildAliasTable() {
+  // Walker/Vose alias method over the pmf.
+  const size_t n = static_cast<size_t>(num_keys_);
+  alias_prob_.assign(n, 0.0);
+  alias_idx_.assign(n, 0);
+
+  std::vector<double> scaled(n);
+  for (size_t i = 0; i < n; ++i) {
+    scaled[i] = Probability(i) * static_cast<double>(n);
+  }
+  std::vector<uint32_t> small;
+  std::vector<uint32_t> large;
+  small.reserve(n);
+  large.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    (scaled[i] < 1.0 ? small : large).push_back(static_cast<uint32_t>(i));
+  }
+  while (!small.empty() && !large.empty()) {
+    const uint32_t s = small.back();
+    small.pop_back();
+    const uint32_t l = large.back();
+    alias_prob_[s] = scaled[s];
+    alias_idx_[s] = l;
+    scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+    if (scaled[l] < 1.0) {
+      large.pop_back();
+      small.push_back(l);
+    }
+  }
+  // Leftovers are 1.0 up to rounding.
+  for (uint32_t i : large) {
+    alias_prob_[i] = 1.0;
+    alias_idx_[i] = i;
+  }
+  for (uint32_t i : small) {
+    alias_prob_[i] = 1.0;
+    alias_idx_[i] = i;
+  }
+}
+
+uint64_t ZipfDistribution::Sample(Rng* rng) const {
+  if (!alias_prob_.empty()) {
+    const uint64_t slot = rng->NextBounded(num_keys_);
+    return rng->NextDouble() < alias_prob_[slot] ? slot : alias_idx_[slot];
+  }
+  return SampleRejectionInversion(rng);
+}
+
+double ZipfDistribution::H(double x) const { return std::exp(-z_ * std::log(x)); }
+
+double ZipfDistribution::HIntegral(double x) const {
+  const double log_x = std::log(x);
+  return Helper2((1.0 - z_) * log_x) * log_x;
+}
+
+double ZipfDistribution::HIntegralInverse(double x) const {
+  double t = x * (1.0 - z_);
+  if (t < -1.0) t = -1.0;  // guard rounding at the left boundary
+  return std::exp(Helper1(t) * x);
+}
+
+uint64_t ZipfDistribution::SampleRejectionInversion(Rng* rng) const {
+  // Hörmann & Derflinger rejection-inversion; expected < 2 iterations for
+  // any (z, |K|).
+  while (true) {
+    const double u = ri_h_integral_n_ +
+                     rng->NextDouble() * (ri_h_integral_x1_ - ri_h_integral_n_);
+    const double x = HIntegralInverse(u);
+    double k = std::floor(x + 0.5);
+    if (k < 1.0) k = 1.0;
+    if (k > static_cast<double>(num_keys_)) k = static_cast<double>(num_keys_);
+    if (k - x <= ri_s_ || u >= HIntegral(k + 0.5) - H(k)) {
+      return static_cast<uint64_t>(k) - 1;  // convert to 0-based rank
+    }
+  }
+}
+
+}  // namespace slb

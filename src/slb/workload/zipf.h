@@ -1,0 +1,87 @@
+// Zipf-distributed key generation.
+//
+// The paper's synthetic ZF workloads draw keys from Zipf distributions with
+// exponent z in {0.1 .. 2.0} over |K| in {1e4, 1e5, 1e6} (Table I). Two
+// sampling strategies are provided behind one class:
+//   * Walker/Vose alias table — O(1)/sample, O(|K|) memory; used when the
+//     key space fits comfortably in memory.
+//   * Hörmann-Derflinger rejection-inversion — O(1) memory, a handful of
+//     exp/log per sample; used for very large |K| (e.g. the full-scale
+//     Twitter dataset with 31M keys).
+// Both sample ranks in [0, |K|) with P(rank r) = (r+1)^-z / H(z, |K|).
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "slb/common/rng.h"
+
+namespace slb {
+
+/// Generalized harmonic number H(z, k) = sum_{i=1..k} i^-z.
+double GeneralizedHarmonic(double z, uint64_t k);
+
+/// Probability of the most frequent key of Zipf(z, num_keys): 1 / H(z, K).
+double ZipfTopProbability(double z, uint64_t num_keys);
+
+/// Finds the exponent z such that Zipf(z, num_keys) has top-key probability
+/// `p1` (used to calibrate synthetic stand-ins for the paper's real traces).
+/// Monotone bisection; accurate to ~1e-10.
+double CalibrateZipfExponent(uint64_t num_keys, double p1);
+
+class ZipfDistribution {
+ public:
+  /// Sampling backend selection.
+  enum class Method {
+    kAuto,                // alias table if num_keys <= kAliasLimit, else RI
+    kAliasTable,          // force alias table
+    kRejectionInversion,  // force rejection-inversion
+  };
+
+  static constexpr uint64_t kAliasLimit = 1ULL << 22;  // 4M ranks
+
+  ZipfDistribution(double z, uint64_t num_keys, Method method = Method::kAuto);
+
+  /// Draws a rank in [0, num_keys); rank 0 is the most frequent.
+  uint64_t Sample(Rng* rng) const;
+
+  /// Exact probability of rank r (0-based).
+  double Probability(uint64_t rank) const;
+
+  /// Probabilities of the first `count` ranks (the head prefix used by the
+  /// d-choices analysis).
+  std::vector<double> TopProbabilities(uint64_t count) const;
+
+  /// Number of ranks with probability >= threshold (analytic head size,
+  /// Fig. 3). O(log |K|) via monotonicity of the pmf.
+  uint64_t CountAboveThreshold(double threshold) const;
+
+  double z() const { return z_; }
+  uint64_t num_keys() const { return num_keys_; }
+  bool uses_alias_table() const { return !alias_prob_.empty(); }
+
+ private:
+  void BuildAliasTable();
+  uint64_t SampleRejectionInversion(Rng* rng) const;
+
+  // Rejection-inversion helpers (see Hörmann & Derflinger 1996).
+  double HIntegral(double x) const;
+  double H(double x) const;
+  double HIntegralInverse(double x) const;
+
+  double z_;
+  uint64_t num_keys_;
+  double harmonic_;  // H(z, num_keys)
+
+  // Alias table state (empty when using rejection-inversion).
+  std::vector<double> alias_prob_;
+  std::vector<uint32_t> alias_idx_;
+
+  // Rejection-inversion state.
+  double ri_h_integral_x1_ = 0;
+  double ri_h_integral_n_ = 0;
+  double ri_s_ = 0;
+};
+
+}  // namespace slb

@@ -1,0 +1,65 @@
+#include "slb/analysis/aggregation_model.h"
+
+#include <gtest/gtest.h>
+
+namespace slb {
+namespace {
+
+TEST(AggregationModelTest, UniformChoicesBasics) {
+  FrequencyTable window = {10, 3, 1, 0};
+  const auto kg = UniformChoicesAggregation(window, 1);
+  EXPECT_EQ(kg.partials, 3u);  // one partial per present key
+  EXPECT_DOUBLE_EQ(kg.amplification, 1.0);
+
+  const auto pkg = UniformChoicesAggregation(window, 2);
+  EXPECT_EQ(pkg.partials, 2u + 2 + 1);
+  EXPECT_NEAR(pkg.amplification, 5.0 / 3.0, 1e-12);
+
+  const auto sg = UniformChoicesAggregation(window, 100);
+  EXPECT_EQ(sg.partials, 14u);  // capped by the frequencies themselves
+}
+
+TEST(AggregationModelTest, HeadTailSplitsCost) {
+  FrequencyTable window = {100, 50, 3, 1};
+  std::unordered_set<uint64_t> head = {0, 1};
+  const auto dc = HeadTailAggregation(window, head, 8);
+  EXPECT_EQ(dc.partials, 8u + 8 + 2 + 1);
+  const auto wc = HeadTailAggregation(window, head, 64);
+  EXPECT_EQ(wc.partials, 64u + 50 + 2 + 1);  // key 1 capped by f = 50
+}
+
+TEST(AggregationModelTest, EmptyWindow) {
+  FrequencyTable window = {0, 0};
+  const auto cost = UniformChoicesAggregation(window, 4);
+  EXPECT_EQ(cost.partials, 0u);
+  EXPECT_DOUBLE_EQ(cost.amplification, 0.0);
+}
+
+TEST(AggregationModelTest, OrderingAcrossSchemes) {
+  // KG <= PKG <= D-C <= W-C <= SG on any window (same ordering as memory).
+  FrequencyTable window(500, 0);
+  for (size_t k = 0; k < window.size(); ++k) {
+    window[k] = 1000 / (k + 1);  // skewed window
+  }
+  std::unordered_set<uint64_t> head = {0, 1, 2, 3};
+  const uint32_t n = 50;
+  const uint64_t kg = UniformChoicesAggregation(window, 1).partials;
+  const uint64_t pkg = UniformChoicesAggregation(window, 2).partials;
+  const uint64_t dc = HeadTailAggregation(window, head, 10).partials;
+  const uint64_t wc = HeadTailAggregation(window, head, n).partials;
+  const uint64_t sg = UniformChoicesAggregation(window, n).partials;
+  EXPECT_LE(kg, pkg);
+  EXPECT_LE(pkg, dc);
+  EXPECT_LE(dc, wc);
+  EXPECT_LE(wc, sg);
+}
+
+TEST(AggregationModelTest, HeadTailWithEmptyHeadEqualsPkg) {
+  FrequencyTable window = {9, 5, 2};
+  std::unordered_set<uint64_t> empty;
+  EXPECT_EQ(HeadTailAggregation(window, empty, 32).partials,
+            UniformChoicesAggregation(window, 2).partials);
+}
+
+}  // namespace
+}  // namespace slb

@@ -1,0 +1,84 @@
+#include "slb/analysis/imbalance_bounds.h"
+
+#include <gtest/gtest.h>
+
+#include "slb/sim/partition_simulator.h"
+#include "slb/workload/datasets.h"
+
+namespace slb {
+namespace {
+
+TEST(ImbalanceBoundsTest, KeyGroupingBound) {
+  EXPECT_DOUBLE_EQ(KeyGroupingImbalanceLowerBound(0.5, 10), 0.4);
+  EXPECT_DOUBLE_EQ(KeyGroupingImbalanceLowerBound(0.05, 10), 0.0)
+      << "clamped when p1 < 1/n";
+}
+
+TEST(ImbalanceBoundsTest, GreedyDBoundMatchesPkgAtTwo) {
+  // [7]'s bound quoted in Sec. III-A: (p1/2 - 1/n) when p1 > 2/n.
+  EXPECT_DOUBLE_EQ(GreedyDImbalanceLowerBound(0.6, 50, 2), 0.3 - 0.02);
+  EXPECT_DOUBLE_EQ(GreedyDImbalanceLowerBound(0.01, 50, 2), 0.0);
+}
+
+TEST(ImbalanceBoundsTest, BoundShrinksWithD) {
+  double prev = 1.0;
+  for (uint32_t d = 1; d <= 32; d *= 2) {
+    const double bound = GreedyDImbalanceLowerBound(0.6, 100, d);
+    EXPECT_LT(bound, prev);
+    prev = bound;
+  }
+}
+
+TEST(ImbalanceBoundsTest, PkgAssumptionAndThresholds) {
+  EXPECT_TRUE(PkgAssumptionHolds(0.03, 50));   // 0.03 <= 0.04
+  EXPECT_FALSE(PkgAssumptionHolds(0.05, 50));  // 0.05 > 0.04
+  EXPECT_DOUBLE_EQ(HeadThresholdLower(50), 1.0 / 250);
+  EXPECT_DOUBLE_EQ(HeadThresholdUpper(50), 0.04);
+  EXPECT_LT(HeadThresholdLower(100), HeadThresholdUpper(100));
+}
+
+TEST(ImbalanceBoundsTest, BreakdownScale) {
+  // WP's p1 = 9.32%: PKG breaks past n = 21 — consistent with Fig. 1 where
+  // n = 20 is marginal and n = 50 clearly broken.
+  EXPECT_EQ(PkgBreakdownScale(0.0932), 22u);
+  // z = 2 (p1 ~ 0.6): breaks for any n > 3 (Sec. I).
+  EXPECT_EQ(PkgBreakdownScale(0.6), 4u);
+  EXPECT_EQ(PkgBreakdownScale(0.0), ~uint32_t{0});
+}
+
+TEST(ImbalanceBoundsTest, SimulationRespectsPkgLowerBound) {
+  // Measured PKG imbalance must sit at or above the analytic lower bound
+  // (it is a *lower* bound) but within a small factor for a pure hot key.
+  const double z = 2.0;
+  const uint64_t keys = 10000;
+  const uint32_t n = 50;
+  DatasetSpec spec = MakeZipfSpec(z, keys, 200000, 3);
+  PartitionSimConfig config;
+  config.algorithm = AlgorithmKind::kPkg;
+  config.partitioner.num_workers = n;
+  config.partitioner.hash_seed = 5;
+  auto gen = MakeGenerator(spec);
+  auto result = RunPartitionSimulation(config, gen.get());
+  ASSERT_TRUE(result.ok());
+  const double bound = GreedyDImbalanceLowerBound(spec.target_p1, n, 2);
+  EXPECT_GE(result->final_imbalance, bound - 0.01);
+  EXPECT_LE(result->final_imbalance, bound + 0.15)
+      << "bound should be reasonably tight for a dominant hot key";
+}
+
+TEST(ImbalanceBoundsTest, SimulationRespectsKgLowerBound) {
+  const double z = 1.8;
+  DatasetSpec spec = MakeZipfSpec(z, 10000, 150000, 7);
+  PartitionSimConfig config;
+  config.algorithm = AlgorithmKind::kKeyGrouping;
+  config.partitioner.num_workers = 20;
+  config.partitioner.hash_seed = 5;
+  auto gen = MakeGenerator(spec);
+  auto result = RunPartitionSimulation(config, gen.get());
+  ASSERT_TRUE(result.ok());
+  EXPECT_GE(result->final_imbalance,
+            KeyGroupingImbalanceLowerBound(spec.target_p1, 20) - 0.01);
+}
+
+}  // namespace
+}  // namespace slb

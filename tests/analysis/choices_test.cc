@@ -1,0 +1,183 @@
+#include "slb/analysis/choices.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "slb/common/rng.h"
+#include "slb/hash/hash_family.h"
+#include "slb/workload/zipf.h"
+
+namespace slb {
+namespace {
+
+TEST(ExpectedWorkerSetSizeTest, ClosedFormBasics) {
+  // 0 items -> 0 workers; many items -> approaches n.
+  EXPECT_DOUBLE_EQ(ExpectedWorkerSetSize(10, 0), 0.0);
+  EXPECT_NEAR(ExpectedWorkerSetSize(10, 1), 1.0, 1e-12);
+  EXPECT_NEAR(ExpectedWorkerSetSize(10, 1000), 10.0, 1e-6);
+}
+
+TEST(ExpectedWorkerSetSizeTest, MonotoneInItems) {
+  double prev = 0.0;
+  for (int items = 1; items <= 100; ++items) {
+    const double b = ExpectedWorkerSetSize(50, items);
+    EXPECT_GT(b, prev);
+    EXPECT_LE(b, 50.0);
+    prev = b;
+  }
+}
+
+TEST(ExpectedWorkerSetSizeTest, MatchesMonteCarloBallsInBins) {
+  // Validate Eqn. (10) against direct simulation of d random placements.
+  const uint32_t n = 25;
+  for (uint32_t d : {2u, 5u, 10u, 20u}) {
+    Rng rng(d * 977);
+    double total = 0;
+    const int trials = 20000;
+    for (int t = 0; t < trials; ++t) {
+      std::set<uint32_t> slots;
+      for (uint32_t i = 0; i < d; ++i) {
+        slots.insert(static_cast<uint32_t>(rng.NextBounded(n)));
+      }
+      total += static_cast<double>(slots.size());
+    }
+    const double empirical = total / trials;
+    EXPECT_NEAR(empirical, ExpectedWorkerSetSize(n, d), 0.05) << "d=" << d;
+  }
+}
+
+TEST(ExpectedWorkerSetSizeTest, MatchesHashFamilyBehaviour) {
+  // The same formula must hold for the actual hash family used in routing
+  // (this is the collision model the analysis assumes).
+  const uint32_t n = 30;
+  const uint32_t d = 8;
+  HashFamily family(d, n, 123);
+  double total = 0;
+  const int keys = 30000;
+  for (int key = 0; key < keys; ++key) {
+    std::set<uint32_t> slots;
+    for (uint32_t i = 0; i < d; ++i) slots.insert(family.Worker(key, i));
+    total += static_cast<double>(slots.size());
+  }
+  EXPECT_NEAR(total / keys, ExpectedWorkerSetSize(n, d), 0.05);
+}
+
+TEST(HeadProfileTest, SortsAndComputesTail) {
+  auto head = HeadProfile::FromProbabilities({0.1, 0.4, 0.2});
+  ASSERT_EQ(head.probabilities.size(), 3u);
+  EXPECT_DOUBLE_EQ(head.probabilities[0], 0.4);
+  EXPECT_DOUBLE_EQ(head.probabilities[2], 0.1);
+  EXPECT_NEAR(head.tail_mass, 0.3, 1e-12);
+}
+
+TEST(HeadProfileTest, TailMassClampedNonNegative) {
+  auto head = HeadProfile::FromProbabilities({0.7, 0.5});  // overestimates
+  EXPECT_DOUBLE_EQ(head.tail_mass, 0.0);
+}
+
+TEST(ChoicesLowerBoundTest, CeilOfP1TimesN) {
+  EXPECT_EQ(ChoicesLowerBound(0.6, 10), 6u);
+  EXPECT_EQ(ChoicesLowerBound(0.61, 10), 7u);
+  EXPECT_EQ(ChoicesLowerBound(0.01, 10), 2u) << "never below 2";
+  EXPECT_EQ(ChoicesLowerBound(0.5, 100), 50u);
+}
+
+TEST(FindOptimalChoicesTest, EmptyHeadNeedsOnlyTwo) {
+  HeadProfile head;
+  head.tail_mass = 1.0;
+  EXPECT_EQ(FindOptimalChoices(head, 50, 1e-4), 2u);
+}
+
+TEST(FindOptimalChoicesTest, ReturnedDSatisfiesConstraints) {
+  for (double z : {0.8, 1.2, 1.6, 2.0}) {
+    ZipfDistribution zipf(z, 10000);
+    const uint32_t n = 50;
+    const double theta = 1.0 / (5.0 * n);
+    const uint64_t head_size = zipf.CountAboveThreshold(theta);
+    auto head = HeadProfile::FromProbabilities(zipf.TopProbabilities(head_size));
+    const uint32_t d = FindOptimalChoices(head, n, 1e-4);
+    ASSERT_GE(d, 2u);
+    if (d < n) {
+      EXPECT_TRUE(ConstraintsSatisfied(head, n, d, 1e-4)) << "z=" << z;
+      if (d > 2) {
+        EXPECT_FALSE(ConstraintsSatisfied(head, n, d - 1, 1e-4))
+            << "d must be minimal at z=" << z << " (got " << d << ")";
+      }
+    }
+  }
+}
+
+TEST(FindOptimalChoicesTest, RespectsP1LowerBound) {
+  for (double z : {1.0, 1.5, 2.0}) {
+    ZipfDistribution zipf(z, 10000);
+    const uint32_t n = 100;
+    const uint64_t head_size = zipf.CountAboveThreshold(1.0 / (5.0 * n));
+    auto head = HeadProfile::FromProbabilities(zipf.TopProbabilities(head_size));
+    const uint32_t d = FindOptimalChoices(head, n, 1e-4);
+    EXPECT_GE(static_cast<double>(d),
+              head.probabilities[0] * static_cast<double>(n) - 1e-9)
+        << "d >= p1*n must hold, z=" << z;
+  }
+}
+
+TEST(FindOptimalChoicesTest, GrowsWithSkew) {
+  // More skew -> more choices needed (Fig. 4's rising part).
+  const uint32_t n = 50;
+  uint32_t prev = 0;
+  for (double z : {0.5, 1.0, 1.4, 1.8}) {
+    ZipfDistribution zipf(z, 10000);
+    const uint64_t head_size = zipf.CountAboveThreshold(1.0 / (5.0 * n));
+    auto head = HeadProfile::FromProbabilities(zipf.TopProbabilities(head_size));
+    const uint32_t d = FindOptimalChoices(head, n, 1e-4);
+    EXPECT_GE(d, prev) << "z=" << z;
+    prev = d;
+  }
+}
+
+TEST(FindOptimalChoicesTest, ExtremeSkewSwitchesToWChoices) {
+  // A single key with 90% of the stream cannot be balanced by any d < n
+  // for small epsilon: the algorithm must hand over to W-Choices (d == n).
+  HeadProfile head = HeadProfile::FromProbabilities({0.9});
+  const uint32_t n = 10;
+  EXPECT_EQ(FindOptimalChoices(head, n, 1e-6), n);
+}
+
+TEST(FindOptimalChoicesTest, LowSkewKeepsTwoChoices) {
+  // A nearly-uniform head should need no extra choices.
+  std::vector<double> probs(10, 0.001);
+  auto head = HeadProfile::FromProbabilities(std::move(probs));
+  EXPECT_EQ(FindOptimalChoices(head, 10, 1e-2), 2u);
+}
+
+TEST(FindOptimalChoicesTest, DegenerateDeployments) {
+  HeadProfile head = HeadProfile::FromProbabilities({0.5});
+  EXPECT_EQ(FindOptimalChoices(head, 1, 1e-4), 1u);
+  EXPECT_EQ(FindOptimalChoices(head, 2, 1e-4), 2u);
+}
+
+TEST(PrefixConstraintTest, SlackSignsMakeSense) {
+  // For a heavy p1 and tiny d the constraint must be violated (positive
+  // slack); for huge epsilon it must pass.
+  HeadProfile head = HeadProfile::FromProbabilities({0.5, 0.1});
+  EXPECT_GT(PrefixConstraintSlack(head, 50, 2, 1e-6, 1), 0.0);
+  EXPECT_LT(PrefixConstraintSlack(head, 50, 2, 10.0, 1), 0.0);
+}
+
+TEST(PrefixConstraintTest, WholeHeadConstraintCanBindAloneUnderFlatHeavyHead) {
+  // Sec. IV-A: the prefix generalization matters because a *collectively*
+  // heavy head can violate the h = |H| constraint even when every single
+  // key passes h = 1. Flat head: 20 keys x 4% = 80% of the stream, n = 40.
+  std::vector<double> probs(20, 0.04);
+  auto head = HeadProfile::FromProbabilities(std::move(probs));
+  const uint32_t n = 40;
+  const uint32_t d = 2;
+  EXPECT_LE(PrefixConstraintSlack(head, n, d, 1e-4, 1), 0.0)
+      << "a single 4% key fits on two of 40 workers";
+  EXPECT_GT(PrefixConstraintSlack(head, n, d, 1e-4, 20), 0.0)
+      << "the 80% head cannot fit on the union of its two-choice sets";
+}
+
+}  // namespace
+}  // namespace slb

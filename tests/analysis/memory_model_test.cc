@@ -1,0 +1,70 @@
+#include "slb/analysis/memory_model.h"
+
+#include <gtest/gtest.h>
+
+#include "slb/common/rng.h"
+#include "slb/workload/zipf.h"
+
+namespace slb {
+namespace {
+
+TEST(CappedMassTest, Basics) {
+  FrequencyTable counts = {0, 1, 2, 5, 100};
+  EXPECT_EQ(CappedMass(counts, 1), 0u + 1 + 1 + 1 + 1);
+  EXPECT_EQ(CappedMass(counts, 2), 0u + 1 + 2 + 2 + 2);
+  EXPECT_EQ(CappedMass(counts, 1000), 108u);
+}
+
+TEST(MemoryModelTest, PkgIsCapTwo) {
+  FrequencyTable counts = {10, 1, 0, 3};
+  EXPECT_EQ(MemoryPkg(counts), 2u + 1 + 0 + 2);
+}
+
+TEST(MemoryModelTest, SgIsCapN) {
+  FrequencyTable counts = {10, 1, 0, 3};
+  EXPECT_EQ(MemorySg(counts, 5), 5u + 1 + 0 + 3);
+}
+
+TEST(MemoryModelTest, DcSplitsHeadAndTail) {
+  FrequencyTable counts = {100, 50, 2, 1};
+  std::unordered_set<uint64_t> head = {0, 1};
+  // Head keys capped at d=4, tail at 2.
+  EXPECT_EQ(MemoryDc(counts, head, 4), 4u + 4 + 2 + 1);
+  // W-C: head capped at n=8.
+  EXPECT_EQ(MemoryWc(counts, head, 8), 8u + 8 + 2 + 1);
+}
+
+TEST(MemoryModelTest, OrderingPkgLeqDcLeqWcLeqSg) {
+  // On a skewed stream the paper's ordering must hold for any head set and
+  // any 2 <= d <= n.
+  ZipfDistribution zipf(1.4, 2000);
+  Rng rng(3);
+  FrequencyTable counts(2000, 0);
+  for (int i = 0; i < 100000; ++i) ++counts[zipf.Sample(&rng)];
+  std::unordered_set<uint64_t> head = {0, 1, 2, 3, 4};
+  const uint32_t n = 50;
+  const uint32_t d = 10;
+  const uint64_t pkg = MemoryPkg(counts);
+  const uint64_t dc = MemoryDc(counts, head, d);
+  const uint64_t wc = MemoryWc(counts, head, n);
+  const uint64_t sg = MemorySg(counts, n);
+  EXPECT_LE(pkg, dc);
+  EXPECT_LE(dc, wc);
+  EXPECT_LE(wc, sg);
+}
+
+TEST(MemoryModelTest, EmptyHeadReducesDcToPkg) {
+  FrequencyTable counts = {9, 9, 9};
+  std::unordered_set<uint64_t> empty;
+  EXPECT_EQ(MemoryDc(counts, empty, 17), MemoryPkg(counts));
+}
+
+TEST(OverheadPercentTest, Basics) {
+  EXPECT_DOUBLE_EQ(OverheadPercent(130, 100), 30.0);
+  EXPECT_DOUBLE_EQ(OverheadPercent(70, 100), -30.0);
+  EXPECT_DOUBLE_EQ(OverheadPercent(100, 100), 0.0);
+  EXPECT_DOUBLE_EQ(OverheadPercent(5, 0), 0.0) << "guarded division";
+}
+
+}  // namespace
+}  // namespace slb

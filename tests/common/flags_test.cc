@@ -1,0 +1,97 @@
+#include "slb/common/flags.h"
+
+#include <gtest/gtest.h>
+
+namespace slb {
+namespace {
+
+struct Fixture {
+  int64_t workers = 5;
+  double epsilon = 1e-4;
+  bool paper = false;
+  std::string algo = "pkg";
+  FlagSet flags{"test"};
+
+  Fixture() {
+    flags.AddInt64("workers", &workers, "number of workers");
+    flags.AddDouble("epsilon", &epsilon, "imbalance tolerance");
+    flags.AddBool("paper", &paper, "paper-scale parameters");
+    flags.AddString("algo", &algo, "algorithm");
+  }
+};
+
+TEST(FlagsTest, DefaultsSurviveEmptyParse) {
+  Fixture f;
+  ASSERT_TRUE(f.flags.Parse({}).ok());
+  EXPECT_EQ(f.workers, 5);
+  EXPECT_EQ(f.algo, "pkg");
+}
+
+TEST(FlagsTest, EqualsSyntax) {
+  Fixture f;
+  ASSERT_TRUE(f.flags.Parse({"--workers=100", "--epsilon=1e-3", "--algo=dc"}).ok());
+  EXPECT_EQ(f.workers, 100);
+  EXPECT_DOUBLE_EQ(f.epsilon, 1e-3);
+  EXPECT_EQ(f.algo, "dc");
+}
+
+TEST(FlagsTest, SpaceSyntax) {
+  Fixture f;
+  ASSERT_TRUE(f.flags.Parse({"--workers", "50"}).ok());
+  EXPECT_EQ(f.workers, 50);
+}
+
+TEST(FlagsTest, SuffixedIntegers) {
+  Fixture f;
+  ASSERT_TRUE(f.flags.Parse({"--workers=2k"}).ok());
+  EXPECT_EQ(f.workers, 2000);
+}
+
+TEST(FlagsTest, BareAndNegatedBooleans) {
+  Fixture f;
+  ASSERT_TRUE(f.flags.Parse({"--paper"}).ok());
+  EXPECT_TRUE(f.paper);
+  ASSERT_TRUE(f.flags.Parse({"--no-paper"}).ok());
+  EXPECT_FALSE(f.paper);
+  ASSERT_TRUE(f.flags.Parse({"--paper=true"}).ok());
+  EXPECT_TRUE(f.paper);
+}
+
+TEST(FlagsTest, UnknownFlagFailsLoudly) {
+  Fixture f;
+  const Status st = f.flags.Parse({"--wrokers=10"});
+  ASSERT_FALSE(st.ok());
+  EXPECT_TRUE(st.IsInvalidArgument());
+}
+
+TEST(FlagsTest, BadValueFails) {
+  Fixture f;
+  EXPECT_FALSE(f.flags.Parse({"--workers=ten"}).ok());
+  EXPECT_FALSE(f.flags.Parse({"--epsilon=small"}).ok());
+  EXPECT_FALSE(f.flags.Parse({"--paper=maybe"}).ok());
+}
+
+TEST(FlagsTest, MissingValueFails) {
+  Fixture f;
+  EXPECT_FALSE(f.flags.Parse({"--workers"}).ok());
+}
+
+TEST(FlagsTest, PositionalArgumentsCollected) {
+  Fixture f;
+  ASSERT_TRUE(f.flags.Parse({"input.trace", "--workers=9", "out.tsv"}).ok());
+  ASSERT_EQ(f.flags.positional().size(), 2u);
+  EXPECT_EQ(f.flags.positional()[0], "input.trace");
+  EXPECT_EQ(f.flags.positional()[1], "out.tsv");
+  EXPECT_EQ(f.workers, 9);
+}
+
+TEST(FlagsTest, UsageMentionsFlagsAndDefaults) {
+  Fixture f;
+  const std::string usage = f.flags.Usage();
+  EXPECT_NE(usage.find("--workers"), std::string::npos);
+  EXPECT_NE(usage.find("number of workers"), std::string::npos);
+  EXPECT_NE(usage.find("5"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace slb

@@ -1,0 +1,110 @@
+#include "slb/common/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "slb/common/rng.h"
+
+namespace slb {
+namespace {
+
+TEST(RunningStatsTest, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStatsTest, KnownMoments) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Add(x);
+  EXPECT_EQ(s.count(), 8);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // unbiased
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStatsTest, MergeMatchesSequential) {
+  Rng rng(1);
+  RunningStats all;
+  RunningStats left;
+  RunningStats right;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.NextDouble() * 10;
+    all.Add(x);
+    (i < 400 ? left : right).Add(x);
+  }
+  left.Merge(right);
+  EXPECT_EQ(left.count(), all.count());
+  EXPECT_NEAR(left.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(left.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(left.min(), all.min());
+  EXPECT_DOUBLE_EQ(left.max(), all.max());
+}
+
+TEST(RunningStatsTest, MergeWithEmptySides) {
+  RunningStats a;
+  RunningStats b;
+  b.Add(3.0);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 1);
+  EXPECT_DOUBLE_EQ(a.mean(), 3.0);
+  RunningStats empty;
+  a.Merge(empty);
+  EXPECT_EQ(a.count(), 1);
+}
+
+TEST(HistogramTest, ExactQuantilesSmallSample) {
+  Histogram h;
+  for (int i = 1; i <= 100; ++i) h.Add(static_cast<double>(i));
+  EXPECT_DOUBLE_EQ(h.Quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(1.0), 100.0);
+  EXPECT_NEAR(h.p50(), 50.5, 1.0);
+  EXPECT_NEAR(h.p99(), 99.0, 1.1);
+  EXPECT_DOUBLE_EQ(h.min(), 1.0);
+  EXPECT_DOUBLE_EQ(h.max(), 100.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 50.5);
+}
+
+TEST(HistogramTest, EmptyQuantileIsZero) {
+  Histogram h;
+  EXPECT_EQ(h.Quantile(0.5), 0.0);
+}
+
+TEST(HistogramTest, QuantileAfterInterleavedAdds) {
+  Histogram h;
+  h.Add(5);
+  EXPECT_DOUBLE_EQ(h.p50(), 5.0);
+  h.Add(1);
+  h.Add(9);
+  EXPECT_DOUBLE_EQ(h.p50(), 5.0);  // re-sorts internally
+}
+
+TEST(HistogramTest, ReservoirKeepsBoundedMemoryAndApproximateQuantiles) {
+  const size_t cap = 1000;
+  Histogram h(cap, 7);
+  Rng rng(3);
+  const int total = 50000;
+  for (int i = 0; i < total; ++i) h.Add(rng.NextDouble());
+  EXPECT_TRUE(h.subsampled());
+  EXPECT_EQ(h.sample_count(), cap);
+  EXPECT_EQ(h.count(), total);
+  // Uniform[0,1): quantiles should be near q within sampling error.
+  EXPECT_NEAR(h.p50(), 0.5, 0.06);
+  EXPECT_NEAR(h.p95(), 0.95, 0.04);
+  // Exact stats are unaffected by subsampling.
+  EXPECT_NEAR(h.mean(), 0.5, 0.01);
+}
+
+TEST(HistogramTest, UnboundedModeNeverSubsamples) {
+  Histogram h(0, 1);
+  for (int i = 0; i < 5000; ++i) h.Add(i);
+  EXPECT_FALSE(h.subsampled());
+  EXPECT_EQ(h.sample_count(), 5000u);
+}
+
+}  // namespace
+}  // namespace slb

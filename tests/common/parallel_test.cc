@@ -1,0 +1,49 @@
+#include "slb/common/parallel.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace slb {
+namespace {
+
+TEST(ParallelForTest, VisitsEveryIndexExactlyOnce) {
+  const size_t count = 10000;
+  std::vector<std::atomic<int>> visits(count);
+  ParallelFor(count, [&](size_t i) { visits[i].fetch_add(1); });
+  for (size_t i = 0; i < count; ++i) {
+    ASSERT_EQ(visits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ParallelForTest, ZeroCountIsNoop) {
+  ParallelFor(0, [](size_t) { FAIL() << "must not be called"; });
+}
+
+TEST(ParallelForTest, SingleThreadFallback) {
+  std::vector<int> order;
+  ParallelFor(5, [&](size_t i) { order.push_back(static_cast<int>(i)); },
+              /*num_threads=*/1);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(ParallelForTest, ResultsIndependentOfThreadCount) {
+  auto compute = [](size_t threads) {
+    std::vector<uint64_t> out(64, 0);
+    ParallelFor(64, [&](size_t i) { out[i] = i * i + 1; }, threads);
+    return out;
+  };
+  EXPECT_EQ(compute(1), compute(2));
+  EXPECT_EQ(compute(2), compute(8));
+}
+
+TEST(ParallelForTest, MoreThreadsThanWork) {
+  std::atomic<int> sum{0};
+  ParallelFor(3, [&](size_t i) { sum.fetch_add(static_cast<int>(i)); }, 16);
+  EXPECT_EQ(sum.load(), 3);
+}
+
+}  // namespace
+}  // namespace slb

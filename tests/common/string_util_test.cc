@@ -1,0 +1,95 @@
+#include "slb/common/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace slb {
+namespace {
+
+TEST(ParseInt64Test, PlainIntegers) {
+  int64_t v = 0;
+  EXPECT_TRUE(ParseInt64("0", &v));
+  EXPECT_EQ(v, 0);
+  EXPECT_TRUE(ParseInt64("12345", &v));
+  EXPECT_EQ(v, 12345);
+  EXPECT_TRUE(ParseInt64("-7", &v));
+  EXPECT_EQ(v, -7);
+}
+
+TEST(ParseInt64Test, SuffixMultipliers) {
+  int64_t v = 0;
+  EXPECT_TRUE(ParseInt64("2k", &v));
+  EXPECT_EQ(v, 2000);
+  EXPECT_TRUE(ParseInt64("3M", &v));
+  EXPECT_EQ(v, 3000000);
+  EXPECT_TRUE(ParseInt64("1g", &v));
+  EXPECT_EQ(v, 1000000000);
+}
+
+TEST(ParseInt64Test, ScientificNotation) {
+  int64_t v = 0;
+  EXPECT_TRUE(ParseInt64("1e7", &v));
+  EXPECT_EQ(v, 10000000);
+  EXPECT_TRUE(ParseInt64("2.2e6", &v));
+  EXPECT_EQ(v, 2200000);
+}
+
+TEST(ParseInt64Test, RejectsMalformed) {
+  int64_t v = 99;
+  EXPECT_FALSE(ParseInt64("", &v));
+  EXPECT_FALSE(ParseInt64("abc", &v));
+  EXPECT_FALSE(ParseInt64("12abc", &v));
+  EXPECT_FALSE(ParseInt64("1.5", &v));  // non-integral
+  EXPECT_FALSE(ParseInt64("k", &v));
+  EXPECT_EQ(v, 99) << "output must be untouched on failure";
+}
+
+TEST(ParseDoubleTest, ParsesAndRejects) {
+  double v = 0;
+  EXPECT_TRUE(ParseDouble("0.25", &v));
+  EXPECT_DOUBLE_EQ(v, 0.25);
+  EXPECT_TRUE(ParseDouble("1e-4", &v));
+  EXPECT_DOUBLE_EQ(v, 1e-4);
+  EXPECT_FALSE(ParseDouble("", &v));
+  EXPECT_FALSE(ParseDouble("1.2.3", &v));
+  EXPECT_FALSE(ParseDouble("12x", &v));
+}
+
+TEST(FormatDoubleTest, Compact) {
+  EXPECT_EQ(FormatDouble(0.5), "0.5");
+  EXPECT_EQ(FormatDouble(2.0), "2");
+}
+
+TEST(SplitJoinTest, RoundTrips) {
+  const auto parts = SplitString("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(JoinStrings(parts, ","), "a,b,,c");
+}
+
+TEST(SplitStringTest, NoDelimiterYieldsWhole) {
+  const auto parts = SplitString("hello", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "hello");
+}
+
+TEST(TrimWhitespaceTest, TrimsBothEnds) {
+  EXPECT_EQ(TrimWhitespace("  x y \t\n"), "x y");
+  EXPECT_EQ(TrimWhitespace(""), "");
+  EXPECT_EQ(TrimWhitespace("   "), "");
+}
+
+TEST(StartsWithTest, Basic) {
+  EXPECT_TRUE(StartsWith("--flag", "--"));
+  EXPECT_FALSE(StartsWith("-", "--"));
+}
+
+TEST(HumanCountTest, Scales) {
+  EXPECT_EQ(HumanCount(999), "999");
+  EXPECT_EQ(HumanCount(22000000), "22.0M");
+  EXPECT_EQ(HumanCount(1200000000), "1.2G");
+  EXPECT_EQ(HumanCount(690000), "690.0k");
+}
+
+}  // namespace
+}  // namespace slb

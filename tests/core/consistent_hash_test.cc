@@ -1,0 +1,101 @@
+#include "slb/core/consistent_hash.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "slb/common/rng.h"
+#include "slb/workload/zipf.h"
+
+namespace slb {
+namespace {
+
+PartitionerOptions Opts(uint32_t n) {
+  PartitionerOptions opt;
+  opt.num_workers = n;
+  opt.hash_seed = 5;
+  return opt;
+}
+
+TEST(ConsistentHashRingTest, OwnerStableAndInRange) {
+  ConsistentHashRing ring(10, 64, 3);
+  for (uint64_t key = 0; key < 1000; ++key) {
+    const uint32_t owner = ring.Owner(key);
+    ASSERT_LT(owner, 10u);
+    EXPECT_EQ(ring.Owner(key), owner) << "ownership must be deterministic";
+  }
+  EXPECT_EQ(ring.ring_size(), 10u * 64);
+}
+
+TEST(ConsistentHashRingTest, RoughlyUniformWithEnoughVirtualNodes) {
+  ConsistentHashRing ring(10, 256, 7);
+  std::vector<int> counts(10, 0);
+  for (uint64_t key = 0; key < 100000; ++key) ++counts[ring.Owner(key)];
+  for (int c : counts) {
+    EXPECT_GT(c, 5000);   // within ~2x of the 10000 ideal
+    EXPECT_LT(c, 20000);
+  }
+}
+
+TEST(ConsistentHashRingTest, AddingWorkerMovesFewKeys) {
+  ConsistentHashRing ring(10, 128, 11);
+  std::map<uint64_t, uint32_t> before;
+  for (uint64_t key = 0; key < 20000; ++key) before[key] = ring.Owner(key);
+  ring.AddWorker();
+  int moved = 0;
+  int moved_elsewhere = 0;
+  for (uint64_t key = 0; key < 20000; ++key) {
+    const uint32_t now = ring.Owner(key);
+    if (now != before[key]) {
+      ++moved;
+      if (now != 10) ++moved_elsewhere;  // must only move TO the new worker
+    }
+  }
+  // Expected movement ~ 1/11 of keys; allow a 2x band.
+  EXPECT_LT(moved, 20000 / 5);
+  EXPECT_GT(moved, 20000 / 25);
+  EXPECT_EQ(moved_elsewhere, 0);
+}
+
+TEST(ConsistentHashRingTest, RemovingWorkerOnlyMovesItsKeys) {
+  ConsistentHashRing ring(8, 128, 13);
+  std::map<uint64_t, uint32_t> before;
+  for (uint64_t key = 0; key < 20000; ++key) before[key] = ring.Owner(key);
+  // Remove the last worker so no id relabeling confuses the comparison.
+  ring.RemoveWorker(7);
+  for (uint64_t key = 0; key < 20000; ++key) {
+    if (before[key] != 7) {
+      EXPECT_EQ(ring.Owner(key), before[key]) << "key " << key;
+    } else {
+      EXPECT_LT(ring.Owner(key), 7u);
+    }
+  }
+}
+
+TEST(ConsistentHashGroupingTest, BehavesLikeKeyGroupingForBalance) {
+  // One owner per key: skew lands on a single worker in full, like KG.
+  ConsistentHashGrouping ch(Opts(20));
+  ZipfDistribution zipf(1.8, 5000);
+  Rng rng(3);
+  std::vector<uint64_t> counts(20, 0);
+  const int m = 50000;
+  for (int i = 0; i < m; ++i) ++counts[ch.Route(zipf.Sample(&rng))];
+  uint64_t max_c = 0;
+  for (uint64_t c : counts) max_c = std::max(max_c, c);
+  const double imbalance = static_cast<double>(max_c) / m - 1.0 / 20;
+  EXPECT_GT(imbalance, 0.2) << "hot key pinned to one worker";
+  EXPECT_EQ(ch.messages_routed(), static_cast<uint64_t>(m));
+  EXPECT_EQ(ch.name(), "CH");
+}
+
+TEST(ConsistentHashGroupingTest, SameSeedSameMapping) {
+  ConsistentHashGrouping a(Opts(16));
+  ConsistentHashGrouping b(Opts(16));
+  for (uint64_t key = 0; key < 2000; ++key) {
+    ASSERT_EQ(a.Route(key), b.Route(key));
+  }
+}
+
+}  // namespace
+}  // namespace slb

@@ -1,0 +1,185 @@
+#include "slb/hash/hash.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "slb/hash/hash_family.h"
+
+namespace slb {
+namespace {
+
+TEST(Fmix64Test, IsDeterministicAndBijectiveOnSample) {
+  std::set<uint64_t> outputs;
+  for (uint64_t k = 0; k < 10000; ++k) outputs.insert(Murmur3Fmix64(k));
+  EXPECT_EQ(outputs.size(), 10000u) << "fmix64 is a bijection; no collisions";
+  EXPECT_EQ(Murmur3Fmix64(42), Murmur3Fmix64(42));
+}
+
+TEST(Fmix64Test, AvalancheFlipsAboutHalfTheBits) {
+  // Flipping one input bit should flip ~32 of 64 output bits on average.
+  double total_flips = 0;
+  int trials = 0;
+  for (uint64_t k = 1; k < 500; ++k) {
+    for (int bit = 0; bit < 64; bit += 7) {
+      const uint64_t a = Murmur3Fmix64(k);
+      const uint64_t b = Murmur3Fmix64(k ^ (1ULL << bit));
+      total_flips += __builtin_popcountll(a ^ b);
+      ++trials;
+    }
+  }
+  const double avg = total_flips / trials;
+  EXPECT_NEAR(avg, 32.0, 1.5);
+}
+
+TEST(Murmur3BufferTest, MatchesAcrossLengths) {
+  // Every tail length 0..31 must be handled.
+  std::string data(31, '\0');
+  for (size_t i = 0; i < data.size(); ++i) data[i] = static_cast<char>(i * 37 + 1);
+  std::set<uint64_t> hashes;
+  for (size_t len = 0; len <= data.size(); ++len) {
+    hashes.insert(Murmur3_x64_64(data.data(), len, 0));
+  }
+  EXPECT_EQ(hashes.size(), 32u) << "prefix hashes must all differ";
+}
+
+TEST(Murmur3BufferTest, SeedChangesOutput) {
+  const char* s = "hello world";
+  EXPECT_NE(Murmur3_x64_64(s, 11, 1), Murmur3_x64_64(s, 11, 2));
+  EXPECT_EQ(Murmur3_x64_64(s, 11, 1), Murmur3_x64_64(s, 11, 1));
+}
+
+TEST(XxHash64Test, CoversAllBlockPaths) {
+  // >= 32 bytes exercises the vectorized loop; shorter inputs the tails.
+  std::string data(100, 'x');
+  for (size_t i = 0; i < data.size(); ++i) data[i] = static_cast<char>(i);
+  std::set<uint64_t> hashes;
+  for (size_t len : {0u, 1u, 3u, 4u, 7u, 8u, 15u, 16u, 31u, 32u, 33u, 64u, 100u}) {
+    hashes.insert(XxHash64(data.data(), len, 0));
+  }
+  EXPECT_EQ(hashes.size(), 13u);
+}
+
+TEST(XxHash64Test, KnownVector) {
+  // xxHash64 of empty input with seed 0 is a published constant.
+  EXPECT_EQ(XxHash64(nullptr, 0, 0), 0xEF46DB3751D8E999ULL);
+}
+
+TEST(Fnv1a64Test, KnownVectors) {
+  // Published FNV-1a test vectors.
+  EXPECT_EQ(Fnv1a64(nullptr, 0), 0xcbf29ce484222325ULL);
+  EXPECT_EQ(Fnv1a64("a", 1), 0xaf63dc4c8601ec8cULL);
+}
+
+TEST(HashStringTest, DistinctStringsDistinctHashes) {
+  std::set<uint64_t> hashes;
+  for (int i = 0; i < 1000; ++i) {
+    hashes.insert(HashString64("key-" + std::to_string(i)));
+  }
+  EXPECT_EQ(hashes.size(), 1000u);
+}
+
+TEST(SeededHashTest, SeedsActAsIndependentFunctions) {
+  // Two seeds should agree on ~1/n of keys when mapped to [n] — not more.
+  const uint32_t n = 64;
+  int agreements = 0;
+  const int keys = 20000;
+  for (int k = 0; k < keys; ++k) {
+    const uint32_t a = HashToRange(SeededHash64(k, 111), n);
+    const uint32_t b = HashToRange(SeededHash64(k, 222), n);
+    if (a == b) ++agreements;
+  }
+  const double rate = static_cast<double>(agreements) / keys;
+  EXPECT_NEAR(rate, 1.0 / n, 0.01);
+}
+
+TEST(HashToRangeTest, StaysInRangeAndUniform) {
+  const uint32_t n = 7;
+  std::vector<int> counts(n, 0);
+  const int keys = 70000;
+  for (int k = 0; k < keys; ++k) {
+    const uint32_t w = HashToRange(Murmur3Fmix64(k + 1), n);
+    ASSERT_LT(w, n);
+    ++counts[w];
+  }
+  const double expected = static_cast<double>(keys) / n;
+  for (uint32_t w = 0; w < n; ++w) {
+    EXPECT_NEAR(counts[w], expected, 6 * std::sqrt(expected));
+  }
+}
+
+TEST(TabulationHashTest, DeterministicPerSeed) {
+  TabulationHash h1(5);
+  TabulationHash h2(5);
+  TabulationHash h3(6);
+  EXPECT_EQ(h1.Hash(12345), h2.Hash(12345));
+  EXPECT_NE(h1.Hash(12345), h3.Hash(12345));
+}
+
+TEST(TabulationHashTest, UniformOverRange) {
+  TabulationHash h(9);
+  const uint32_t n = 10;
+  std::vector<int> counts(n, 0);
+  const int keys = 100000;
+  for (int k = 0; k < keys; ++k) ++counts[HashToRange(h.Hash(k), n)];
+  const double expected = static_cast<double>(keys) / n;
+  for (uint32_t w = 0; w < n; ++w) {
+    EXPECT_NEAR(counts[w], expected, 6 * std::sqrt(expected));
+  }
+}
+
+TEST(HashFamilyTest, CandidatesDeterministicAndShared) {
+  // Families with the same seed must agree across instances (the cross-
+  // sender requirement of Greedy-d).
+  HashFamily a(5, 50, 99);
+  HashFamily b(5, 50, 99);
+  for (uint64_t key = 0; key < 500; ++key) {
+    for (uint32_t i = 0; i < 5; ++i) {
+      ASSERT_EQ(a.Worker(key, i), b.Worker(key, i));
+    }
+  }
+}
+
+TEST(HashFamilyTest, DifferentSeedsDiffer) {
+  HashFamily a(2, 50, 1);
+  HashFamily b(2, 50, 2);
+  int same = 0;
+  for (uint64_t key = 0; key < 1000; ++key) {
+    if (a.Worker(key, 0) == b.Worker(key, 0)) ++same;
+  }
+  EXPECT_LT(same, 100);  // ~1/50 expected
+}
+
+TEST(HashFamilyTest, CandidatesBufferMatchesWorker) {
+  HashFamily family(4, 10, 3);
+  uint32_t buf[4];
+  family.Candidates(777, 4, buf);
+  for (uint32_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(buf[i], family.Worker(777, i));
+    EXPECT_LT(buf[i], 10u);
+  }
+}
+
+TEST(HashFamilyTest, ExpectedDistinctCandidatesMatchesEqn10) {
+  // Appendix A: E[distinct] = n - n((n-1)/n)^d. Validate empirically.
+  const uint32_t n = 20;
+  const uint32_t d = 5;
+  HashFamily family(d, n, 4242);
+  double total_distinct = 0;
+  const int keys = 20000;
+  for (int key = 0; key < keys; ++key) {
+    std::set<uint32_t> workers;
+    for (uint32_t i = 0; i < d; ++i) workers.insert(family.Worker(key, i));
+    total_distinct += static_cast<double>(workers.size());
+  }
+  const double expected =
+      n * (1.0 - std::pow((n - 1.0) / n, static_cast<double>(d)));
+  EXPECT_NEAR(total_distinct / keys, expected, 0.05);
+}
+
+}  // namespace
+}  // namespace slb

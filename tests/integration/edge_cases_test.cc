@@ -1,0 +1,226 @@
+// Failure injection and adversarial-input tests across the stack.
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "slb/common/rng.h"
+#include "slb/core/d_choices.h"
+#include "slb/core/head_tail_partitioner.h"
+#include "slb/core/partitioner.h"
+#include "slb/sim/partition_simulator.h"
+#include "slb/workload/datasets.h"
+#include "slb/workload/trace.h"
+
+namespace slb {
+namespace {
+
+// --- Adversarial streams ----------------------------------------------------
+
+TEST(AdversarialStreamTest, SingleKeyStreamSpreadsUnderWChoices) {
+  // Every message carries the same key: the worst possible skew (p1 = 1).
+  PartitionerOptions options;
+  options.num_workers = 10;
+  options.hash_seed = 3;
+  WChoices wc(options);
+  std::set<uint32_t> used;
+  std::vector<uint64_t> counts(10, 0);
+  for (int i = 0; i < 50000; ++i) {
+    const uint32_t w = wc.Route(42);
+    used.insert(w);
+    ++counts[w];
+  }
+  EXPECT_EQ(used.size(), 10u) << "the single hot key must reach all workers";
+  const uint64_t max_c = *std::max_element(counts.begin(), counts.end());
+  EXPECT_LT(static_cast<double>(max_c) / 50000 - 0.1, 0.01);
+}
+
+TEST(AdversarialStreamTest, SingleKeyStreamPinsUnderPkg) {
+  PartitionerOptions options;
+  options.num_workers = 10;
+  options.hash_seed = 3;
+  auto pkg = CreatePartitioner(AlgorithmKind::kPkg, options).value();
+  std::set<uint32_t> used;
+  for (int i = 0; i < 10000; ++i) used.insert(pkg->Route(42));
+  EXPECT_LE(used.size(), 2u) << "PKG must keep single-key locality";
+}
+
+TEST(AdversarialStreamTest, AllDistinctKeysBalanceEverywhere) {
+  // No key repeats: every scheme should be near-perfectly balanced.
+  for (AlgorithmKind kind : {AlgorithmKind::kPkg, AlgorithmKind::kDChoices,
+                             AlgorithmKind::kWChoices}) {
+    PartitionerOptions options;
+    options.num_workers = 8;
+    options.hash_seed = 9;
+    auto part = CreatePartitioner(kind, options).value();
+    std::vector<uint64_t> counts(8, 0);
+    const int m = 80000;
+    for (int i = 0; i < m; ++i) ++counts[part->Route(static_cast<uint64_t>(i))];
+    const uint64_t max_c = *std::max_element(counts.begin(), counts.end());
+    EXPECT_LT(static_cast<double>(max_c) / m - 1.0 / 8, 2e-3)
+        << AlgorithmKindName(kind);
+  }
+}
+
+TEST(AdversarialStreamTest, AlternatingHotKeysTrackedByDChoices) {
+  // The hot key flips every 20k messages; D-C must keep imbalance bounded
+  // (the sketch follows the change — the CT scenario distilled).
+  PartitionerOptions options;
+  options.num_workers = 20;
+  options.hash_seed = 7;
+  options.reoptimize_interval = 512;
+  DChoices dc(options);
+  Rng rng(5);
+  std::vector<uint64_t> counts(20, 0);
+  const int m = 100000;
+  for (int i = 0; i < m; ++i) {
+    const uint64_t hot = 1000 + static_cast<uint64_t>(i / 20000);
+    const uint64_t key = rng.NextBool(0.4) ? hot : rng.NextBounded(500);
+    ++counts[dc.Route(key)];
+  }
+  const uint64_t max_c = *std::max_element(counts.begin(), counts.end());
+  EXPECT_LT(static_cast<double>(max_c) / m - 1.0 / 20, 0.02);
+}
+
+// --- Degenerate configurations ----------------------------------------------
+
+TEST(DegenerateConfigTest, TinySketchStillRoutesInRange) {
+  PartitionerOptions options;
+  options.num_workers = 25;
+  options.hash_seed = 1;
+  options.sketch_capacity = 1;  // pathologically small
+  auto dc = CreatePartitioner(AlgorithmKind::kDChoices, options).value();
+  ZipfDistribution zipf(1.6, 1000);
+  Rng rng(2);
+  for (int i = 0; i < 20000; ++i) {
+    ASSERT_LT(dc->Route(zipf.Sample(&rng)), 25u);
+  }
+}
+
+TEST(DegenerateConfigTest, HugeThetaMeansNoHead) {
+  PartitionerOptions options;
+  options.num_workers = 10;
+  options.hash_seed = 1;
+  options.theta_ratio = 20.0;  // theta = 2 > any frequency
+  WChoices wc(options);
+  Rng rng(3);
+  for (int i = 0; i < 20000; ++i) {
+    wc.Route(rng.NextBounded(10));
+    EXPECT_FALSE(wc.last_was_head());
+  }
+}
+
+TEST(DegenerateConfigTest, StreamShorterThanSources) {
+  PartitionSimConfig config;
+  config.algorithm = AlgorithmKind::kPkg;
+  config.partitioner.num_workers = 4;
+  config.num_sources = 10;
+  auto gen = MakeGenerator(MakeZipfSpec(1.0, 100, 3, 1));
+  auto result = RunPartitionSimulation(config, gen.get());
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->total_messages, 3u);
+}
+
+TEST(DegenerateConfigTest, MoreSamplesThanMessages) {
+  PartitionSimConfig config;
+  config.algorithm = AlgorithmKind::kShuffleGrouping;
+  config.partitioner.num_workers = 2;
+  config.num_samples = 1000;
+  auto gen = MakeGenerator(MakeZipfSpec(1.0, 10, 50, 1));
+  auto result = RunPartitionSimulation(config, gen.get());
+  ASSERT_TRUE(result.ok());
+  EXPECT_LE(result->imbalance_series.size(), 51u);
+}
+
+TEST(DegenerateConfigTest, ReoptimizeIntervalOne) {
+  // Per-message reoptimization (Algorithm 1 taken literally) must work.
+  PartitionerOptions options;
+  options.num_workers = 10;
+  options.hash_seed = 5;
+  options.reoptimize_interval = 1;
+  DChoices dc(options);
+  Rng rng(4);
+  ZipfDistribution zipf(1.8, 500);
+  for (int i = 0; i < 5000; ++i) {
+    ASSERT_LT(dc.Route(zipf.Sample(&rng)), 10u);
+  }
+  EXPECT_GE(dc.reoptimize_count(), 4000u);
+}
+
+// --- I/O failure injection ---------------------------------------------------
+
+TEST(TraceFailureTest, UnwritablePathIsIOError) {
+  Trace trace;
+  trace.keys = {1, 2, 3};
+  trace.num_keys = 4;
+  EXPECT_TRUE(WriteTrace("/nonexistent-dir/x/y.slbt", trace).IsIOError());
+  EXPECT_TRUE(WriteTextTrace("/nonexistent-dir/x/y.txt", trace).IsIOError());
+}
+
+TEST(TraceFailureTest, TruncatedBodyIsCorruption) {
+  const std::string path = testing::TempDir() + "/trunc.slbt";
+  Trace trace;
+  trace.num_keys = 100;
+  for (uint64_t i = 0; i < 64; ++i) trace.keys.push_back(i);
+  ASSERT_TRUE(WriteTrace(path, trace).ok());
+  // Truncate the file to cut into the key array.
+  ASSERT_EQ(truncate(path.c_str(), 64), 0);
+  auto loaded = ReadTrace(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_TRUE(loaded.status().IsCorruption());
+  std::remove(path.c_str());
+}
+
+TEST(TraceFailureTest, BadTextKeyIsCorruption) {
+  const std::string path = testing::TempDir() + "/bad.txt";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  ASSERT_NE(f, nullptr);
+  std::fputs("12\nnot-a-key\n", f);
+  std::fclose(f);
+  auto loaded = ReadTextTrace(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_TRUE(loaded.status().IsCorruption());
+  std::remove(path.c_str());
+}
+
+// --- Cross-sender consistency -----------------------------------------------
+
+TEST(CrossSenderTest, CandidateSetsAgreeAcrossIndependentSenders) {
+  // Two senders with the same seed but different routing histories must
+  // still send any given TAIL key to a subset of the same 2 candidates —
+  // the invariant that keeps per-key state bounded with multiple sources.
+  PartitionerOptions options;
+  options.num_workers = 30;
+  options.hash_seed = 77;
+  DChoices a(options);
+  DChoices b(options);
+  Rng rng_a(1);
+  Rng rng_b(2);
+  ZipfDistribution zipf(1.2, 5000);
+  std::map<uint64_t, std::set<uint32_t>> workers_per_key;
+  std::map<uint64_t, bool> ever_head;
+  for (int i = 0; i < 60000; ++i) {
+    const uint64_t ka = zipf.Sample(&rng_a);
+    workers_per_key[ka].insert(a.Route(ka));
+    ever_head[ka] = ever_head[ka] || a.last_was_head();
+    const uint64_t kb = zipf.Sample(&rng_b);
+    workers_per_key[kb].insert(b.Route(kb));
+    ever_head[kb] = ever_head[kb] || b.last_was_head();
+  }
+  for (const auto& [key, workers] : workers_per_key) {
+    if (!ever_head[key]) {
+      EXPECT_LE(workers.size(), 2u)
+          << "tail key " << key << " exceeded its shared candidate pair";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace slb

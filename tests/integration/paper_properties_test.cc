@@ -1,0 +1,177 @@
+// End-to-end property suite: parameterized sweeps over (skew, scale) that
+// assert the paper's qualitative claims hold in this implementation. These
+// are the invariants EXPERIMENTS.md summarizes; the bench binaries print the
+// full curves.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+
+#include "slb/analysis/choices.h"
+#include "slb/sim/partition_simulator.h"
+#include "slb/workload/datasets.h"
+
+namespace slb {
+namespace {
+
+double RunImbalance(AlgorithmKind algo, double z, uint64_t keys, uint32_t n,
+                    uint64_t messages, uint64_t seed = 101) {
+  PartitionSimConfig config;
+  config.algorithm = algo;
+  config.partitioner.num_workers = n;
+  config.partitioner.hash_seed = 13;
+  config.num_sources = 5;
+  auto stream = MakeGenerator(MakeZipfSpec(z, keys, messages, seed));
+  auto result = RunPartitionSimulation(config, stream.get());
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  return result->final_imbalance;
+}
+
+// ---------------------------------------------------------------------------
+// Sweep over skew x workers: the core claims of Figs. 1 and 10.
+
+class SkewScaleSweep
+    : public ::testing::TestWithParam<std::tuple<double, uint32_t>> {};
+
+TEST_P(SkewScaleSweep, WChoicesStaysBalanced) {
+  const auto [z, n] = GetParam();
+  const double imbalance = RunImbalance(AlgorithmKind::kWChoices, z, 10000, n,
+                                        150000);
+  // W-C keeps imbalance "constantly low irrespective of the setting"
+  // (Sec. V-B Q3). The floor scales with s*eps plus sampling noise.
+  EXPECT_LT(imbalance, 6e-3) << "z=" << z << " n=" << n;
+}
+
+TEST_P(SkewScaleSweep, WChoicesNeverWorseThanPkg) {
+  const auto [z, n] = GetParam();
+  const double pkg = RunImbalance(AlgorithmKind::kPkg, z, 10000, n, 150000);
+  const double wc = RunImbalance(AlgorithmKind::kWChoices, z, 10000, n, 150000);
+  EXPECT_LE(wc, pkg + 2e-3) << "z=" << z << " n=" << n;
+}
+
+TEST_P(SkewScaleSweep, DChoicesNeverWorseThanPkg) {
+  const auto [z, n] = GetParam();
+  const double pkg = RunImbalance(AlgorithmKind::kPkg, z, 10000, n, 150000);
+  const double dc = RunImbalance(AlgorithmKind::kDChoices, z, 10000, n, 150000);
+  EXPECT_LE(dc, pkg + 2e-3) << "z=" << z << " n=" << n;
+}
+
+std::string SweepName(
+    const ::testing::TestParamInfo<std::tuple<double, uint32_t>>& info) {
+  const double z = std::get<0>(info.param);
+  const uint32_t n = std::get<1>(info.param);
+  return "z" + std::to_string(static_cast<int>(z * 10)) + "_n" +
+         std::to_string(n);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ZfGrid, SkewScaleSweep,
+    ::testing::Combine(::testing::Values(0.5, 1.0, 1.4, 2.0),
+                       ::testing::Values(5u, 10u, 50u)),
+    SweepName);
+
+// ---------------------------------------------------------------------------
+// The scalability headline (Fig. 1): PKG breaks down at scale, D-C/W-C don't.
+
+TEST(PaperHeadlineTest, PkgBreaksDownAtScaleUnderHighSkew) {
+  // WP-like skew: p1 ~ 0.15 < 2/n at n = 5 (PKG fine) but >> 2/n at n = 100
+  // (PKG's assumption violated) — the Fig. 1 shape.
+  const double z = 1.1;
+  const double pkg_small = RunImbalance(AlgorithmKind::kPkg, z, 10000, 5, 150000);
+  const double pkg_large = RunImbalance(AlgorithmKind::kPkg, z, 10000, 100, 150000);
+  // At n=5 two workers can absorb p1; at n=100 they cannot.
+  EXPECT_GT(pkg_large, 10 * pkg_small);
+  EXPECT_GT(pkg_large, 1e-2);
+
+  const double dc_large =
+      RunImbalance(AlgorithmKind::kDChoices, z, 10000, 100, 150000);
+  const double wc_large =
+      RunImbalance(AlgorithmKind::kWChoices, z, 10000, 100, 150000);
+  EXPECT_LT(dc_large, pkg_large / 3);
+  EXPECT_LT(wc_large, pkg_large / 10);
+}
+
+TEST(PaperHeadlineTest, ExtremeSkewBeyondPkgAssumption) {
+  // z = 2: p1 ~ 0.6 > 2/n for every n > 3 — PKG's assumption is violated
+  // (Sec. I), while the head-aware schemes stay balanced.
+  const double pkg = RunImbalance(AlgorithmKind::kPkg, 2.0, 10000, 50, 150000);
+  const double wc = RunImbalance(AlgorithmKind::kWChoices, 2.0, 10000, 50, 150000);
+  EXPECT_GT(pkg, 0.05);
+  EXPECT_LT(wc, 5e-3);
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 9's claim: the analytic d matches the empirically minimal d.
+
+TEST(MinimalDTest, AnalyticDAchievesWChoicesImbalance) {
+  const double z = 1.6;
+  const uint32_t n = 50;
+  const uint64_t keys = 10000;
+  const uint64_t messages = 200000;
+
+  // Analytic d from the true distribution.
+  ZipfDistribution zipf(z, keys);
+  const double theta = 1.0 / (5.0 * n);
+  const uint64_t head_size = zipf.CountAboveThreshold(theta);
+  auto head = HeadProfile::FromProbabilities(zipf.TopProbabilities(head_size));
+  const uint32_t d_analytic = FindOptimalChoices(head, n, 1e-4);
+
+  // Imbalance of Fixed-D at the analytic d must match W-C's.
+  PartitionSimConfig config;
+  config.algorithm = AlgorithmKind::kFixedDChoices;
+  config.partitioner.num_workers = n;
+  config.partitioner.fixed_d = d_analytic;
+  config.partitioner.hash_seed = 13;
+  auto stream1 = MakeGenerator(MakeZipfSpec(z, keys, messages, 5));
+  auto fixed = RunPartitionSimulation(config, stream1.get());
+  ASSERT_TRUE(fixed.ok());
+
+  config.algorithm = AlgorithmKind::kWChoices;
+  auto stream2 = MakeGenerator(MakeZipfSpec(z, keys, messages, 5));
+  auto wc = RunPartitionSimulation(config, stream2.get());
+  ASSERT_TRUE(wc.ok());
+
+  EXPECT_LT(fixed->final_imbalance,
+            std::max(2.0 * wc->final_imbalance, 5e-3));
+}
+
+// ---------------------------------------------------------------------------
+// Real-world-like datasets (Fig. 11 shapes) at reduced scale.
+
+TEST(RealDatasetTest, WpShapeAtScale) {
+  DatasetSpec wp = MakeWikipediaSpec(0.01);  // 220k msgs, 29k keys
+  PartitionSimConfig config;
+  config.partitioner.hash_seed = 3;
+  config.num_sources = 5;
+
+  config.algorithm = AlgorithmKind::kPkg;
+  config.partitioner.num_workers = 100;
+  auto gen1 = MakeGenerator(wp);
+  auto pkg = RunPartitionSimulation(config, gen1.get());
+  ASSERT_TRUE(pkg.ok());
+
+  config.algorithm = AlgorithmKind::kDChoices;
+  auto gen2 = MakeGenerator(wp);
+  auto dc = RunPartitionSimulation(config, gen2.get());
+  ASSERT_TRUE(dc.ok());
+
+  // WP's p1 = 9.3% > 2/100: PKG must show clear imbalance, D-C must not.
+  EXPECT_GT(pkg->final_imbalance, 5e-3);
+  EXPECT_LT(dc->final_imbalance, pkg->final_imbalance / 2);
+}
+
+TEST(RealDatasetTest, CtDriftHandled) {
+  DatasetSpec ct = MakeCashtagsSpec(0.3);
+  PartitionSimConfig config;
+  config.partitioner.hash_seed = 3;
+  config.algorithm = AlgorithmKind::kWChoices;
+  config.partitioner.num_workers = 20;
+  auto gen = MakeGenerator(ct);
+  auto wc = RunPartitionSimulation(config, gen.get());
+  ASSERT_TRUE(wc.ok());
+  EXPECT_LT(wc->final_imbalance, 0.02);
+}
+
+}  // namespace
+}  // namespace slb

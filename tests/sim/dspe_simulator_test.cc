@@ -1,0 +1,130 @@
+#include "slb/sim/dspe_simulator.h"
+
+#include <gtest/gtest.h>
+
+namespace slb {
+namespace {
+
+DspeConfig BaseConfig(AlgorithmKind algo) {
+  DspeConfig config;
+  config.algorithm = algo;
+  config.partitioner.num_workers = 20;
+  config.partitioner.hash_seed = 5;
+  config.num_sources = 8;
+  config.num_messages = 20000;
+  config.zipf_exponent = 1.4;
+  config.num_keys = 2000;
+  config.worker_service_ms = 1.0;
+  config.transport_rate_per_s = 4000;
+  config.max_pending_per_source = 50;
+  config.seed = 11;
+  return config;
+}
+
+TEST(DspeSimTest, RejectsBadConfig) {
+  DspeConfig config = BaseConfig(AlgorithmKind::kShuffleGrouping);
+  config.num_sources = 0;
+  EXPECT_FALSE(RunDspeSimulation(config).ok());
+  config = BaseConfig(AlgorithmKind::kShuffleGrouping);
+  config.worker_service_ms = 0;
+  EXPECT_FALSE(RunDspeSimulation(config).ok());
+  config = BaseConfig(AlgorithmKind::kShuffleGrouping);
+  config.max_pending_per_source = 0;
+  EXPECT_FALSE(RunDspeSimulation(config).ok());
+}
+
+TEST(DspeSimTest, CompletesEveryTuple) {
+  auto result = RunDspeSimulation(BaseConfig(AlgorithmKind::kPkg));
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->completed, 20000u);
+  EXPECT_GT(result->makespan_s, 0.0);
+}
+
+TEST(DspeSimTest, LatencyIsAtLeastServicePlusTransport) {
+  auto result = RunDspeSimulation(BaseConfig(AlgorithmKind::kShuffleGrouping));
+  ASSERT_TRUE(result.ok());
+  // Every tuple pays transport (0.25ms) + worker service (1ms).
+  EXPECT_GE(result->latency_p50_ms, 1.25 - 1e-9);
+  EXPECT_GE(result->latency_max_ms, result->latency_p99_ms);
+  EXPECT_GE(result->latency_p99_ms, result->latency_p50_ms);
+}
+
+TEST(DspeSimTest, BalancedThroughputIsTransportBound) {
+  // 20 workers x 1000/s capacity >> 4000/s transport: SG must saturate the
+  // transport stage.
+  auto result = RunDspeSimulation(BaseConfig(AlgorithmKind::kShuffleGrouping));
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->throughput_per_s, 4000.0, 250.0);
+}
+
+TEST(DspeSimTest, SkewCollapsesKeyGroupingThroughput) {
+  DspeConfig config = BaseConfig(AlgorithmKind::kKeyGrouping);
+  config.zipf_exponent = 2.0;  // p1 ~ 0.6 of the stream on one worker
+  auto kg = RunDspeSimulation(config);
+  config.algorithm = AlgorithmKind::kShuffleGrouping;
+  auto sg = RunDspeSimulation(config);
+  ASSERT_TRUE(kg.ok());
+  ASSERT_TRUE(sg.ok());
+  // KG is bottlenecked by the hot worker: ~1000/0.6 ~= 1667/s.
+  EXPECT_LT(kg->throughput_per_s, 2300.0);
+  EXPECT_GT(sg->throughput_per_s, 1.5 * kg->throughput_per_s);
+}
+
+TEST(DspeSimTest, SkewInflatesKeyGroupingLatency) {
+  DspeConfig config = BaseConfig(AlgorithmKind::kKeyGrouping);
+  config.zipf_exponent = 2.0;
+  auto kg = RunDspeSimulation(config);
+  config.algorithm = AlgorithmKind::kWChoices;
+  auto wc = RunDspeSimulation(config);
+  ASSERT_TRUE(kg.ok());
+  ASSERT_TRUE(wc.ok());
+  EXPECT_GT(kg->max_worker_avg_latency_ms, 3 * wc->max_worker_avg_latency_ms);
+}
+
+TEST(DspeSimTest, HeadAwareAlgorithmsMatchShuffleThroughput) {
+  DspeConfig config = BaseConfig(AlgorithmKind::kShuffleGrouping);
+  config.zipf_exponent = 2.0;
+  auto sg = RunDspeSimulation(config);
+  config.algorithm = AlgorithmKind::kDChoices;
+  auto dc = RunDspeSimulation(config);
+  config.algorithm = AlgorithmKind::kWChoices;
+  auto wc = RunDspeSimulation(config);
+  ASSERT_TRUE(sg.ok());
+  ASSERT_TRUE(dc.ok());
+  ASSERT_TRUE(wc.ok());
+  EXPECT_GT(dc->throughput_per_s, 0.85 * sg->throughput_per_s);
+  EXPECT_GT(wc->throughput_per_s, 0.85 * sg->throughput_per_s);
+}
+
+TEST(DspeSimTest, DeterministicForFixedSeed) {
+  auto a = RunDspeSimulation(BaseConfig(AlgorithmKind::kPkg));
+  auto b = RunDspeSimulation(BaseConfig(AlgorithmKind::kPkg));
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_DOUBLE_EQ(a->throughput_per_s, b->throughput_per_s);
+  EXPECT_DOUBLE_EQ(a->latency_p99_ms, b->latency_p99_ms);
+}
+
+TEST(DspeSimTest, WorkerLatencyPercentilesOrdered) {
+  auto result = RunDspeSimulation(BaseConfig(AlgorithmKind::kPkg));
+  ASSERT_TRUE(result.ok());
+  EXPECT_LE(result->p50_worker_avg_latency_ms, result->p95_worker_avg_latency_ms);
+  EXPECT_LE(result->p95_worker_avg_latency_ms, result->p99_worker_avg_latency_ms);
+  EXPECT_LE(result->p99_worker_avg_latency_ms,
+            result->max_worker_avg_latency_ms + 1e-9);
+}
+
+TEST(DspeSimTest, SmallRunSingleSourceSingleWorker) {
+  DspeConfig config = BaseConfig(AlgorithmKind::kShuffleGrouping);
+  config.num_sources = 1;
+  config.partitioner.num_workers = 1;
+  config.num_messages = 100;
+  auto result = RunDspeSimulation(config);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->completed, 100u);
+  // Single worker at 1ms/tuple: makespan >= 0.1s.
+  EXPECT_GE(result->makespan_s, 0.099);
+}
+
+}  // namespace
+}  // namespace slb

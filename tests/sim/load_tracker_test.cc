@@ -1,0 +1,72 @@
+#include "slb/sim/load_tracker.h"
+
+#include <gtest/gtest.h>
+
+namespace slb {
+namespace {
+
+TEST(LoadTrackerTest, EmptyHasZeroImbalance) {
+  LoadTracker tracker(4);
+  EXPECT_EQ(tracker.total(), 0u);
+  EXPECT_DOUBLE_EQ(tracker.Imbalance(), 0.0);
+}
+
+TEST(LoadTrackerTest, PerfectBalanceIsZeroImbalance) {
+  LoadTracker tracker(4);
+  for (uint32_t w = 0; w < 4; ++w) {
+    for (int i = 0; i < 25; ++i) tracker.Record(w, i, false);
+  }
+  EXPECT_EQ(tracker.total(), 100u);
+  EXPECT_NEAR(tracker.Imbalance(), 0.0, 1e-12);
+}
+
+TEST(LoadTrackerTest, ImbalanceMatchesDefinition) {
+  // I = max(L) - avg(L); 70/30 on two workers: 0.7 - 0.5 = 0.2.
+  LoadTracker tracker(2);
+  for (int i = 0; i < 70; ++i) tracker.Record(0, i, false);
+  for (int i = 0; i < 30; ++i) tracker.Record(1, i, false);
+  EXPECT_NEAR(tracker.Imbalance(), 0.2, 1e-12);
+}
+
+TEST(LoadTrackerTest, NormalizedLoadsSumToOne) {
+  LoadTracker tracker(5);
+  for (int i = 0; i < 123; ++i) tracker.Record(i % 3, i, false);
+  const auto loads = tracker.NormalizedLoads();
+  double sum = 0;
+  for (double l : loads) sum += l;
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(loads[4], 0.0);
+}
+
+TEST(LoadTrackerTest, HeadTailSplitAddsUp) {
+  LoadTracker tracker(3);
+  for (int i = 0; i < 60; ++i) tracker.Record(i % 3, 0, /*is_head=*/true);
+  for (int i = 0; i < 40; ++i) tracker.Record(i % 3, 1 + i, /*is_head=*/false);
+  EXPECT_EQ(tracker.head_messages(), 60u);
+  const auto head = tracker.NormalizedHeadLoads();
+  const auto tail = tracker.NormalizedTailLoads();
+  const auto all = tracker.NormalizedLoads();
+  for (int w = 0; w < 3; ++w) {
+    EXPECT_NEAR(head[w] + tail[w], all[w], 1e-12);
+  }
+}
+
+TEST(LoadTrackerTest, MemoryCountsDistinctKeyWorkerPairs) {
+  LoadTracker tracker(4, /*track_memory=*/true);
+  tracker.Record(0, 7, false);
+  tracker.Record(0, 7, false);  // duplicate pair
+  tracker.Record(1, 7, false);  // same key, new worker
+  tracker.Record(1, 8, false);  // new key
+  EXPECT_EQ(tracker.memory_entries(), 3u);
+  EXPECT_TRUE(tracker.tracks_memory());
+}
+
+TEST(LoadTrackerTest, MemoryTrackingOffByDefault) {
+  LoadTracker tracker(2);
+  tracker.Record(0, 1, false);
+  EXPECT_FALSE(tracker.tracks_memory());
+  EXPECT_EQ(tracker.memory_entries(), 0u);
+}
+
+}  // namespace
+}  // namespace slb

@@ -1,0 +1,163 @@
+#include "slb/sim/partition_simulator.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "slb/workload/datasets.h"
+
+namespace slb {
+namespace {
+
+PartitionSimConfig Config(AlgorithmKind algo, uint32_t n, uint32_t sources = 5) {
+  PartitionSimConfig config;
+  config.algorithm = algo;
+  config.partitioner.num_workers = n;
+  config.partitioner.hash_seed = 7;
+  config.num_sources = sources;
+  return config;
+}
+
+std::unique_ptr<SyntheticStreamGenerator> Stream(double z, uint64_t keys,
+                                                 uint64_t messages,
+                                                 uint64_t seed = 3) {
+  return MakeGenerator(MakeZipfSpec(z, keys, messages, seed));
+}
+
+TEST(PartitionSimTest, RejectsBadInput) {
+  auto config = Config(AlgorithmKind::kPkg, 5);
+  EXPECT_FALSE(RunPartitionSimulation(config, nullptr).ok());
+  config.num_sources = 0;
+  auto stream = Stream(1.0, 100, 1000);
+  EXPECT_FALSE(RunPartitionSimulation(config, stream.get()).ok());
+}
+
+TEST(PartitionSimTest, ConservesMessages) {
+  auto stream = Stream(1.2, 1000, 50000);
+  auto result =
+      RunPartitionSimulation(Config(AlgorithmKind::kPkg, 10), stream.get());
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->total_messages, 50000u);
+  double load_sum =
+      std::accumulate(result->worker_loads.begin(), result->worker_loads.end(), 0.0);
+  EXPECT_NEAR(load_sum, 1.0, 1e-9);
+}
+
+TEST(PartitionSimTest, ShuffleGroupingIsNearPerfect) {
+  auto stream = Stream(2.0, 1000, 60000);
+  auto result = RunPartitionSimulation(
+      Config(AlgorithmKind::kShuffleGrouping, 12), stream.get());
+  ASSERT_TRUE(result.ok());
+  EXPECT_LT(result->final_imbalance, 1e-3);
+}
+
+TEST(PartitionSimTest, TimeSeriesHasRequestedSamples) {
+  auto config = Config(AlgorithmKind::kPkg, 8);
+  config.num_samples = 20;
+  auto stream = Stream(1.0, 500, 20000);
+  auto result = RunPartitionSimulation(config, stream.get());
+  ASSERT_TRUE(result.ok());
+  EXPECT_GE(result->imbalance_series.size(), 20u);
+  EXPECT_LE(result->imbalance_series.size(), 21u);  // +1 for the final point
+  EXPECT_EQ(result->imbalance_series.size(), result->sample_positions.size());
+  EXPECT_EQ(result->sample_positions.back(), 20000u);
+}
+
+TEST(PartitionSimTest, KeyGroupingSuffersUnderSkew) {
+  // At z = 2 the hottest key holds ~60% of the stream; KG pins it to one
+  // worker, so imbalance approaches p1 - 1/n.
+  auto stream = Stream(2.0, 10000, 50000);
+  auto result =
+      RunPartitionSimulation(Config(AlgorithmKind::kKeyGrouping, 20), stream.get());
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->final_imbalance, 0.3);
+}
+
+TEST(PartitionSimTest, WChoicesBeatsPkgAtScaleUnderSkew) {
+  // The paper's headline effect (Fig. 1/10): at large n and high skew,
+  // PKG's imbalance is orders of magnitude above W-C's.
+  auto stream1 = Stream(1.8, 10000, 200000);
+  auto pkg = RunPartitionSimulation(Config(AlgorithmKind::kPkg, 50), stream1.get());
+  auto stream2 = Stream(1.8, 10000, 200000);
+  auto wc =
+      RunPartitionSimulation(Config(AlgorithmKind::kWChoices, 50), stream2.get());
+  ASSERT_TRUE(pkg.ok());
+  ASSERT_TRUE(wc.ok());
+  EXPECT_GT(pkg->final_imbalance, 10 * wc->final_imbalance);
+  EXPECT_LT(wc->final_imbalance, 1e-2);
+}
+
+TEST(PartitionSimTest, DChoicesTracksWChoicesClosely) {
+  auto stream1 = Stream(1.6, 10000, 200000);
+  auto dc =
+      RunPartitionSimulation(Config(AlgorithmKind::kDChoices, 50), stream1.get());
+  auto stream2 = Stream(1.6, 10000, 200000);
+  auto wc =
+      RunPartitionSimulation(Config(AlgorithmKind::kWChoices, 50), stream2.get());
+  ASSERT_TRUE(dc.ok());
+  ASSERT_TRUE(wc.ok());
+  // D-C tolerates epsilon * sources of imbalance on top of W-C.
+  EXPECT_LT(dc->final_imbalance, wc->final_imbalance + 5 * 1e-3);
+  EXPECT_GE(dc->final_head_choices, 2u);
+}
+
+TEST(PartitionSimTest, MemoryAccountingOrdering) {
+  // Measured (key,worker) assignments: PKG <= D-C <= W-C <= SG.
+  auto run = [](AlgorithmKind kind) {
+    auto config = Config(kind, 20);
+    config.track_memory = true;
+    auto stream = Stream(1.5, 2000, 80000);
+    auto result = RunPartitionSimulation(config, stream.get());
+    EXPECT_TRUE(result.ok());
+    return result->memory_entries;
+  };
+  const uint64_t pkg = run(AlgorithmKind::kPkg);
+  const uint64_t dc = run(AlgorithmKind::kDChoices);
+  const uint64_t wc = run(AlgorithmKind::kWChoices);
+  const uint64_t sg = run(AlgorithmKind::kShuffleGrouping);
+  EXPECT_LE(pkg, dc + dc / 10);
+  EXPECT_LE(dc, wc + wc / 10);
+  EXPECT_LT(wc, sg);
+}
+
+TEST(PartitionSimTest, HeadLoadRecordedForHeadAwareAlgorithms) {
+  auto config = Config(AlgorithmKind::kWChoices, 5);
+  auto stream = Stream(2.0, 10000, 60000);
+  auto result = RunPartitionSimulation(config, stream.get());
+  ASSERT_TRUE(result.ok());
+  // At z=2, the head carries most of the stream.
+  EXPECT_GT(result->head_messages, result->total_messages / 3);
+  double head_sum = std::accumulate(result->worker_head_loads.begin(),
+                                    result->worker_head_loads.end(), 0.0);
+  EXPECT_NEAR(head_sum, static_cast<double>(result->head_messages) /
+                            static_cast<double>(result->total_messages),
+              1e-9);
+}
+
+TEST(PartitionSimTest, SingleSourceAndManySources) {
+  // The s x epsilon imbalance floor (Sec. V, Fig. 10-11): more sources can
+  // only degrade balance slightly; both configurations must stay far below
+  // PKG's imbalance.
+  auto stream1 = Stream(1.8, 5000, 100000);
+  auto one = RunPartitionSimulation(Config(AlgorithmKind::kWChoices, 50, 1),
+                                    stream1.get());
+  auto stream2 = Stream(1.8, 5000, 100000);
+  auto ten = RunPartitionSimulation(Config(AlgorithmKind::kWChoices, 50, 10),
+                                    stream2.get());
+  ASSERT_TRUE(one.ok());
+  ASSERT_TRUE(ten.ok());
+  EXPECT_LT(one->final_imbalance, 5e-3);
+  EXPECT_LT(ten->final_imbalance, 2e-2);
+}
+
+TEST(PartitionSimTest, DriftingStreamStillBalanced) {
+  DatasetSpec ct = MakeCashtagsSpec(0.1);
+  auto gen = MakeGenerator(ct);
+  auto result =
+      RunPartitionSimulation(Config(AlgorithmKind::kDChoices, 10), gen.get());
+  ASSERT_TRUE(result.ok());
+  EXPECT_LT(result->final_imbalance, 0.05);
+}
+
+}  // namespace
+}  // namespace slb

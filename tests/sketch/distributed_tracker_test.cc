@@ -1,0 +1,112 @@
+#include "slb/sketch/distributed_tracker.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "slb/common/rng.h"
+#include "slb/workload/zipf.h"
+
+namespace slb {
+namespace {
+
+TEST(DistributedTrackerTest, SingleSourceMatchesPlainSketch) {
+  DistributedHeadTracker tracker(1, 64, /*sync_interval=*/0);
+  SpaceSaving plain(64);
+  Rng rng(1);
+  for (int i = 0; i < 5000; ++i) {
+    const uint64_t key = rng.NextBounded(100);
+    tracker.Update(0, key);
+    plain.UpdateAndEstimate(key);
+  }
+  tracker.ForceSync();
+  for (uint64_t key = 0; key < 100; ++key) {
+    EXPECT_EQ(tracker.EstimateGlobal(0, key), plain.Estimate(key));
+  }
+}
+
+TEST(DistributedTrackerTest, DisjointSourcesMergeExactly) {
+  // Two sources see disjoint keys, both under capacity: the merged view
+  // must be exact for all of them.
+  DistributedHeadTracker tracker(2, 128, 0);
+  for (int i = 0; i < 300; ++i) tracker.Update(0, 1);
+  for (int i = 0; i < 200; ++i) tracker.Update(1, 2);
+  tracker.ForceSync();
+  EXPECT_EQ(tracker.EstimateGlobal(0, 1), 300u);
+  EXPECT_EQ(tracker.EstimateGlobal(0, 2), 200u);
+  EXPECT_EQ(tracker.total(), 500u);
+}
+
+TEST(DistributedTrackerTest, HotKeyAtOneSourceVisibleGlobally) {
+  // A key hot at ONLY source 3 must appear in the global head after a sync,
+  // even though other sources never see it.
+  const uint32_t sources = 4;
+  DistributedHeadTracker tracker(sources, 64, /*sync_interval=*/1000);
+  Rng rng(5);
+  for (int round = 0; round < 2000; ++round) {
+    for (uint32_t s = 0; s < sources; ++s) {
+      if (s == 3 && rng.NextBool(0.5)) {
+        tracker.Update(s, 777);  // hot only at source 3
+      } else {
+        tracker.Update(s, rng.NextBounded(5000));
+      }
+    }
+  }
+  tracker.ForceSync();
+  // Key 777 holds ~12.5% of the global stream.
+  EXPECT_TRUE(tracker.IsGlobalHeavy(0, 777, 0.05))
+      << "source 0 must learn about source 3's hot key";
+  const auto heavy = tracker.GlobalHeavyHitters(0.05);
+  bool found = false;
+  for (const auto& hk : heavy) found |= (hk.key == 777);
+  EXPECT_TRUE(found);
+}
+
+TEST(DistributedTrackerTest, AutomaticSyncFiresOnInterval) {
+  DistributedHeadTracker tracker(2, 32, /*sync_interval=*/100);
+  for (int i = 0; i < 250; ++i) tracker.Update(0, i % 7);
+  EXPECT_GE(tracker.syncs_performed(), 2u);
+  // After syncs, local deltas are empty but the snapshot holds the mass.
+  EXPECT_GT(tracker.global_snapshot().total(), 0u);
+}
+
+TEST(DistributedTrackerTest, LocalDeltaVisibleBeforeSync) {
+  DistributedHeadTracker tracker(2, 32, 0);
+  for (int i = 0; i < 50; ++i) tracker.Update(0, 9);
+  // No sync yet: source 0 sees its delta, source 1 does not.
+  EXPECT_EQ(tracker.EstimateGlobal(0, 9), 50u);
+  EXPECT_EQ(tracker.EstimateGlobal(1, 9), 0u);
+  tracker.ForceSync();
+  EXPECT_EQ(tracker.EstimateGlobal(1, 9), 50u);
+}
+
+TEST(DistributedTrackerTest, EstimateNeverUndercountsSkewedStreams) {
+  const uint32_t sources = 3;
+  DistributedHeadTracker tracker(sources, 100, 500);
+  ZipfDistribution zipf(1.5, 2000);
+  Rng rng(9);
+  std::map<uint64_t, uint64_t> truth;
+  for (int i = 0; i < 30000; ++i) {
+    const uint64_t key = zipf.Sample(&rng);
+    ++truth[key];
+    tracker.Update(static_cast<uint32_t>(i % sources), key);
+  }
+  tracker.ForceSync();
+  for (const auto& [key, count] : truth) {
+    if (count < 300) continue;  // clearly-tracked keys only
+    EXPECT_GE(tracker.EstimateGlobal(0, key), count) << "key " << key;
+  }
+}
+
+TEST(DistributedTrackerTest, TotalIsExactAcrossSources) {
+  DistributedHeadTracker tracker(5, 16, 64);
+  Rng rng(2);
+  for (int i = 0; i < 1000; ++i) {
+    tracker.Update(static_cast<uint32_t>(rng.NextBounded(5)),
+                   rng.NextBounded(100));
+  }
+  EXPECT_EQ(tracker.total(), 1000u);
+}
+
+}  // namespace
+}  // namespace slb

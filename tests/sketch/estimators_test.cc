@@ -1,0 +1,185 @@
+// Cross-cutting property tests run against every FrequencyEstimator
+// implementation: the guarantees the head-detection logic relies on.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "slb/common/rng.h"
+#include "slb/sketch/count_min.h"
+#include "slb/sketch/frequency_estimator.h"
+#include "slb/sketch/lossy_counting.h"
+#include "slb/sketch/misra_gries.h"
+#include "slb/sketch/space_saving.h"
+#include "slb/workload/zipf.h"
+
+namespace slb {
+namespace {
+
+enum class Kind { kSpaceSaving, kMisraGries, kLossyCounting, kCountMin };
+
+std::unique_ptr<FrequencyEstimator> Make(Kind kind) {
+  switch (kind) {
+    case Kind::kSpaceSaving:
+      return std::make_unique<SpaceSaving>(200);
+    case Kind::kMisraGries:
+      return std::make_unique<MisraGries>(200);
+    case Kind::kLossyCounting:
+      return std::make_unique<LossyCounting>(1.0 / 200);
+    case Kind::kCountMin:
+      return std::make_unique<CountMin>(CountMin::ForError(1.0 / 200, 1e-3, 200));
+  }
+  return nullptr;
+}
+
+class EstimatorsTest : public ::testing::TestWithParam<Kind> {};
+
+TEST_P(EstimatorsTest, TotalCountsUpdates) {
+  auto est = Make(GetParam());
+  Rng rng(1);
+  for (int i = 0; i < 1234; ++i) est->UpdateAndEstimate(rng.NextBounded(50));
+  EXPECT_EQ(est->total(), 1234u);
+}
+
+TEST_P(EstimatorsTest, EstimateNeverUndercountsWithinBound) {
+  // All four sketches guarantee: true - bound <= ... <= Estimate, where the
+  // implementations here are tuned for error bound <= N/200 (+ slack for
+  // probabilistic CMS).
+  auto est = Make(GetParam());
+  ZipfDistribution zipf(1.3, 2000);
+  Rng rng(7);
+  std::map<uint64_t, uint64_t> truth;
+  const int n = 60000;
+  for (int i = 0; i < n; ++i) {
+    const uint64_t key = zipf.Sample(&rng);
+    ++truth[key];
+    est->UpdateAndEstimate(key);
+  }
+  const double bound = 2.0 * n / 200.0;  // generous: 2x the design error
+  for (const auto& [key, count] : truth) {
+    if (count < 100) continue;  // only meaningful for clearly-tracked keys
+    const uint64_t estimate = est->Estimate(key);
+    EXPECT_GE(static_cast<double>(estimate), static_cast<double>(count) - bound)
+        << est->name() << " undercounts key " << key;
+    EXPECT_LE(static_cast<double>(estimate), static_cast<double>(count) + bound)
+        << est->name() << " overcounts key " << key;
+  }
+}
+
+TEST_P(EstimatorsTest, HeavyHittersFindsTheHead) {
+  // Every key with true frequency >= 2*phi must be reported at threshold phi
+  // (phi chosen well above the design error so all sketches must succeed).
+  auto est = Make(GetParam());
+  ZipfDistribution zipf(1.8, 5000);
+  Rng rng(13);
+  std::map<uint64_t, uint64_t> truth;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const uint64_t key = zipf.Sample(&rng);
+    ++truth[key];
+    est->UpdateAndEstimate(key);
+  }
+  const double phi = 0.02;
+  const auto hh = est->HeavyHitters(phi);
+  for (const auto& [key, count] : truth) {
+    if (static_cast<double>(count) >= 2 * phi * n) {
+      bool found = false;
+      for (const auto& hk : hh) found |= (hk.key == key);
+      EXPECT_TRUE(found) << est->name() << " missed hot key " << key
+                         << " with count " << count;
+    }
+  }
+}
+
+TEST_P(EstimatorsTest, ResetYieldsEmptyState) {
+  auto est = Make(GetParam());
+  for (int i = 0; i < 1000; ++i) est->UpdateAndEstimate(i % 7);
+  est->Reset();
+  EXPECT_EQ(est->total(), 0u);
+  EXPECT_TRUE(est->HeavyHitters(0.01).empty());
+}
+
+TEST_P(EstimatorsTest, UpdateReturnValueMatchesEstimate) {
+  auto est = Make(GetParam());
+  Rng rng(17);
+  for (int i = 0; i < 5000; ++i) {
+    const uint64_t key = rng.NextBounded(100);
+    const uint64_t returned = est->UpdateAndEstimate(key);
+    EXPECT_EQ(returned, est->Estimate(key)) << est->name();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSketches, EstimatorsTest,
+                         ::testing::Values(Kind::kSpaceSaving, Kind::kMisraGries,
+                                           Kind::kLossyCounting, Kind::kCountMin),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case Kind::kSpaceSaving:
+                               return std::string("SpaceSaving");
+                             case Kind::kMisraGries:
+                               return std::string("MisraGries");
+                             case Kind::kLossyCounting:
+                               return std::string("LossyCounting");
+                             case Kind::kCountMin:
+                               return std::string("CountMin");
+                           }
+                           return std::string("?");
+                         });
+
+TEST(MisraGriesTest, DecrementRoundsBoundError) {
+  MisraGries mg(4);
+  // 8 distinct keys over capacity 4 force decrement rounds.
+  for (int rep = 0; rep < 10; ++rep) {
+    for (uint64_t k = 0; k < 8; ++k) mg.UpdateAndEstimate(k);
+  }
+  EXPECT_LE(mg.decrements(), mg.total() / 4);
+  EXPECT_LE(mg.memory_counters(), 4u);
+}
+
+TEST(MisraGriesTest, HotKeySurvivesChurn) {
+  MisraGries mg(8);
+  Rng rng(3);
+  for (int i = 0; i < 30000; ++i) {
+    mg.UpdateAndEstimate(rng.NextBool(0.4) ? 7ULL : 100 + rng.NextBounded(5000));
+  }
+  // Key 7 holds ~40% of the stream; it must be tracked with a large count.
+  EXPECT_GT(mg.Estimate(7), 30000u * 0.4 * 0.5);
+}
+
+TEST(LossyCountingTest, WindowWidthFromEpsilon) {
+  LossyCounting lc(0.01);
+  EXPECT_EQ(lc.window_width(), 100u);
+}
+
+TEST(LossyCountingTest, PrunesColdEntries) {
+  LossyCounting lc(0.1);  // window 10
+  // 1000 distinct singletons: memory must stay ~window-bounded, far below
+  // the number of distinct keys.
+  for (uint64_t k = 0; k < 1000; ++k) lc.UpdateAndEstimate(k);
+  EXPECT_LT(lc.memory_counters(), 50u);
+}
+
+TEST(CountMinTest, DimensionsFromErrorSpec) {
+  const CountMin cm = CountMin::ForError(0.01, 0.01, 16);
+  EXPECT_GE(cm.width(), 272u);  // ceil(e / 0.01)
+  EXPECT_GE(cm.depth(), 5u);    // ceil(ln 100)
+}
+
+TEST(CountMinTest, NeverUndercounts) {
+  CountMin cm(128, 4, 32);
+  Rng rng(5);
+  std::map<uint64_t, uint64_t> truth;
+  for (int i = 0; i < 20000; ++i) {
+    const uint64_t key = rng.NextBounded(500);
+    ++truth[key];
+    cm.UpdateAndEstimate(key);
+  }
+  for (const auto& [key, count] : truth) {
+    EXPECT_GE(cm.Estimate(key), count) << "CMS is one-sided";
+  }
+}
+
+}  // namespace
+}  // namespace slb

@@ -1,0 +1,283 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "slb/workload/datasets.h"
+#include "slb/workload/key_mapper.h"
+#include "slb/workload/stream_generator.h"
+#include "slb/workload/trace.h"
+
+namespace slb {
+namespace {
+
+SyntheticStreamGenerator::Options BaseOptions() {
+  SyntheticStreamGenerator::Options opt;
+  opt.zipf_exponent = 1.2;
+  opt.num_keys = 1000;
+  opt.num_messages = 20000;
+  opt.seed = 9;
+  return opt;
+}
+
+TEST(SyntheticStreamTest, ProducesConfiguredLength) {
+  SyntheticStreamGenerator gen(BaseOptions());
+  std::set<uint64_t> keys;
+  for (uint64_t i = 0; i < gen.num_messages(); ++i) {
+    const uint64_t k = gen.NextKey();
+    ASSERT_LT(k, gen.num_keys());
+    keys.insert(k);
+  }
+  EXPECT_GT(keys.size(), 100u);
+}
+
+TEST(SyntheticStreamTest, ResetReplaysIdenticalSequence) {
+  SyntheticStreamGenerator gen(BaseOptions());
+  std::vector<uint64_t> first;
+  for (int i = 0; i < 1000; ++i) first.push_back(gen.NextKey());
+  gen.Reset();
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_EQ(gen.NextKey(), first[i]) << "position " << i;
+  }
+}
+
+TEST(SyntheticStreamTest, SeedsChangeTheStream) {
+  auto opt = BaseOptions();
+  SyntheticStreamGenerator a(opt);
+  opt.seed = 10;
+  SyntheticStreamGenerator b(opt);
+  int same = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (a.NextKey() == b.NextKey()) ++same;
+  }
+  EXPECT_LT(same, 500);
+}
+
+TEST(SyntheticStreamTest, NoDriftMeansStableHotKey) {
+  auto opt = BaseOptions();
+  opt.num_epochs = 10;
+  opt.drift_swap_fraction = 0.0;
+  SyntheticStreamGenerator gen(opt);
+  // The most frequent key in the first and last quarter must coincide.
+  auto hottest = [&](uint64_t count) {
+    std::map<uint64_t, int> freq;
+    for (uint64_t i = 0; i < count; ++i) ++freq[gen.NextKey()];
+    uint64_t best = 0;
+    int best_count = -1;
+    for (auto& [k, c] : freq) {
+      if (c > best_count) {
+        best = k;
+        best_count = c;
+      }
+    }
+    return best;
+  };
+  const uint64_t early = hottest(5000);
+  hottest(10000);  // skip the middle
+  const uint64_t late = hottest(5000);
+  EXPECT_EQ(early, late);
+}
+
+TEST(SyntheticStreamTest, DriftChangesHotKeyIdentity) {
+  auto opt = BaseOptions();
+  opt.num_messages = 40000;
+  opt.num_epochs = 8;
+  opt.drift_swap_fraction = 1.0;  // aggressive drift
+  opt.zipf_exponent = 1.6;
+  SyntheticStreamGenerator gen(opt);
+  std::vector<uint64_t> hot_per_epoch;
+  for (int epoch = 0; epoch < 8; ++epoch) {
+    std::map<uint64_t, int> freq;
+    for (int i = 0; i < 5000; ++i) ++freq[gen.NextKey()];
+    uint64_t best = 0;
+    int best_count = -1;
+    for (auto& [k, c] : freq) {
+      if (c > best_count) {
+        best = k;
+        best_count = c;
+      }
+    }
+    hot_per_epoch.push_back(best);
+  }
+  std::set<uint64_t> distinct(hot_per_epoch.begin(), hot_per_epoch.end());
+  EXPECT_GT(distinct.size(), 2u) << "hot key identity must drift";
+}
+
+TEST(SyntheticStreamTest, DriftPreservesDistributionShape) {
+  // Drift permutes identities, not probabilities: the max key frequency
+  // within an epoch stays ~p1.
+  auto opt = BaseOptions();
+  opt.num_messages = 40000;
+  opt.num_epochs = 4;
+  opt.drift_swap_fraction = 0.5;
+  opt.zipf_exponent = 1.5;
+  SyntheticStreamGenerator gen(opt);
+  const double p1 = gen.distribution().Probability(0);
+  for (int epoch = 0; epoch < 4; ++epoch) {
+    std::map<uint64_t, int> freq;
+    for (int i = 0; i < 10000; ++i) ++freq[gen.NextKey()];
+    int max_count = 0;
+    for (auto& [k, c] : freq) max_count = std::max(max_count, c);
+    EXPECT_NEAR(max_count / 10000.0, p1, 0.25 * p1) << "epoch " << epoch;
+  }
+}
+
+TEST(DriftingKeyMapperTest, IsAPermutation) {
+  DriftingKeyMapper mapper(500, 0.3, 3);
+  Rng rng(4);
+  for (int epoch = 0; epoch < 5; ++epoch) {
+    std::set<uint64_t> image;
+    for (uint64_t r = 0; r < 500; ++r) {
+      const uint64_t k = mapper.Map(r);
+      ASSERT_LT(k, 500u);
+      image.insert(k);
+    }
+    EXPECT_EQ(image.size(), 500u) << "mapper must stay bijective";
+    mapper.AdvanceEpoch(&rng);
+  }
+}
+
+TEST(DriftingKeyMapperTest, ZeroFractionIsStatic) {
+  DriftingKeyMapper mapper(100, 0.0, 3);
+  std::vector<uint64_t> before;
+  for (uint64_t r = 0; r < 100; ++r) before.push_back(mapper.Map(r));
+  Rng rng(4);
+  mapper.AdvanceEpoch(&rng);
+  for (uint64_t r = 0; r < 100; ++r) EXPECT_EQ(mapper.Map(r), before[r]);
+}
+
+TEST(VectorStreamTest, ReplaysAndResets) {
+  VectorStreamGenerator gen("fixture", {3, 1, 4, 1, 5}, 6);
+  EXPECT_EQ(gen.num_messages(), 5u);
+  EXPECT_EQ(gen.NextKey(), 3u);
+  EXPECT_EQ(gen.NextKey(), 1u);
+  gen.Reset();
+  EXPECT_EQ(gen.NextKey(), 3u);
+}
+
+TEST(DatasetsTest, SpecsMatchTableOne) {
+  const DatasetSpec wp = MakeWikipediaSpec(1.0);
+  EXPECT_EQ(wp.num_messages, 22000000u);
+  EXPECT_EQ(wp.num_keys, 2900000u);
+  EXPECT_NEAR(ZipfTopProbability(wp.zipf_exponent, wp.num_keys), 0.0932, 1e-6);
+
+  const DatasetSpec tw = MakeTwitterSpec(1.0);
+  EXPECT_EQ(tw.num_messages, 1200000000u);
+  EXPECT_EQ(tw.num_keys, 31000000u);
+
+  const DatasetSpec ct = MakeCashtagsSpec(1.0);
+  EXPECT_EQ(ct.num_messages, 690000u);
+  EXPECT_EQ(ct.num_keys, 2900u);
+  EXPECT_GT(ct.drift_swap_fraction, 0.0) << "CT carries concept drift";
+}
+
+TEST(DatasetsTest, ScalingKeepsP1Calibrated) {
+  const DatasetSpec wp = MakeWikipediaSpec(0.01);
+  EXPECT_EQ(wp.num_messages, 220000u);
+  EXPECT_EQ(wp.num_keys, 29000u);
+  EXPECT_NEAR(ZipfTopProbability(wp.zipf_exponent, wp.num_keys), 0.0932, 1e-6);
+}
+
+TEST(DatasetsTest, MeasuredP1MatchesTargetWithoutDrift) {
+  DatasetSpec wp = MakeWikipediaSpec(0.01);  // 220k messages, 29k keys
+  auto gen = MakeGenerator(wp);
+  const DatasetStats stats = MeasureDataset(gen.get());
+  EXPECT_EQ(stats.messages, wp.num_messages);
+  EXPECT_NEAR(stats.measured_p1, wp.target_p1, 0.1 * wp.target_p1);
+  EXPECT_GT(stats.distinct_keys, wp.num_keys / 4);
+}
+
+TEST(DatasetsTest, DriftDilutesWholeStreamP1) {
+  // CT reshuffles hot-key identities across epochs, so no single identity
+  // accumulates the full per-epoch rank-1 frequency over the whole stream —
+  // exactly the property Figs. 11-12 use the dataset for. The per-epoch
+  // distribution is calibrated hotter than Table I's whole-stream p1
+  // (see MakeCashtagsSpec).
+  DatasetSpec ct = MakeCashtagsSpec(0.2);
+  auto gen = MakeGenerator(ct);
+  const DatasetStats stats = MeasureDataset(gen.get());
+  const double epoch_p1 = ZipfTopProbability(ct.zipf_exponent, ct.num_keys);
+  EXPECT_LT(stats.measured_p1, epoch_p1) << "drift must dilute the maximum";
+  EXPECT_GT(stats.measured_p1, ct.target_p1 / 4) << "but hot keys persist";
+  EXPECT_GT(stats.distinct_keys, ct.num_keys / 4);
+}
+
+TEST(DatasetsTest, ZipfSpecPassesParametersThrough) {
+  const DatasetSpec zf = MakeZipfSpec(1.7, 12345, 99999, 7);
+  EXPECT_EQ(zf.num_keys, 12345u);
+  EXPECT_EQ(zf.num_messages, 99999u);
+  EXPECT_DOUBLE_EQ(zf.zipf_exponent, 1.7);
+  auto gen = MakeGenerator(zf);
+  EXPECT_EQ(gen->num_messages(), 99999u);
+}
+
+class TraceRoundTripTest : public ::testing::Test {
+ protected:
+  std::string TempPath(const std::string& name) {
+    return testing::TempDir() + "/" + name;
+  }
+};
+
+TEST_F(TraceRoundTripTest, BinaryRoundTrip) {
+  Trace trace;
+  trace.num_keys = 100;
+  for (uint64_t i = 0; i < 1000; ++i) trace.keys.push_back(i % 97);
+  const std::string path = TempPath("roundtrip.slbt");
+  ASSERT_TRUE(WriteTrace(path, trace).ok());
+  auto loaded = ReadTrace(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->num_keys, trace.num_keys);
+  EXPECT_EQ(loaded->keys, trace.keys);
+  std::remove(path.c_str());
+}
+
+TEST_F(TraceRoundTripTest, TextRoundTrip) {
+  Trace trace;
+  trace.keys = {5, 3, 5, 9};
+  trace.num_keys = 10;
+  const std::string path = TempPath("roundtrip.txt");
+  ASSERT_TRUE(WriteTextTrace(path, trace).ok());
+  auto loaded = ReadTextTrace(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->keys, trace.keys);
+  EXPECT_EQ(loaded->num_keys, 10u);  // inferred max+1
+  std::remove(path.c_str());
+}
+
+TEST_F(TraceRoundTripTest, MissingFileIsIOError) {
+  auto loaded = ReadTrace("/nonexistent/path/to/trace.slbt");
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_TRUE(loaded.status().IsIOError());
+}
+
+TEST_F(TraceRoundTripTest, CorruptMagicDetected) {
+  const std::string path = TempPath("corrupt.slbt");
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  std::fputs("NOTATRACEFILE_PADDING_PADDING", f);
+  std::fclose(f);
+  auto loaded = ReadTrace(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_TRUE(loaded.status().IsCorruption());
+  std::remove(path.c_str());
+}
+
+TEST_F(TraceRoundTripTest, RecordThenReplayMatchesGenerator) {
+  auto opt = BaseOptions();
+  opt.num_messages = 5000;
+  SyntheticStreamGenerator gen(opt);
+  Trace trace = RecordTrace(&gen);
+  EXPECT_EQ(trace.keys.size(), 5000u);
+
+  auto replay = MakeTraceGenerator("replay", std::move(trace));
+  gen.Reset();
+  for (int i = 0; i < 5000; ++i) {
+    ASSERT_EQ(replay->NextKey(), gen.NextKey()) << "position " << i;
+  }
+}
+
+}  // namespace
+}  // namespace slb

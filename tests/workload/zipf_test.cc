@@ -1,0 +1,168 @@
+#include "slb/workload/zipf.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <vector>
+
+#include "slb/common/rng.h"
+
+namespace slb {
+namespace {
+
+TEST(HarmonicTest, KnownValues) {
+  EXPECT_DOUBLE_EQ(GeneralizedHarmonic(0.0, 10), 10.0);
+  EXPECT_NEAR(GeneralizedHarmonic(1.0, 4), 1.0 + 0.5 + 1.0 / 3 + 0.25, 1e-12);
+  EXPECT_NEAR(GeneralizedHarmonic(2.0, 2), 1.25, 1e-12);
+}
+
+TEST(ZipfTopProbabilityTest, MatchesHarmonic) {
+  EXPECT_NEAR(ZipfTopProbability(2.0, 2), 1.0 / 1.25, 1e-12);
+  // z = 2, large K: p1 -> 1/zeta(2) = 6/pi^2 ~= 0.6079.
+  EXPECT_NEAR(ZipfTopProbability(2.0, 1000000), 6.0 / (M_PI * M_PI), 1e-4);
+}
+
+TEST(CalibrateZipfTest, RecoversExponent) {
+  for (double z : {0.5, 0.9, 1.1, 1.5, 2.0}) {
+    const uint64_t keys = 10000;
+    const double p1 = ZipfTopProbability(z, keys);
+    EXPECT_NEAR(CalibrateZipfExponent(keys, p1), z, 1e-6) << "z=" << z;
+  }
+}
+
+TEST(CalibrateZipfTest, PaperDatasetTargets) {
+  // The Table I calibration points must be reachable.
+  const double z_wp = CalibrateZipfExponent(290000, 0.0932);
+  EXPECT_NEAR(ZipfTopProbability(z_wp, 290000), 0.0932, 1e-6);
+  const double z_ct = CalibrateZipfExponent(2900, 0.0329);
+  EXPECT_NEAR(ZipfTopProbability(z_ct, 2900), 0.0329, 1e-6);
+}
+
+TEST(ZipfDistributionTest, ProbabilitiesSumToOne) {
+  for (double z : {0.0, 0.5, 1.0, 2.0}) {
+    ZipfDistribution zipf(z, 1000);
+    double sum = 0;
+    for (uint64_t r = 0; r < 1000; ++r) sum += zipf.Probability(r);
+    EXPECT_NEAR(sum, 1.0, 1e-9) << "z=" << z;
+  }
+}
+
+TEST(ZipfDistributionTest, ProbabilitiesDecreaseWithRank) {
+  ZipfDistribution zipf(1.2, 500);
+  for (uint64_t r = 1; r < 500; ++r) {
+    EXPECT_LE(zipf.Probability(r), zipf.Probability(r - 1));
+  }
+  EXPECT_EQ(zipf.Probability(500), 0.0) << "out of support";
+}
+
+TEST(ZipfDistributionTest, TopProbabilitiesPrefix) {
+  ZipfDistribution zipf(1.0, 100);
+  const auto top = zipf.TopProbabilities(5);
+  ASSERT_EQ(top.size(), 5u);
+  for (uint64_t r = 0; r < 5; ++r) {
+    EXPECT_DOUBLE_EQ(top[r], zipf.Probability(r));
+  }
+  EXPECT_EQ(zipf.TopProbabilities(1000).size(), 100u) << "clamped to |K|";
+}
+
+TEST(ZipfDistributionTest, CountAboveThresholdMatchesLinearScan) {
+  ZipfDistribution zipf(1.3, 2000);
+  for (double threshold : {1e-1, 1e-2, 1e-3, 1e-4, 1e-5}) {
+    uint64_t expected = 0;
+    for (uint64_t r = 0; r < 2000; ++r) {
+      if (zipf.Probability(r) >= threshold) ++expected;
+    }
+    EXPECT_EQ(zipf.CountAboveThreshold(threshold), expected)
+        << "threshold=" << threshold;
+  }
+  EXPECT_EQ(zipf.CountAboveThreshold(0.0), 2000u);
+  EXPECT_EQ(zipf.CountAboveThreshold(1.1), 0u);
+}
+
+void CheckEmpiricalMatch(const ZipfDistribution& zipf, uint64_t seed) {
+  Rng rng(seed);
+  const int samples = 200000;
+  std::map<uint64_t, int> counts;
+  for (int i = 0; i < samples; ++i) ++counts[zipf.Sample(&rng)];
+  // The top ranks must match their expected frequencies within 5 sigma.
+  for (uint64_t r = 0; r < 10; ++r) {
+    const double p = zipf.Probability(r);
+    if (p * samples < 50) break;
+    const double expected = p * samples;
+    const double sigma = std::sqrt(expected * (1 - p));
+    EXPECT_NEAR(counts[r], expected, 5 * sigma) << "rank " << r;
+  }
+}
+
+TEST(ZipfSamplingTest, AliasTableMatchesPmf) {
+  ZipfDistribution zipf(1.5, 10000, ZipfDistribution::Method::kAliasTable);
+  ASSERT_TRUE(zipf.uses_alias_table());
+  CheckEmpiricalMatch(zipf, 101);
+}
+
+TEST(ZipfSamplingTest, RejectionInversionMatchesPmf) {
+  ZipfDistribution zipf(1.5, 10000,
+                        ZipfDistribution::Method::kRejectionInversion);
+  ASSERT_FALSE(zipf.uses_alias_table());
+  CheckEmpiricalMatch(zipf, 102);
+}
+
+TEST(ZipfSamplingTest, BackendsAgreeAcrossExponents) {
+  // The two samplers implement the same distribution: compare empirical
+  // frequencies of the hot ranks.
+  for (double z : {0.4, 1.0, 1.6}) {
+    ZipfDistribution alias(z, 5000, ZipfDistribution::Method::kAliasTable);
+    ZipfDistribution ri(z, 5000, ZipfDistribution::Method::kRejectionInversion);
+    Rng rng_a(7);
+    Rng rng_b(8);
+    const int samples = 100000;
+    std::vector<int> ca(16, 0);
+    std::vector<int> cb(16, 0);
+    for (int i = 0; i < samples; ++i) {
+      const uint64_t a = alias.Sample(&rng_a);
+      const uint64_t b = ri.Sample(&rng_b);
+      if (a < 16) ++ca[a];
+      if (b < 16) ++cb[b];
+    }
+    for (int r = 0; r < 16; ++r) {
+      const double pa = static_cast<double>(ca[r]) / samples;
+      const double pb = static_cast<double>(cb[r]) / samples;
+      EXPECT_NEAR(pa, pb, 0.01) << "z=" << z << " rank=" << r;
+    }
+  }
+}
+
+TEST(ZipfSamplingTest, RejectionInversionStaysInSupport) {
+  ZipfDistribution zipf(2.0, 7, ZipfDistribution::Method::kRejectionInversion);
+  Rng rng(1);
+  for (int i = 0; i < 50000; ++i) {
+    EXPECT_LT(zipf.Sample(&rng), 7u);
+  }
+}
+
+TEST(ZipfSamplingTest, ZeroExponentIsUniform) {
+  ZipfDistribution zipf(0.0, 100);
+  Rng rng(2);
+  std::vector<int> counts(100, 0);
+  const int samples = 100000;
+  for (int i = 0; i < samples; ++i) ++counts[zipf.Sample(&rng)];
+  for (int r = 0; r < 100; ++r) {
+    EXPECT_NEAR(counts[r], samples / 100.0, 5 * std::sqrt(samples / 100.0));
+  }
+}
+
+TEST(ZipfSamplingTest, SingleKeySupport) {
+  ZipfDistribution zipf(1.4, 1);
+  Rng rng(5);
+  EXPECT_EQ(zipf.Sample(&rng), 0u);
+  EXPECT_DOUBLE_EQ(zipf.Probability(0), 1.0);
+}
+
+TEST(ZipfSamplingTest, AutoSelectsAliasForSmallKeySpaces) {
+  ZipfDistribution small(1.0, 1000);
+  EXPECT_TRUE(small.uses_alias_table());
+}
+
+}  // namespace
+}  // namespace slb
