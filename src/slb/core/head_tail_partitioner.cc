@@ -56,6 +56,10 @@ HeadTailPartitioner::HeadTailPartitioner(const PartitionerOptions& options)
 }
 
 uint32_t HeadTailPartitioner::LeastLoadedOfChoices(uint64_t key, uint32_t d) const {
+  // The family holds one function per worker, so the two-choices tail step
+  // must degrade to one choice when n == 1 (d > n never helps anyway: the
+  // candidate set cannot contain more than n distinct workers).
+  d = std::min(d, family_.max_functions());
   uint32_t best = family_.Worker(key, 0);
   uint64_t best_load = loads_[best];
   for (uint32_t i = 1; i < d; ++i) {

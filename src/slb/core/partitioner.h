@@ -31,6 +31,16 @@ enum class AlgorithmKind {
   kGreedyD,         // every key gets d choices (power-of-d ablation)
 };
 
+/// Every AlgorithmKind, for tests/benches that iterate all algorithms.
+/// Append here when extending the enum — the build smoke test walks this
+/// list, so a kind missing from it escapes the factory-drift canary.
+inline constexpr AlgorithmKind kAllAlgorithmKinds[] = {
+    AlgorithmKind::kKeyGrouping,    AlgorithmKind::kShuffleGrouping,
+    AlgorithmKind::kPkg,            AlgorithmKind::kDChoices,
+    AlgorithmKind::kWChoices,       AlgorithmKind::kRoundRobinHead,
+    AlgorithmKind::kFixedDChoices,  AlgorithmKind::kGreedyD,
+};
+
 /// Parses "kg", "sg", "pkg", "dc"/"d-c", "wc"/"w-c", "rr" (case-insensitive).
 Result<AlgorithmKind> ParseAlgorithmKind(const std::string& text);
 std::string AlgorithmKindName(AlgorithmKind kind);

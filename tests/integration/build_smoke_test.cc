@@ -1,0 +1,60 @@
+// Build/link canary: every AlgorithmKind must be constructible through
+// CreatePartitioner and able to route a realistic Zipf stream. If a
+// partitioner implementation is dropped from the build or the factory drifts
+// out of sync with the enum, this test fails before anything subtler does.
+
+#include <cstdint>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "slb/common/rng.h"
+#include "slb/core/partitioner.h"
+#include "slb/workload/zipf.h"
+
+namespace slb {
+namespace {
+
+TEST(BuildSmokeTest, EveryAlgorithmKindCreatesAndRoutes) {
+  constexpr uint32_t kWorkers = 8;
+  constexpr int kMessages = 10000;
+
+  // One shared key stream so all algorithms see the same skewed workload.
+  ZipfDistribution zipf(1.2, 100000);
+  Rng rng(42);
+  std::vector<uint64_t> keys;
+  keys.reserve(kMessages);
+  for (int i = 0; i < kMessages; ++i) keys.push_back(zipf.Sample(&rng));
+
+  for (AlgorithmKind kind : kAllAlgorithmKinds) {
+    SCOPED_TRACE(AlgorithmKindName(kind));
+
+    PartitionerOptions options;
+    options.num_workers = kWorkers;
+    options.hash_seed = 7;
+
+    auto created = CreatePartitioner(kind, options);
+    ASSERT_TRUE(created.ok()) << created.status().ToString();
+    StreamPartitioner& partitioner = **created;
+
+    EXPECT_EQ(partitioner.num_workers(), kWorkers);
+    EXPECT_FALSE(partitioner.name().empty());
+
+    for (uint64_t key : keys) {
+      const uint32_t worker = partitioner.Route(key);
+      ASSERT_LT(worker, kWorkers);
+    }
+    EXPECT_EQ(partitioner.messages_routed(), static_cast<uint64_t>(kMessages));
+  }
+}
+
+TEST(BuildSmokeTest, ParseRoundTripsEveryKind) {
+  for (AlgorithmKind kind : kAllAlgorithmKinds) {
+    auto parsed = ParseAlgorithmKind(AlgorithmKindName(kind));
+    ASSERT_TRUE(parsed.ok()) << AlgorithmKindName(kind) << ": "
+                             << parsed.status().ToString();
+    EXPECT_EQ(*parsed, kind);
+  }
+}
+
+}  // namespace
+}  // namespace slb

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "slb/common/rng.h"
+#include "slb/core/partitioner.h"
 
 namespace slb {
 namespace {
@@ -162,6 +163,63 @@ TEST(ZipfSamplingTest, SingleKeySupport) {
 TEST(ZipfSamplingTest, AutoSelectsAliasForSmallKeySpaces) {
   ZipfDistribution small(1.0, 1000);
   EXPECT_TRUE(small.uses_alias_table());
+}
+
+// Determinism pins: identical seeds must reproduce identical key streams
+// across runs — every figure bench and simulator result relies on this.
+// The golden streams go through libm (pow/log in the samplers), so they pin
+// glibc-class platforms (the ones CI covers); a last-ulp libm difference
+// elsewhere can shift a rank near a bucket boundary. The libm-free
+// two-instance and routing tests below must hold everywhere.
+TEST(ZipfDeterminismTest, AliasTableGoldenStreamForSeed7) {
+  const uint64_t expected[] = {5, 15, 75, 60, 403, 2, 36, 1, 0, 156, 0, 4};
+  ZipfDistribution zipf(1.1, 1000, ZipfDistribution::Method::kAliasTable);
+  Rng rng(7);
+  for (uint64_t rank : expected) EXPECT_EQ(zipf.Sample(&rng), rank);
+}
+
+TEST(ZipfDeterminismTest, RejectionInversionGoldenStreamForSeed7) {
+  const uint64_t expected[] = {2, 66, 0, 0, 0, 0, 518, 331, 23, 208, 8, 2};
+  ZipfDistribution zipf(1.1, 1000,
+                        ZipfDistribution::Method::kRejectionInversion);
+  Rng rng(7);
+  for (uint64_t rank : expected) EXPECT_EQ(zipf.Sample(&rng), rank);
+}
+
+TEST(ZipfDeterminismTest, SameSeedReproducesIdenticalStreams) {
+  for (auto method : {ZipfDistribution::Method::kAliasTable,
+                      ZipfDistribution::Method::kRejectionInversion}) {
+    ZipfDistribution zipf(1.4, 100000, method);
+    Rng a(99);
+    Rng b(99);
+    for (int i = 0; i < 5000; ++i) {
+      ASSERT_EQ(zipf.Sample(&a), zipf.Sample(&b)) << "sample " << i;
+    }
+  }
+}
+
+// End-to-end determinism: the same seed pair (stream seed, hash seed) must
+// yield bit-identical routing decisions from every algorithm.
+TEST(ZipfDeterminismTest, RoutingDecisionsReproduceAcrossRuns) {
+  for (AlgorithmKind kind : kAllAlgorithmKinds) {
+    SCOPED_TRACE(AlgorithmKindName(kind));
+    PartitionerOptions options;
+    options.num_workers = 16;
+    options.hash_seed = 11;
+
+    std::vector<uint32_t> routes[2];
+    for (auto& run : routes) {
+      auto partitioner = CreatePartitioner(kind, options);
+      ASSERT_TRUE(partitioner.ok()) << partitioner.status().ToString();
+      ZipfDistribution zipf(1.3, 50000);
+      Rng rng(2718);
+      run.reserve(20000);
+      for (int i = 0; i < 20000; ++i) {
+        run.push_back((*partitioner)->Route(zipf.Sample(&rng)));
+      }
+    }
+    EXPECT_EQ(routes[0], routes[1]);
+  }
 }
 
 }  // namespace
