@@ -24,28 +24,13 @@ int Main(int argc, char** argv) {
               "WP scale=" + std::to_string(scale) +
                   ", m=" + std::to_string(wp.num_messages) +
                   ", s=" + std::to_string(env.sources));
-  std::printf("#%-8s %10s %12s %12s %12s\n", "dataset", "workers", "PKG", "D-C",
-              "W-C");
 
-  const uint32_t workers[] = {5, 10, 20, 50, 100};
-  const AlgorithmKind algos[] = {AlgorithmKind::kPkg, AlgorithmKind::kDChoices,
-                                 AlgorithmKind::kWChoices};
-  for (uint32_t n : workers) {
-    double imbalance[3] = {0, 0, 0};
-    for (int a = 0; a < 3; ++a) {
-      PartitionSimConfig config;
-      config.algorithm = algos[a];
-      config.partitioner.num_workers = n;
-      config.partitioner.hash_seed = static_cast<uint64_t>(env.seed);
-      config.num_sources = static_cast<uint32_t>(env.sources);
-      imbalance[a] = RunAveraged(config, wp, env.runs,
-                                 static_cast<uint64_t>(env.seed))
-                         .mean_final_imbalance;
-    }
-    std::printf("%-9s %10u %12s %12s %12s\n", "WP", n, Sci(imbalance[0]).c_str(),
-                Sci(imbalance[1]).c_str(), Sci(imbalance[2]).c_str());
-  }
-  return 0;
+  SweepGrid grid;
+  grid.scenarios = {ScenarioFromDataset(wp)};
+  grid.algorithms = {AlgorithmKind::kPkg, AlgorithmKind::kDChoices,
+                     AlgorithmKind::kWChoices};
+  grid.worker_counts = {5, 10, 20, 50, 100};
+  return RunGridAndReport(env, std::move(grid));
 }
 
 }  // namespace

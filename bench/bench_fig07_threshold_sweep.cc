@@ -8,69 +8,39 @@
 // paper's choice of a load-sensitive head policy (Q1).
 
 #include <cstdio>
-#include <vector>
 
 #include "common/bench_util.h"
-#include "slb/common/parallel.h"
 #include "slb/workload/datasets.h"
 
 namespace slb::bench {
 namespace {
-
-struct Point {
-  AlgorithmKind algo;
-  double z;
-  uint32_t n;
-  double theta_ratio;
-  double imbalance;
-};
 
 int Main(int argc, char** argv) {
   const BenchEnv env =
       ParseBenchArgs(argc, argv, "Fig. 7: imbalance vs skew per threshold");
   const uint64_t keys = 10000;
   const uint64_t messages = env.MessagesOr(200000, 10000000);
-  const double ratios[] = {2.0, 1.0, 0.5, 0.25, 0.125};
 
   PrintBanner("bench_fig07_threshold_sweep", "Figure 7",
               "|K|=1e4, m=" + std::to_string(messages) +
                   ", theta = ratio/n for ratio in {2,1,1/2,1/4,1/8}");
 
-  std::vector<Point> points;
-  for (AlgorithmKind algo :
-       {AlgorithmKind::kWChoices, AlgorithmKind::kRoundRobinHead}) {
-    for (uint32_t n : {5u, 10u, 50u, 100u}) {
-      for (double ratio : ratios) {
-        for (double z : SkewGrid(env.paper)) {
-          points.push_back(Point{algo, z, n, ratio, 0.0});
-        }
-      }
-    }
+  SweepGrid grid;
+  for (double z : SkewGrid(env.paper)) {
+    // The spec seed is irrelevant: ScenarioFromDataset reseeds per cell run.
+    grid.scenarios.push_back(
+        ScenarioFromDataset(MakeZipfSpec(z, keys, messages)));
+    grid.scenarios.back().label = "ZF-z" + FormatDouble(z);
   }
-
-  ParallelFor(points.size(), [&](size_t i) {
-    Point& p = points[i];
-    PartitionSimConfig config;
-    config.algorithm = p.algo;
-    config.partitioner.num_workers = p.n;
-    config.partitioner.theta_ratio = p.theta_ratio;
-    config.partitioner.hash_seed = static_cast<uint64_t>(env.seed);
-    config.num_sources = static_cast<uint32_t>(env.sources);
-    const DatasetSpec spec =
-        MakeZipfSpec(p.z, keys, messages, static_cast<uint64_t>(env.seed));
-    p.imbalance = RunAveraged(config, spec, env.runs,
-                              static_cast<uint64_t>(env.seed))
-                      .mean_final_imbalance;
-  }, static_cast<size_t>(env.threads));
-
-  std::printf("#%-5s %8s %8s %12s %14s\n", "algo", "workers", "skew",
-              "theta*n", "imbalance");
-  for (const Point& p : points) {
-    std::printf("%-6s %8u %8.1f %12.3f %14s\n",
-                AlgorithmKindName(p.algo).c_str(), p.n, p.z, p.theta_ratio,
-                Sci(p.imbalance).c_str());
+  for (double ratio : {2.0, 1.0, 0.5, 0.25, 0.125}) {
+    SweepVariant variant;
+    variant.label = "theta*n=" + FormatDouble(ratio);
+    variant.options.theta_ratio = ratio;
+    grid.variants.push_back(variant);
   }
-  return 0;
+  grid.algorithms = {AlgorithmKind::kWChoices, AlgorithmKind::kRoundRobinHead};
+  grid.worker_counts = {5, 10, 50, 100};
+  return RunGridAndReport(env, std::move(grid));
 }
 
 }  // namespace

@@ -8,21 +8,12 @@
 // The s*eps worst-case reference line is printed in the banner.
 
 #include <cstdio>
-#include <vector>
 
 #include "common/bench_util.h"
-#include "slb/common/parallel.h"
 #include "slb/workload/datasets.h"
 
 namespace slb::bench {
 namespace {
-
-struct Point {
-  double z;
-  uint32_t n;
-  uint64_t keys;
-  double imbalance[4] = {0, 0, 0, 0};  // PKG, D-C, W-C, RR
-};
 
 int Main(int argc, char** argv) {
   const BenchEnv env = ParseBenchArgs(argc, argv, "Fig. 10: imbalance on ZF");
@@ -32,44 +23,20 @@ int Main(int argc, char** argv) {
               "m=" + std::to_string(messages) + ", s*eps=" +
                   Sci(static_cast<double>(env.sources) * 1e-4));
 
-  const AlgorithmKind algos[4] = {AlgorithmKind::kPkg, AlgorithmKind::kDChoices,
-                                  AlgorithmKind::kWChoices,
-                                  AlgorithmKind::kRoundRobinHead};
-
-  std::vector<Point> points;
+  SweepGrid grid;
   for (uint64_t keys : {10000ULL, 100000ULL, 1000000ULL}) {
-    for (uint32_t n : {5u, 10u, 50u, 100u}) {
-      for (double z : SkewGrid(env.paper)) {
-        points.push_back(Point{z, n, keys, {}});
-      }
+    for (double z : SkewGrid(env.paper)) {
+      // The spec seed is irrelevant: ScenarioFromDataset reseeds per cell run.
+      grid.scenarios.push_back(
+          ScenarioFromDataset(MakeZipfSpec(z, keys, messages)));
+      grid.scenarios.back().label =
+          "ZF-k" + std::to_string(keys) + "-z" + FormatDouble(z);
     }
   }
-
-  ParallelFor(points.size(), [&](size_t i) {
-    Point& p = points[i];
-    const DatasetSpec spec =
-        MakeZipfSpec(p.z, p.keys, messages, static_cast<uint64_t>(env.seed));
-    for (int a = 0; a < 4; ++a) {
-      PartitionSimConfig config;
-      config.algorithm = algos[a];
-      config.partitioner.num_workers = p.n;
-      config.partitioner.hash_seed = static_cast<uint64_t>(env.seed);
-      config.num_sources = static_cast<uint32_t>(env.sources);
-      p.imbalance[a] = RunAveraged(config, spec, env.runs,
-                                   static_cast<uint64_t>(env.seed))
-                           .mean_final_imbalance;
-    }
-  }, static_cast<size_t>(env.threads));
-
-  std::printf("#%-9s %8s %6s %12s %12s %12s %12s\n", "keys", "workers", "skew",
-              "PKG", "D-C", "W-C", "RR");
-  for (const Point& p : points) {
-    std::printf("%-10llu %8u %6.1f %12s %12s %12s %12s\n",
-                static_cast<unsigned long long>(p.keys), p.n, p.z,
-                Sci(p.imbalance[0]).c_str(), Sci(p.imbalance[1]).c_str(),
-                Sci(p.imbalance[2]).c_str(), Sci(p.imbalance[3]).c_str());
-  }
-  return 0;
+  grid.algorithms = {AlgorithmKind::kPkg, AlgorithmKind::kDChoices,
+                     AlgorithmKind::kWChoices, AlgorithmKind::kRoundRobinHead};
+  grid.worker_counts = {5, 10, 50, 100};
+  return RunGridAndReport(env, std::move(grid));
 }
 
 }  // namespace

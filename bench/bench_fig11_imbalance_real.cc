@@ -7,21 +7,12 @@
 // hardest dataset for every method.
 
 #include <cstdio>
-#include <vector>
 
 #include "common/bench_util.h"
-#include "slb/common/parallel.h"
 #include "slb/workload/datasets.h"
 
 namespace slb::bench {
 namespace {
-
-struct Point {
-  const char* dataset;
-  DatasetSpec spec;
-  uint32_t n;
-  double imbalance[3] = {0, 0, 0};  // PKG, D-C, W-C
-};
 
 int Main(int argc, char** argv) {
   const BenchEnv env =
@@ -35,41 +26,14 @@ int Main(int argc, char** argv) {
                   " TW=" + std::to_string(tw_scale) + " CT=" +
                   std::to_string(ct_scale));
 
-  const AlgorithmKind algos[3] = {AlgorithmKind::kPkg, AlgorithmKind::kDChoices,
-                                  AlgorithmKind::kWChoices};
-  std::vector<Point> points;
-  const DatasetSpec specs[3] = {MakeWikipediaSpec(wp_scale),
-                                MakeTwitterSpec(tw_scale),
-                                MakeCashtagsSpec(ct_scale)};
-  const char* names[3] = {"WP", "TW", "CT"};
-  for (int ds = 0; ds < 3; ++ds) {
-    for (uint32_t n : {5u, 10u, 20u, 50u, 100u}) {
-      points.push_back(Point{names[ds], specs[ds], n, {}});
-    }
-  }
-
-  ParallelFor(points.size(), [&](size_t i) {
-    Point& p = points[i];
-    for (int a = 0; a < 3; ++a) {
-      PartitionSimConfig config;
-      config.algorithm = algos[a];
-      config.partitioner.num_workers = p.n;
-      config.partitioner.hash_seed = static_cast<uint64_t>(env.seed);
-      config.num_sources = static_cast<uint32_t>(env.sources);
-      p.imbalance[a] = RunAveraged(config, p.spec, env.runs,
-                                   static_cast<uint64_t>(env.seed))
-                           .mean_final_imbalance;
-    }
-  }, static_cast<size_t>(env.threads));
-
-  std::printf("#%-8s %8s %12s %12s %12s\n", "dataset", "workers", "PKG", "D-C",
-              "W-C");
-  for (const Point& p : points) {
-    std::printf("%-9s %8u %12s %12s %12s\n", p.dataset, p.n,
-                Sci(p.imbalance[0]).c_str(), Sci(p.imbalance[1]).c_str(),
-                Sci(p.imbalance[2]).c_str());
-  }
-  return 0;
+  SweepGrid grid;
+  grid.scenarios = {ScenarioFromDataset(MakeWikipediaSpec(wp_scale)),
+                    ScenarioFromDataset(MakeTwitterSpec(tw_scale)),
+                    ScenarioFromDataset(MakeCashtagsSpec(ct_scale))};
+  grid.algorithms = {AlgorithmKind::kPkg, AlgorithmKind::kDChoices,
+                     AlgorithmKind::kWChoices};
+  grid.worker_counts = {5, 10, 20, 50, 100};
+  return RunGridAndReport(env, std::move(grid));
 }
 
 }  // namespace

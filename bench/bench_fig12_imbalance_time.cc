@@ -7,22 +7,19 @@
 // while D-C/W-C remain low throughout.
 
 #include <cstdio>
-#include <vector>
 
 #include "common/bench_util.h"
-#include "slb/common/parallel.h"
 #include "slb/workload/datasets.h"
 
 namespace slb::bench {
 namespace {
 
-struct Series {
-  const char* dataset;
-  DatasetSpec spec;
-  uint32_t n;
-  AlgorithmKind algo;
-  std::vector<double> imbalance;  // one point per epoch/"hour"
-};
+// The imbalance series is sampled once per dataset "hour" (epoch).
+SweepScenario HourlySampled(const DatasetSpec& spec) {
+  SweepScenario scenario = ScenarioFromDataset(spec);
+  scenario.num_samples = static_cast<uint32_t>(spec.num_epochs);
+  return scenario;
+}
 
 int Main(int argc, char** argv) {
   const BenchEnv env =
@@ -33,47 +30,14 @@ int Main(int argc, char** argv) {
   PrintBanner("bench_fig12_imbalance_time", "Figure 12",
               "one sample per dataset 'hour'; workers in {5,20,100}");
 
-  const DatasetSpec specs[3] = {MakeTwitterSpec(tw_scale),
-                                MakeWikipediaSpec(wp_scale),
-                                MakeCashtagsSpec(1.0)};
-  const char* names[3] = {"TW", "WP", "CT"};
-  const AlgorithmKind algos[3] = {AlgorithmKind::kPkg, AlgorithmKind::kDChoices,
-                                  AlgorithmKind::kWChoices};
-
-  std::vector<Series> series;
-  for (int ds = 0; ds < 3; ++ds) {
-    for (uint32_t n : {5u, 20u, 100u}) {
-      for (AlgorithmKind algo : algos) {
-        series.push_back(Series{names[ds], specs[ds], n, algo, {}});
-      }
-    }
-  }
-
-  ParallelFor(series.size(), [&](size_t i) {
-    Series& s = series[i];
-    PartitionSimConfig config;
-    config.algorithm = s.algo;
-    config.partitioner.num_workers = s.n;
-    config.partitioner.hash_seed = static_cast<uint64_t>(env.seed);
-    config.num_sources = static_cast<uint32_t>(env.sources);
-    config.num_samples = static_cast<uint32_t>(s.spec.num_epochs);
-    DatasetSpec spec = s.spec;
-    spec.seed = static_cast<uint64_t>(env.seed);
-    auto gen = MakeGenerator(spec);
-    auto result = RunPartitionSimulation(config, gen.get());
-    if (result.ok()) s.imbalance = result->imbalance_series;
-  }, static_cast<size_t>(env.threads));
-
-  std::printf("#%-8s %8s %6s %6s %12s\n", "dataset", "workers", "algo", "hour",
-              "imbalance");
-  for (const Series& s : series) {
-    for (size_t hour = 0; hour < s.imbalance.size(); ++hour) {
-      std::printf("%-9s %8u %6s %6zu %12s\n", s.dataset, s.n,
-                  AlgorithmKindName(s.algo).c_str(), hour + 1,
-                  Sci(s.imbalance[hour]).c_str());
-    }
-  }
-  return 0;
+  SweepGrid grid;
+  grid.scenarios = {HourlySampled(MakeTwitterSpec(tw_scale)),
+                    HourlySampled(MakeWikipediaSpec(wp_scale)),
+                    HourlySampled(MakeCashtagsSpec(1.0))};
+  grid.algorithms = {AlgorithmKind::kPkg, AlgorithmKind::kDChoices,
+                     AlgorithmKind::kWChoices};
+  grid.worker_counts = {5, 20, 100};
+  return RunGridAndReport(env, std::move(grid), /*series=*/true);
 }
 
 }  // namespace

@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "slb/sim/report.h"
 #include "slb/workload/datasets.h"
 
 namespace slb::bench {
@@ -73,6 +74,17 @@ std::string Sci(double value) {
   char buf[32];
   std::snprintf(buf, sizeof(buf), "%.4e", value);
   return buf;
+}
+
+int RunGridAndReport(const BenchEnv& env, SweepGrid grid, bool series) {
+  grid.num_sources = static_cast<uint32_t>(env.sources);
+  grid.seed = static_cast<uint64_t>(env.seed);
+  grid.runs = static_cast<uint32_t>(env.runs < 1 ? 1 : env.runs);
+  const SweepResultTable table =
+      RunSweep(grid, static_cast<size_t>(env.threads));
+  std::fputs((series ? SweepSeriesToTsv(table) : SweepToTsv(table)).c_str(),
+             stdout);
+  return table.num_errors() == 0 ? 0 : 1;
 }
 
 }  // namespace slb::bench

@@ -19,6 +19,7 @@
 #include "slb/common/string_util.h"
 #include "slb/core/partitioner.h"
 #include "slb/sim/partition_simulator.h"
+#include "slb/sim/sweep.h"
 #include "slb/workload/datasets.h"
 
 namespace slb::bench {
@@ -64,5 +65,11 @@ AveragedRun RunAveraged(const PartitionSimConfig& config, const DatasetSpec& spe
 
 /// Formats a double for TSV output (scientific, 4 significant digits).
 std::string Sci(double value);
+
+/// Applies the common sweep knobs (--sources/--seed/--runs) to `grid`, runs
+/// it with --threads parallelism, and prints the result table to stdout
+/// (the per-epoch series table when `series` is set). Returns the process
+/// exit code: 1 when any cell failed.
+int RunGridAndReport(const BenchEnv& env, SweepGrid grid, bool series = false);
 
 }  // namespace slb::bench

@@ -2,10 +2,13 @@
 //
 // Given a workload profile (Zipf exponent or a recorded trace) and a target
 // deployment size, this tool answers the questions an operator asks before
-// enabling D-Choices (all from Sec. III-IV of the paper, no simulation):
+// enabling D-Choices (from Sec. III-IV of the paper):
 //   * how many keys fall in the head at theta = 1/(5n)?
 //   * how many choices d will D-Choices grant them?
 //   * what memory overhead vs PKG / savings vs SG does that imply?
+// It then *validates* the analytic plan by simulating PKG, D-Choices, and
+// W-Choices on the workload for every requested size via the scenario-sweep
+// engine, reporting the measured final imbalance I(m) next to the plan.
 //
 //   $ ./examples/capacity_planner --skew 1.4 --workers 5,10,50,100
 //   $ ./examples/capacity_planner --trace mystream.slbt --workers 80
@@ -21,6 +24,7 @@
 #include "slb/analysis/memory_model.h"
 #include "slb/common/flags.h"
 #include "slb/common/string_util.h"
+#include "slb/sim/sweep.h"
 #include "slb/workload/trace.h"
 #include "slb/workload/zipf.h"
 
@@ -56,6 +60,10 @@ int main(int argc, char** argv) {
   double skew = 1.4;
   int64_t keys = 10000;
   int64_t messages = 1000000;
+  int64_t sim_messages = 200000;
+  int64_t seed = 42;
+  int64_t runs = 1;
+  int64_t threads = 0;
   double epsilon = 1e-4;
   std::string workers_csv = "5,10,50,100";
   std::string trace_path;
@@ -63,6 +71,12 @@ int main(int argc, char** argv) {
   flags.AddDouble("skew", &skew, "Zipf exponent (ignored with --trace)");
   flags.AddInt64("keys", &keys, "key cardinality (ignored with --trace)");
   flags.AddInt64("messages", &messages, "messages for the memory estimate");
+  flags.AddInt64("sim_messages", &sim_messages,
+                 "messages per validation simulation; trace mode replays at "
+                 "most this many trace messages (0 = skip simulation)");
+  flags.AddInt64("seed", &seed, "RNG seed for the validation sweep");
+  flags.AddInt64("runs", &runs, "validation runs averaged (seeds seed..)");
+  flags.AddInt64("threads", &threads, "sweep parallelism (0 = hardware)");
   flags.AddDouble("epsilon", &epsilon, "imbalance tolerance");
   flags.AddString("workers", &workers_csv, "comma-separated deployment sizes");
   flags.AddString("trace", &trace_path, "recorded .slbt trace to profile");
@@ -72,9 +86,21 @@ int main(int argc, char** argv) {
   }
   if (flags.help_requested()) return 0;
 
-  // Workload profile: either a recorded trace or an analytic Zipf.
+  std::vector<uint32_t> worker_counts;
+  for (const std::string& token : slb::SplitString(workers_csv, ',')) {
+    int64_t n64 = 0;
+    if (!slb::ParseInt64(token, &n64) || n64 < 1) {
+      std::fprintf(stderr, "bad worker count: %s\n", token.c_str());
+      return 2;
+    }
+    worker_counts.push_back(static_cast<uint32_t>(n64));
+  }
+
+  // Workload profile: either a recorded trace or an analytic Zipf. The same
+  // workload feeds the validation sweep as a scenario.
   TraceProfile profile;
   std::string workload_desc;
+  slb::SweepScenario scenario;
   if (!trace_path.empty()) {
     auto trace = slb::ReadTrace(trace_path);
     if (!trace.ok()) {
@@ -84,6 +110,13 @@ int main(int argc, char** argv) {
     profile = ProfileFromTrace(*trace);
     workload_desc = "trace " + trace_path + " (" +
                     slb::HumanCount(profile.messages) + " msgs)";
+    // The profile uses the full trace; the validation sweep replays at most
+    // --sim_messages of it so big traces stay cheap to validate.
+    if (sim_messages > 0 &&
+        trace->keys.size() > static_cast<uint64_t>(sim_messages)) {
+      trace->keys.resize(static_cast<size_t>(sim_messages));
+    }
+    scenario = slb::ScenarioFromTrace("plan", std::move(trace.value()));
   } else {
     const slb::ZipfDistribution zipf(skew, static_cast<uint64_t>(keys));
     profile.sorted_probs = zipf.TopProbabilities(static_cast<uint64_t>(keys));
@@ -96,21 +129,42 @@ int main(int argc, char** argv) {
     profile.messages = static_cast<uint64_t>(messages);
     workload_desc = "Zipf z=" + slb::FormatDouble(skew) + ", |K|=" +
                     slb::HumanCount(static_cast<uint64_t>(keys));
+    scenario = slb::ScenarioFromDataset(slb::MakeZipfSpec(
+        skew, static_cast<uint64_t>(keys),
+        static_cast<uint64_t>(std::max<int64_t>(sim_messages, 1)),
+        static_cast<uint64_t>(seed)));
+    scenario.label = "plan";
   }
+
+  // Validation sweep: one cell per (algorithm, deployment size).
+  slb::SweepResultTable table;
+  if (sim_messages > 0) {
+    slb::SweepGrid grid;
+    grid.scenarios = {scenario};
+    grid.algorithms = {slb::AlgorithmKind::kPkg, slb::AlgorithmKind::kDChoices,
+                       slb::AlgorithmKind::kWChoices};
+    grid.worker_counts = worker_counts;
+    grid.seed = static_cast<uint64_t>(seed);
+    grid.runs = static_cast<uint32_t>(runs < 1 ? 1 : runs);
+    table = slb::RunSweep(grid, static_cast<size_t>(threads));
+  }
+  auto measured = [&](slb::AlgorithmKind kind, uint32_t n) -> std::string {
+    const slb::SweepCellResult* cell = table.Find("plan", "", kind, n);
+    if (cell == nullptr) return "-";
+    if (!cell->status.ok()) return "error";
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.2e", cell->mean_final_imbalance);
+    return buf;
+  };
 
   std::printf("workload: %s, p1 = %.2f%%, eps = %s\n", workload_desc.c_str(),
               100 * profile.sorted_probs.front(),
               slb::FormatDouble(epsilon).c_str());
-  std::printf("%8s %8s %6s %10s %14s %14s %14s\n", "workers", "|head|", "d",
-              "policy", "mem vs PKG", "mem vs SG", "sketch ctrs");
+  std::printf("%8s %8s %6s %10s %14s %14s %14s %10s %10s %10s\n", "workers",
+              "|head|", "d", "policy", "mem vs PKG", "mem vs SG", "sketch ctrs",
+              "I(m) PKG", "I(m) D-C", "I(m) W-C");
 
-  for (const std::string& token : slb::SplitString(workers_csv, ',')) {
-    int64_t n64 = 0;
-    if (!slb::ParseInt64(token, &n64) || n64 < 1) {
-      std::fprintf(stderr, "bad worker count: %s\n", token.c_str());
-      return 2;
-    }
-    const uint32_t n = static_cast<uint32_t>(n64);
+  for (const uint32_t n : worker_counts) {
     const double theta = 1.0 / (5.0 * n);
 
     // Head = keys above theta; profile probs are sorted descending.
@@ -137,13 +191,28 @@ int main(int argc, char** argv) {
     // Sender sketch sizing (Sec. IV-B: O(1) per counter, 2/theta counters).
     const uint64_t sketch = static_cast<uint64_t>(2.0 / theta);
 
-    std::printf("%8u %8zu %6u %10s %+13.1f%% %+13.1f%% %14llu\n", n,
-                head_probs.size(), d, switch_to_wc ? "W-Choices" : "D-Choices",
+    std::printf("%8u %8zu %6u %10s %+13.1f%% %+13.1f%% %14llu %10s %10s %10s\n",
+                n, head_probs.size(), d,
+                switch_to_wc ? "W-Choices" : "D-Choices",
                 slb::OverheadPercent(mem_dc, mem_pkg),
                 slb::OverheadPercent(mem_dc, mem_sg),
-                static_cast<unsigned long long>(sketch));
+                static_cast<unsigned long long>(sketch),
+                measured(slb::AlgorithmKind::kPkg, n).c_str(),
+                measured(slb::AlgorithmKind::kDChoices, n).c_str(),
+                measured(slb::AlgorithmKind::kWChoices, n).c_str());
   }
   std::printf("\n'policy' is what the optimizer recommends: when no d < n\n"
               "meets the imbalance target, switch to W-Choices (d = n).\n");
+  if (sim_messages > 0) {
+    std::printf("I(m) columns: final imbalance measured by %s %lld\n"
+                "messages through the sweep engine (--sim_messages 0 skips).\n",
+                trace_path.empty() ? "simulating" : "replaying at most",
+                static_cast<long long>(sim_messages));
+    if (table.num_errors() > 0) {
+      std::fprintf(stderr, "error: %zu validation cell(s) failed\n",
+                   table.num_errors());
+      return 1;
+    }
+  }
   return 0;
 }

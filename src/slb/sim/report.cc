@@ -1,0 +1,175 @@
+#include "slb/sim/report.h"
+
+#include <cstdio>
+
+namespace slb {
+
+namespace {
+
+// Fixed-precision scientific notation with 17 significant digits — enough
+// to round-trip any IEEE double, so a byte-compare of two renderings really
+// is an equality check on the underlying metrics. Locale-independent
+// (snprintf with the C locale's %e), hence byte-stable.
+std::string Num(double value) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.16e", value);
+  return buf;
+}
+
+std::string StatusField(const Status& status) {
+  if (status.ok()) return "OK";
+  return std::string(StatusCodeToString(status.code()));
+}
+
+std::string CsvEscape(const std::string& field) {
+  if (field.find_first_of(",\"\n") == std::string::npos) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+std::string JsonEscape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size() + 2);
+  for (char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void AppendRow(std::string* out, const SweepCellResult& cell, char sep,
+               bool csv) {
+  auto field = [&](const std::string& text) {
+    *out += csv ? CsvEscape(text) : text;
+    *out += sep;
+  };
+  field(cell.scenario);
+  field(cell.variant.empty() && !csv ? "-" : cell.variant);
+  field(AlgorithmKindName(cell.algorithm));
+  field(std::to_string(cell.num_workers));
+  field(std::to_string(cell.seed));
+  field(std::to_string(cell.runs));
+  field(StatusField(cell.status));
+  field(Num(cell.mean_final_imbalance));
+  field(Num(cell.mean_avg_imbalance));
+  field(Num(cell.mean_max_imbalance));
+  field(std::to_string(cell.result.memory_entries));
+  field(std::to_string(cell.result.final_head_choices));
+  field(std::to_string(cell.result.head_messages));
+  field(std::to_string(cell.result.total_messages));
+  out->back() = '\n';  // replace the trailing separator
+}
+
+constexpr const char* kColumns[] = {
+    "scenario",       "variant",        "algo",
+    "workers",        "seed",           "runs",
+    "status",         "final_imbalance", "avg_imbalance",
+    "max_imbalance",  "memory_entries", "head_choices",
+    "head_messages",  "total_messages"};
+
+}  // namespace
+
+std::string SweepToTsv(const SweepResultTable& table) {
+  std::string out = "#";
+  for (size_t i = 0; i < std::size(kColumns); ++i) {
+    if (i > 0) out += '\t';
+    out += kColumns[i];
+  }
+  out += '\n';
+  for (const SweepCellResult& cell : table.cells) {
+    AppendRow(&out, cell, '\t', /*csv=*/false);
+  }
+  return out;
+}
+
+std::string SweepToCsv(const SweepResultTable& table) {
+  std::string out;
+  for (size_t i = 0; i < std::size(kColumns); ++i) {
+    if (i > 0) out += ',';
+    out += kColumns[i];
+  }
+  out += '\n';
+  for (const SweepCellResult& cell : table.cells) {
+    AppendRow(&out, cell, ',', /*csv=*/true);
+  }
+  return out;
+}
+
+std::string SweepToJson(const SweepResultTable& table) {
+  std::string out = "[\n";
+  for (size_t i = 0; i < table.cells.size(); ++i) {
+    const SweepCellResult& cell = table.cells[i];
+    out += "  {\"scenario\":\"" + JsonEscape(cell.scenario) + "\"";
+    out += ",\"variant\":\"" + JsonEscape(cell.variant) + "\"";
+    out += ",\"algo\":\"" + JsonEscape(AlgorithmKindName(cell.algorithm)) + "\"";
+    out += ",\"workers\":" + std::to_string(cell.num_workers);
+    out += ",\"seed\":" + std::to_string(cell.seed);
+    out += ",\"runs\":" + std::to_string(cell.runs);
+    out += ",\"status\":\"" + JsonEscape(StatusField(cell.status)) + "\"";
+    if (!cell.status.ok()) {
+      out += ",\"error\":\"" + JsonEscape(cell.status.message()) + "\"";
+    }
+    out += ",\"final_imbalance\":" + Num(cell.mean_final_imbalance);
+    out += ",\"avg_imbalance\":" + Num(cell.mean_avg_imbalance);
+    out += ",\"max_imbalance\":" + Num(cell.mean_max_imbalance);
+    out += ",\"memory_entries\":" + std::to_string(cell.result.memory_entries);
+    out += ",\"head_choices\":" + std::to_string(cell.result.final_head_choices);
+    out += ",\"head_messages\":" + std::to_string(cell.result.head_messages);
+    out += ",\"total_messages\":" + std::to_string(cell.result.total_messages);
+    out += ",\"imbalance_series\":[";
+    for (size_t s = 0; s < cell.result.imbalance_series.size(); ++s) {
+      if (s > 0) out += ',';
+      out += Num(cell.result.imbalance_series[s]);
+    }
+    out += "]}";
+    if (i + 1 < table.cells.size()) out += ',';
+    out += '\n';
+  }
+  out += "]\n";
+  return out;
+}
+
+std::string SweepSeriesToTsv(const SweepResultTable& table) {
+  std::string out =
+      "#scenario\tvariant\talgo\tworkers\tsample\tposition\timbalance\n";
+  for (const SweepCellResult& cell : table.cells) {
+    if (!cell.status.ok()) continue;
+    for (size_t s = 0; s < cell.result.imbalance_series.size(); ++s) {
+      out += cell.scenario;
+      out += '\t';
+      out += cell.variant.empty() ? "-" : cell.variant;
+      out += '\t';
+      out += AlgorithmKindName(cell.algorithm);
+      out += '\t';
+      out += std::to_string(cell.num_workers);
+      out += '\t';
+      out += std::to_string(s + 1);
+      out += '\t';
+      out += std::to_string(cell.result.sample_positions[s]);
+      out += '\t';
+      out += Num(cell.result.imbalance_series[s]);
+      out += '\n';
+    }
+  }
+  return out;
+}
+
+}  // namespace slb

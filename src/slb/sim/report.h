@@ -1,0 +1,31 @@
+// Renderers for sweep result tables.
+//
+// All emitters are pure functions of the table with fixed formatting
+// (snprintf, no locale), so a byte-compare of two renderings is a valid
+// equality check on the tables themselves — the sweep determinism tests
+// rely on this. TSV output is gnuplot-ready ('#'-prefixed header).
+
+#pragma once
+
+#include <string>
+
+#include "slb/sim/sweep.h"
+
+namespace slb {
+
+/// One row per cell, tab-separated:
+/// scenario variant algo workers seed runs status I(m) avg(I) max(I) ...
+std::string SweepToTsv(const SweepResultTable& table);
+
+/// Same rows as CSV with a header line; fields containing commas, quotes, or
+/// newlines are double-quoted (RFC 4180).
+std::string SweepToCsv(const SweepResultTable& table);
+
+/// JSON array of cell objects, including the sampled imbalance series.
+std::string SweepToJson(const SweepResultTable& table);
+
+/// Long-format series TSV: one row per (cell, sample) — the Fig. 12 shape.
+/// Failed cells contribute no rows.
+std::string SweepSeriesToTsv(const SweepResultTable& table);
+
+}  // namespace slb

@@ -1,0 +1,120 @@
+// Parallel scenario-sweep engine.
+//
+// The paper's evaluation (Figs. 1, 4, 7, 9-14) is one cartesian sweep:
+// (algorithm x partitioner variant x stream scenario x worker count), each
+// cell an independent RunPartitionSimulation call. This engine expands a
+// SweepGrid into fully-seeded cells, fans them out over ParallelFor, and
+// collects results into a table whose row order depends only on the grid —
+// never on thread scheduling — so a multi-threaded sweep is byte-identical
+// to a serial one (locked down by tests/sim/sweep_test.cc). Every bench
+// driver and experiment tool should sweep through here instead of rolling
+// its own loop; slb/sim/report.h renders the table as TSV/CSV/JSON.
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "slb/common/status.h"
+#include "slb/sim/partition_simulator.h"
+#include "slb/workload/datasets.h"
+#include "slb/workload/scenario.h"
+#include "slb/workload/trace.h"
+
+namespace slb {
+
+/// One value of the stream-scenario axis: a label plus a factory that builds
+/// a fresh generator for a given seed. The factory is called concurrently
+/// from sweep workers and must be a pure function of the seed.
+struct SweepScenario {
+  std::string label;
+  std::function<Result<std::unique_ptr<StreamGenerator>>(uint64_t seed)> make;
+  /// Per-scenario imbalance-series resolution (0 = grid default). Dataset
+  /// sweeps sample once per "hour" (Fig. 12), so this varies per scenario.
+  uint32_t num_samples = 0;
+};
+
+/// Scenario from a calibrated dataset spec (WP/TW/CT/ZF); the cell seed
+/// overrides spec.seed.
+SweepScenario ScenarioFromDataset(const DatasetSpec& spec);
+
+/// Scenario from the adversarial catalog (slb/workload/scenario.h); the cell
+/// seed overrides options.seed. The label defaults to the catalog name.
+SweepScenario ScenarioFromCatalog(const std::string& name,
+                                  const ScenarioOptions& options = {},
+                                  std::string label = "");
+
+/// Scenario replaying a recorded trace (seed-independent).
+SweepScenario ScenarioFromTrace(std::string label, Trace trace);
+
+/// One value of the partitioner-option axis (e.g. a theta_ratio setting).
+/// num_workers and hash_seed are overwritten per cell by the engine.
+struct SweepVariant {
+  std::string label;  // empty for the single default variant
+  PartitionerOptions options;
+};
+
+/// The experiment grid. Cells are the cartesian product
+/// scenarios x variants x worker_counts x algorithms, expanded in exactly
+/// that nesting order (last axis fastest).
+struct SweepGrid {
+  std::vector<SweepScenario> scenarios;
+  std::vector<AlgorithmKind> algorithms;
+  std::vector<uint32_t> worker_counts;
+  /// Optional partitioner-option axis; empty means one default variant.
+  std::vector<SweepVariant> variants;
+
+  uint32_t num_sources = 5;
+  uint32_t num_samples = 60;
+  bool track_memory = false;
+
+  /// Master seed: run r of a cell builds its generator with seed + r and all
+  /// cells share hash_seed = seed, matching the bench harness convention.
+  uint64_t seed = 42;
+  /// Independent runs averaged per cell (seeds seed, seed+1, ...).
+  uint32_t runs = 1;
+};
+
+/// One row of the result table: the cell's coordinates plus its outcome.
+/// A failed cell carries the error in `status` and zeroed metrics; failures
+/// never affect sibling cells.
+struct SweepCellResult {
+  std::string scenario;
+  std::string variant;
+  AlgorithmKind algorithm = AlgorithmKind::kPkg;
+  uint32_t num_workers = 0;
+  uint64_t seed = 0;
+  uint32_t runs = 1;
+
+  Status status;
+  /// Means over the cell's runs (the headline metrics).
+  double mean_final_imbalance = 0.0;
+  double mean_avg_imbalance = 0.0;
+  double mean_max_imbalance = 0.0;
+  /// Full result of the cell's last run (series, loads, memory, ...).
+  PartitionSimResult result;
+};
+
+/// Result table in stable grid order (independent of thread count).
+struct SweepResultTable {
+  std::vector<SweepCellResult> cells;
+
+  size_t num_errors() const;
+  /// Finds a cell by coordinates; nullptr when absent.
+  const SweepCellResult* Find(const std::string& scenario,
+                              const std::string& variant, AlgorithmKind algorithm,
+                              uint32_t num_workers) const;
+};
+
+/// Number of cells the grid expands to.
+size_t SweepCellCount(const SweepGrid& grid);
+
+/// Runs every cell of the grid across `num_threads` threads (0 = hardware
+/// concurrency, 1 = serial). The returned table is identical for every
+/// thread count.
+SweepResultTable RunSweep(const SweepGrid& grid, size_t num_threads = 0);
+
+}  // namespace slb

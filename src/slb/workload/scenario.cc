@@ -1,0 +1,243 @@
+#include "slb/workload/scenario.h"
+
+#include <algorithm>
+
+#include "slb/common/logging.h"
+
+namespace slb {
+
+namespace {
+
+// Shared knob validation for the factory. Constructors SLB_CHECK the same
+// invariants (direct construction with bad knobs is a programmer error);
+// the factory returns InvalidArgument so sweeps can report bad cells.
+Status ValidateCommon(const ScenarioOptions& options) {
+  if (options.num_keys < 2) {
+    return Status::InvalidArgument("scenario needs at least 2 keys");
+  }
+  if (options.num_messages < 1) {
+    return Status::InvalidArgument("scenario needs at least 1 message");
+  }
+  if (options.zipf_exponent < 0.0) {
+    return Status::InvalidArgument("zipf_exponent must be >= 0");
+  }
+  return Status::OK();
+}
+
+bool IsFraction(double value) { return value >= 0.0 && value <= 1.0; }
+
+}  // namespace
+
+// --- flash-crowd ----------------------------------------------------------
+
+FlashCrowdStreamGenerator::FlashCrowdStreamGenerator(
+    const ScenarioOptions& options)
+    : options_(options),
+      zipf_(options.zipf_exponent, options.num_keys),
+      rng_(options.seed) {
+  SLB_CHECK(options_.num_keys >= 2);
+  SLB_CHECK(options_.num_messages >= 1);
+  SLB_CHECK(IsFraction(options_.burst_fraction));
+  SLB_CHECK(IsFraction(options_.burst_begin));
+  SLB_CHECK(IsFraction(options_.burst_end));
+  SLB_CHECK(options_.burst_begin <= options_.burst_end);
+  const double m = static_cast<double>(options_.num_messages);
+  burst_first_ = static_cast<uint64_t>(options_.burst_begin * m);
+  burst_last_ = static_cast<uint64_t>(options_.burst_end * m);
+}
+
+bool FlashCrowdStreamGenerator::InBurstWindow(uint64_t position) const {
+  return position >= burst_first_ && position < burst_last_;
+}
+
+uint64_t FlashCrowdStreamGenerator::NextKey() {
+  const bool burning = InBurstWindow(position_);
+  ++position_;
+  if (burning && rng_.NextBool(options_.burst_fraction)) return burst_key();
+  return zipf_.Sample(&rng_);
+}
+
+void FlashCrowdStreamGenerator::Reset() {
+  position_ = 0;
+  rng_.Seed(options_.seed);
+}
+
+// --- hot-set-churn --------------------------------------------------------
+
+HotSetChurnStreamGenerator::HotSetChurnStreamGenerator(
+    const ScenarioOptions& options)
+    : options_(options),
+      zipf_(options.zipf_exponent, options.num_keys),
+      rng_(options.seed) {
+  SLB_CHECK(options_.num_keys >= 2);
+  SLB_CHECK(options_.num_messages >= 1);
+  SLB_CHECK(options_.num_epochs >= 1);
+  SLB_CHECK(options_.hot_set_size >= 1);
+  SLB_CHECK(options_.hot_set_size <= options_.num_keys);
+  SLB_CHECK(IsFraction(options_.hot_fraction));
+  epoch_length_ =
+      std::max<uint64_t>(1, options_.num_messages / options_.num_epochs);
+}
+
+uint64_t HotSetChurnStreamGenerator::HotSetStart(uint64_t epoch) const {
+  // Offset by K/2 so epoch 0's hot window does not coincide with the Zipf
+  // head of the background traffic; advance by one full window per epoch so
+  // successive hot sets are disjoint (until the key space wraps).
+  return (options_.num_keys / 2 + epoch * options_.hot_set_size) %
+         options_.num_keys;
+}
+
+uint64_t HotSetChurnStreamGenerator::NextKey() {
+  epoch_ = std::min(position_ / epoch_length_, options_.num_epochs - 1);
+  ++position_;
+  if (rng_.NextBool(options_.hot_fraction)) {
+    const uint64_t start = HotSetStart(epoch_);
+    return (start + rng_.NextBounded(options_.hot_set_size)) %
+           options_.num_keys;
+  }
+  return zipf_.Sample(&rng_);
+}
+
+void HotSetChurnStreamGenerator::Reset() {
+  position_ = 0;
+  epoch_ = 0;
+  rng_.Seed(options_.seed);
+}
+
+// --- multi-tenant ---------------------------------------------------------
+
+MultiTenantStreamGenerator::MultiTenantStreamGenerator(
+    const ScenarioOptions& options)
+    : options_(options), rng_(options.seed) {
+  SLB_CHECK(!options_.tenant_exponents.empty());
+  SLB_CHECK(options_.num_keys >= options_.tenant_exponents.size());
+  SLB_CHECK(options_.num_messages >= 1);
+  keys_per_tenant_ = options_.num_keys / options_.tenant_exponents.size();
+  tenants_.reserve(options_.tenant_exponents.size());
+  for (double z : options_.tenant_exponents) {
+    SLB_CHECK(z >= 0.0);
+    tenants_.emplace_back(z, keys_per_tenant_);
+  }
+}
+
+uint64_t MultiTenantStreamGenerator::num_keys() const {
+  return keys_per_tenant_ * tenants_.size();
+}
+
+uint64_t MultiTenantStreamGenerator::NextKey() {
+  const uint64_t tenant = position_ % tenants_.size();
+  ++position_;
+  return tenant * keys_per_tenant_ + tenants_[tenant].Sample(&rng_);
+}
+
+void MultiTenantStreamGenerator::Reset() {
+  position_ = 0;
+  rng_.Seed(options_.seed);
+}
+
+// --- single-key-ramp ------------------------------------------------------
+
+SingleKeyRampStreamGenerator::SingleKeyRampStreamGenerator(
+    const ScenarioOptions& options)
+    : options_(options),
+      zipf_(options.zipf_exponent, options.num_keys),
+      rng_(options.seed) {
+  SLB_CHECK(options_.num_keys >= 2);
+  SLB_CHECK(options_.num_messages >= 1);
+  SLB_CHECK(IsFraction(options_.ramp_final_fraction));
+}
+
+double SingleKeyRampStreamGenerator::RampShare(uint64_t position) const {
+  return options_.ramp_final_fraction * static_cast<double>(position) /
+         static_cast<double>(options_.num_messages);
+}
+
+uint64_t SingleKeyRampStreamGenerator::NextKey() {
+  const double share = RampShare(position_);
+  ++position_;
+  if (rng_.NextBool(share)) return ramp_key();
+  return zipf_.Sample(&rng_);
+}
+
+void SingleKeyRampStreamGenerator::Reset() {
+  position_ = 0;
+  rng_.Seed(options_.seed);
+}
+
+// --- factory --------------------------------------------------------------
+
+std::vector<std::string> ScenarioNames() {
+  return {"zipf",          "drift",        "flash-crowd",
+          "hot-set-churn", "multi-tenant", "single-key-ramp"};
+}
+
+Result<std::unique_ptr<StreamGenerator>> MakeScenario(
+    const std::string& name, const ScenarioOptions& options) {
+  SLB_RETURN_NOT_OK(ValidateCommon(options));
+
+  if (name == "zipf" || name == "drift") {
+    SyntheticStreamGenerator::Options synth;
+    synth.name = name;
+    synth.zipf_exponent = options.zipf_exponent;
+    synth.num_keys = options.num_keys;
+    synth.num_messages = options.num_messages;
+    synth.seed = options.seed;
+    if (name == "drift") {
+      if (options.num_epochs < 1) {
+        return Status::InvalidArgument("drift needs num_epochs >= 1");
+      }
+      if (!IsFraction(options.drift_swap_fraction)) {
+        return Status::InvalidArgument("drift_swap_fraction must be in [0,1]");
+      }
+      synth.num_epochs = options.num_epochs;
+      synth.drift_swap_fraction = options.drift_swap_fraction;
+    }
+    return {std::make_unique<SyntheticStreamGenerator>(synth)};
+  }
+  if (name == "flash-crowd") {
+    if (!IsFraction(options.burst_fraction)) {
+      return Status::InvalidArgument("burst_fraction must be in [0,1]");
+    }
+    if (!IsFraction(options.burst_begin) || !IsFraction(options.burst_end) ||
+        options.burst_begin > options.burst_end) {
+      return Status::InvalidArgument(
+          "burst window must satisfy 0 <= begin <= end <= 1");
+    }
+    return {std::make_unique<FlashCrowdStreamGenerator>(options)};
+  }
+  if (name == "hot-set-churn") {
+    if (options.hot_set_size < 1 || options.hot_set_size > options.num_keys) {
+      return Status::InvalidArgument("hot_set_size must be in [1, num_keys]");
+    }
+    if (!IsFraction(options.hot_fraction)) {
+      return Status::InvalidArgument("hot_fraction must be in [0,1]");
+    }
+    if (options.num_epochs < 1) {
+      return Status::InvalidArgument("hot-set-churn needs num_epochs >= 1");
+    }
+    return {std::make_unique<HotSetChurnStreamGenerator>(options)};
+  }
+  if (name == "multi-tenant") {
+    if (options.tenant_exponents.empty()) {
+      return Status::InvalidArgument("multi-tenant needs >= 1 tenant");
+    }
+    if (options.num_keys < options.tenant_exponents.size()) {
+      return Status::InvalidArgument("multi-tenant needs num_keys >= tenants");
+    }
+    for (double z : options.tenant_exponents) {
+      if (z < 0.0) {
+        return Status::InvalidArgument("tenant exponents must be >= 0");
+      }
+    }
+    return {std::make_unique<MultiTenantStreamGenerator>(options)};
+  }
+  if (name == "single-key-ramp") {
+    if (!IsFraction(options.ramp_final_fraction)) {
+      return Status::InvalidArgument("ramp_final_fraction must be in [0,1]");
+    }
+    return {std::make_unique<SingleKeyRampStreamGenerator>(options)};
+  }
+  return Status::InvalidArgument("unknown scenario: " + name);
+}
+
+}  // namespace slb

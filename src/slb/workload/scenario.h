@@ -1,0 +1,188 @@
+// Adversarial workload scenario catalog.
+//
+// The paper's evaluation sticks to static Zipf streams plus the mild CT
+// concept drift; the failure modes that matter at scale (AutoFlow,
+// arXiv:2103.08888; PKG, arXiv:1510.07623) come from *dynamics*: keys that
+// were cold suddenly dominating, hot sets migrating faster than sketches
+// decay, and tenants with wildly different skews sharing one stream. Each
+// generator here is a fully-seeded, Reset()-able StreamGenerator that
+// stresses one such failure mode, and every one is reachable by name through
+// MakeScenario() so sweeps and tools can enumerate the whole catalog.
+//
+//   Name              Stresses
+//   zipf              baseline static skew (SyntheticStreamGenerator)
+//   drift             slow identity churn (the CT model)
+//   flash-crowd       a cold key spikes to p% of traffic for a window
+//   hot-set-churn     the hot set rotates wholesale every epoch
+//   multi-tenant      interleaved Zipf streams with distinct exponents
+//   single-key-ramp   one key ramps linearly from ~0 to p% of traffic
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "slb/common/rng.h"
+#include "slb/common/status.h"
+#include "slb/workload/stream_generator.h"
+#include "slb/workload/zipf.h"
+
+namespace slb {
+
+/// Knobs shared by the catalog. Scenario-specific fields are ignored by
+/// scenarios that do not use them; MakeScenario validates the ones it reads.
+struct ScenarioOptions {
+  uint64_t num_keys = 10000;
+  uint64_t num_messages = 1000000;
+  uint64_t seed = 42;
+
+  /// Base / background Zipf exponent.
+  double zipf_exponent = 1.0;
+
+  // --- flash-crowd -------------------------------------------------------
+  /// Traffic share the bursting key receives while the burst is active.
+  double burst_fraction = 0.4;
+  /// Burst window as fractions of the stream, [begin, end).
+  double burst_begin = 0.4;
+  double burst_end = 0.6;
+
+  // --- hot-set-churn -----------------------------------------------------
+  /// Keys in the rotating hot set.
+  uint64_t hot_set_size = 8;
+  /// Traffic share of the hot set (split uniformly inside it).
+  double hot_fraction = 0.6;
+  /// Epochs for hot-set-churn / drift; the hot set rotates to a fresh,
+  /// disjoint window of the key space at every boundary.
+  uint64_t num_epochs = 10;
+
+  // --- multi-tenant ------------------------------------------------------
+  /// One Zipf exponent per tenant; tenants own disjoint key ranges and are
+  /// interleaved round-robin (message i belongs to tenant i % T).
+  std::vector<double> tenant_exponents = {0.6, 1.1, 1.6};
+
+  // --- single-key-ramp ---------------------------------------------------
+  /// Traffic share of the ramping key at the very end of the stream.
+  double ramp_final_fraction = 0.5;
+
+  // --- drift -------------------------------------------------------------
+  /// Fraction of key identities reshuffled per epoch (see DriftingKeyMapper).
+  double drift_swap_fraction = 0.1;
+};
+
+/// Flash crowd: a base Zipf stream in which the *coldest* key (rank K-1)
+/// spikes to `burst_fraction` of traffic for the window
+/// [burst_begin, burst_end) of the stream, then vanishes again. Stresses
+/// reaction time: the key is far outside any head sketch when it ignites.
+class FlashCrowdStreamGenerator final : public StreamGenerator {
+ public:
+  explicit FlashCrowdStreamGenerator(const ScenarioOptions& options);
+
+  uint64_t NextKey() override;
+  void Reset() override;
+  uint64_t num_messages() const override { return options_.num_messages; }
+  uint64_t num_keys() const override { return options_.num_keys; }
+  std::string name() const override { return "flash-crowd"; }
+
+  uint64_t burst_key() const { return options_.num_keys - 1; }
+  /// True while message index `position` falls inside the burst window.
+  bool InBurstWindow(uint64_t position) const;
+
+ private:
+  ScenarioOptions options_;
+  ZipfDistribution zipf_;
+  Rng rng_;
+  uint64_t position_ = 0;
+  uint64_t burst_first_;  // first message index inside the window
+  uint64_t burst_last_;   // one past the last message index inside it
+};
+
+/// Rotating hot set: `hot_set_size` keys share `hot_fraction` of the traffic
+/// uniformly; at every epoch boundary the set rotates to the next disjoint
+/// window of the key space, so *every* hot identity is replaced at once —
+/// the worst case for sketches that age out slowly. Background traffic is
+/// Zipf over the full key space.
+class HotSetChurnStreamGenerator final : public StreamGenerator {
+ public:
+  explicit HotSetChurnStreamGenerator(const ScenarioOptions& options);
+
+  uint64_t NextKey() override;
+  void Reset() override;
+  uint64_t num_messages() const override { return options_.num_messages; }
+  uint64_t num_keys() const override { return options_.num_keys; }
+  std::string name() const override { return "hot-set-churn"; }
+
+  /// First key of the hot window active during `epoch`.
+  uint64_t HotSetStart(uint64_t epoch) const;
+  uint64_t current_epoch() const { return epoch_; }
+
+ private:
+  ScenarioOptions options_;
+  ZipfDistribution zipf_;
+  Rng rng_;
+  uint64_t position_ = 0;
+  uint64_t epoch_ = 0;
+  uint64_t epoch_length_;
+};
+
+/// Multi-tenant mixture: T tenants with distinct Zipf exponents own disjoint
+/// key ranges of floor(K / T) keys each; message i belongs to tenant i % T.
+/// Stresses head tracking with several unrelated skew regimes in one stream.
+class MultiTenantStreamGenerator final : public StreamGenerator {
+ public:
+  explicit MultiTenantStreamGenerator(const ScenarioOptions& options);
+
+  uint64_t NextKey() override;
+  void Reset() override;
+  uint64_t num_messages() const override { return options_.num_messages; }
+  /// Keys actually reachable: floor(K / T) * T.
+  uint64_t num_keys() const override;
+  std::string name() const override { return "multi-tenant"; }
+
+  uint64_t num_tenants() const { return tenants_.size(); }
+  uint64_t keys_per_tenant() const { return keys_per_tenant_; }
+
+ private:
+  ScenarioOptions options_;
+  std::vector<ZipfDistribution> tenants_;
+  Rng rng_;
+  uint64_t position_ = 0;
+  uint64_t keys_per_tenant_;
+};
+
+/// Adversarial ramp: the coldest key's traffic share grows linearly from 0
+/// to `ramp_final_fraction` over the stream. There is no burst edge to
+/// detect — the key crosses the head threshold silently mid-stream, which is
+/// exactly where threshold-based head classification lags.
+class SingleKeyRampStreamGenerator final : public StreamGenerator {
+ public:
+  explicit SingleKeyRampStreamGenerator(const ScenarioOptions& options);
+
+  uint64_t NextKey() override;
+  void Reset() override;
+  uint64_t num_messages() const override { return options_.num_messages; }
+  uint64_t num_keys() const override { return options_.num_keys; }
+  std::string name() const override { return "single-key-ramp"; }
+
+  uint64_t ramp_key() const { return options_.num_keys - 1; }
+  /// Hot-key probability at message index `position`.
+  double RampShare(uint64_t position) const;
+
+ private:
+  ScenarioOptions options_;
+  ZipfDistribution zipf_;
+  Rng rng_;
+  uint64_t position_ = 0;
+};
+
+/// All catalog names accepted by MakeScenario, in stable order.
+std::vector<std::string> ScenarioNames();
+
+/// Builds a catalog scenario by name ("zipf", "drift", "flash-crowd",
+/// "hot-set-churn", "multi-tenant", "single-key-ramp"). Returns
+/// InvalidArgument for unknown names or out-of-range knobs.
+Result<std::unique_ptr<StreamGenerator>> MakeScenario(
+    const std::string& name, const ScenarioOptions& options = {});
+
+}  // namespace slb

@@ -82,6 +82,8 @@ class VectorStreamGenerator final : public StreamGenerator {
   VectorStreamGenerator(std::string name, std::vector<uint64_t> keys,
                         uint64_t num_keys);
 
+  /// Aborts (SLB_CHECK) when pulled past num_messages(); call Reset() to
+  /// start another pass.
   uint64_t NextKey() override;
   void Reset() override { position_ = 0; }
   uint64_t num_messages() const override { return keys_.size(); }

@@ -158,6 +158,23 @@ TEST(VectorStreamTest, ReplaysAndResets) {
   EXPECT_EQ(gen.NextKey(), 3u);
 }
 
+// Pulling past num_messages() is a contract violation that must abort loudly
+// (SLB_CHECK) instead of reading past the vector — simulators trust
+// num_messages() and a silent overrun would corrupt every downstream metric.
+TEST(VectorStreamDeathTest, PullPastEndAborts) {
+  VectorStreamGenerator gen("fixture", {3, 1}, 4);
+  gen.NextKey();
+  gen.NextKey();
+  EXPECT_DEATH(gen.NextKey(), "stream exhausted");
+  gen.Reset();
+  EXPECT_EQ(gen.NextKey(), 3u);
+}
+
+TEST(VectorStreamDeathTest, EmptyStreamAbortsImmediately) {
+  VectorStreamGenerator gen("empty", {}, 1);
+  EXPECT_DEATH(gen.NextKey(), "stream exhausted");
+}
+
 TEST(DatasetsTest, SpecsMatchTableOne) {
   const DatasetSpec wp = MakeWikipediaSpec(1.0);
   EXPECT_EQ(wp.num_messages, 22000000u);
