@@ -4,30 +4,24 @@
 // aggregation cost proportional to d, and argues it tracks the memory cost.
 // This study quantifies it: for windowed aggregation over a skewed stream,
 // how many partial tuples does the merge stage receive per window under
-// KG / PKG / D-C / W-C / SG?
+// KG / PKG / D-C / W-C / SG? One sweep row per (skew, scheme); the
+// window_partials metric column carries the model output (no routing is
+// simulated — the cost model is evaluated on one representative window).
 //
 // Expected outcome: D-C and W-C pay a bounded premium over PKG (only the
 // handful of head keys fan out) while SG's cost scales with n — mirroring
 // Figs. 5-6 on the aggregation axis.
 
-#include <cstdio>
+#include <string>
 #include <unordered_set>
-#include <vector>
 
 #include "common/bench_util.h"
 #include "slb/analysis/aggregation_model.h"
 #include "slb/analysis/choices.h"
-#include "slb/common/parallel.h"
-#include "slb/workload/datasets.h"
+#include "slb/workload/zipf.h"
 
 namespace slb::bench {
 namespace {
-
-struct Point {
-  double z;
-  uint64_t kg = 0, pkg = 0, dc = 0, wc = 0, sg = 0;
-  uint32_t d = 0;
-};
 
 int Main(int argc, char** argv) {
   FlagSet flags("Ablation: per-window aggregation traffic");
@@ -40,46 +34,62 @@ int Main(int argc, char** argv) {
   PrintBanner("bench_ablation_aggregation", "Sec. IV-B aggregation-cost model",
               "n=50, |K|=1e4, window=" + std::to_string(window));
 
-  const auto grid = SkewGrid(env.paper);
-  std::vector<Point> points;
-  for (double z : grid) points.push_back(Point{z});
+  SweepGrid grid;
+  grid.scenarios = SkewScenarios(env.paper, keys, static_cast<uint64_t>(window),
+                                 static_cast<uint64_t>(env.seed));
+  grid.algorithms = {AlgorithmKind::kKeyGrouping, AlgorithmKind::kPkg,
+                     AlgorithmKind::kDChoices, AlgorithmKind::kWChoices,
+                     AlgorithmKind::kShuffleGrouping};
+  grid.worker_counts = {n};
+  grid.runner = [keys](const SweepCellContext& ctx) -> Result<CellPayload> {
+    const PartitionSimConfig config = ctx.MakeSimConfig();
+    const uint32_t workers = ctx.num_workers;
 
-  ParallelFor(points.size(), [&](size_t i) {
-    Point& p = points[i];
     // One representative window of the stream.
-    const DatasetSpec spec = MakeZipfSpec(p.z, keys, static_cast<uint64_t>(window),
-                                          static_cast<uint64_t>(env.seed));
+    auto gen = ctx.MakeStream();
+    if (!gen.ok()) return gen.status();
     FrequencyTable counts(keys, 0);
-    auto gen = MakeGenerator(spec);
-    for (int64_t m = 0; m < window; ++m) ++counts[gen->NextKey()];
+    const uint64_t window_size = (*gen)->num_messages();
+    for (uint64_t m = 0; m < window_size; ++m) ++counts[(*gen)->NextKey()];
 
-    const ZipfDistribution zipf(p.z, keys);
-    const double theta = 1.0 / (5.0 * n);
-    const uint64_t head_size = zipf.CountAboveThreshold(theta);
+    const ZipfDistribution zipf(ctx.scenario->param, keys);
+    const uint64_t head_size =
+        zipf.CountAboveThreshold(config.partitioner.theta());
     const auto head =
         HeadProfile::FromProbabilities(zipf.TopProbabilities(head_size));
-    p.d = FindOptimalChoices(head, n, 1e-4);
+    const uint32_t d =
+        FindOptimalChoices(head, workers, config.partitioner.epsilon);
     std::unordered_set<uint64_t> head_keys;
     for (uint64_t r = 0; r < head_size; ++r) head_keys.insert(r);
 
-    p.kg = UniformChoicesAggregation(counts, 1).partials;
-    p.pkg = UniformChoicesAggregation(counts, 2).partials;
-    p.dc = HeadTailAggregation(counts, head_keys, p.d).partials;
-    p.wc = HeadTailAggregation(counts, head_keys, n).partials;
-    p.sg = UniformChoicesAggregation(counts, n).partials;
-  }, static_cast<size_t>(env.threads));
+    uint64_t partials = 0;
+    switch (ctx.algorithm) {
+      case AlgorithmKind::kKeyGrouping:
+        partials = UniformChoicesAggregation(counts, 1).partials;
+        break;
+      case AlgorithmKind::kPkg:
+        partials = UniformChoicesAggregation(counts, 2).partials;
+        break;
+      case AlgorithmKind::kDChoices:
+        partials = HeadTailAggregation(counts, head_keys, d).partials;
+        break;
+      case AlgorithmKind::kWChoices:
+        partials = HeadTailAggregation(counts, head_keys, workers).partials;
+        break;
+      case AlgorithmKind::kShuffleGrouping:
+        partials = UniformChoicesAggregation(counts, workers).partials;
+        break;
+      default:
+        return Status::InvalidArgument("unsupported scheme in this ablation");
+    }
 
-  std::printf("#%-6s %4s %10s %10s %10s %10s %10s\n", "skew", "d", "KG", "PKG",
-              "D-C", "W-C", "SG");
-  for (const Point& p : points) {
-    std::printf("%-7.1f %4u %10llu %10llu %10llu %10llu %10llu\n", p.z, p.d,
-                static_cast<unsigned long long>(p.kg),
-                static_cast<unsigned long long>(p.pkg),
-                static_cast<unsigned long long>(p.dc),
-                static_cast<unsigned long long>(p.wc),
-                static_cast<unsigned long long>(p.sg));
-  }
-  return 0;
+    CellPayload payload;
+    payload.sim.total_messages = window_size;
+    payload.AddCount("window_partials", partials);
+    payload.AddCount("d", d);
+    return payload;
+  };
+  return RunGridAndReport(env, std::move(grid));
 }
 
 }  // namespace

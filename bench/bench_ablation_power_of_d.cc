@@ -4,30 +4,23 @@
 // of raising d uniformly (Sec. I: "while the long tail of low-frequency
 // keys can be easily managed with two choices, the few elements in the head
 // needs additional choices"). This ablation runs the plain Greedy-d process
-// (uniform d for all keys) next to D-Choices and measures both imbalance
-// and memory.
+// (uniform d for all keys, the variant axis) next to D-Choices and measures
+// both imbalance and memory. Two sweep grids — the adaptive algorithm and
+// the fixed-d family — concatenated into one table; the variant column
+// distinguishes greedy-d settings, and memory_entries carries the cost.
 //
 // Expected outcome: uniform d only balances once d/n exceeds p1 — for
 // z = 2.0 at n = 50 that means d >= ~31 for EVERY key, which multiplies
 // memory by ~d/2 versus PKG; D-Choices reaches the same imbalance paying
 // the large d only for a handful of head keys.
 
-#include <cstdio>
+#include <string>
 #include <vector>
 
 #include "common/bench_util.h"
-#include "slb/common/parallel.h"
-#include "slb/workload/datasets.h"
 
 namespace slb::bench {
 namespace {
-
-struct Point {
-  double z;
-  uint32_t d;  // 0 = D-Choices
-  double imbalance = 0;
-  uint64_t memory = 0;
-};
 
 int Main(int argc, char** argv) {
   const BenchEnv env =
@@ -39,48 +32,33 @@ int Main(int argc, char** argv) {
   PrintBanner("bench_ablation_power_of_d", "design ablation (not a paper figure)",
               "n=50, |K|=1e4, m=" + std::to_string(messages));
 
-  const uint32_t ds[] = {1, 2, 3, 4, 8, 16, 32, 0};  // 0 = D-Choices
-  std::vector<Point> points;
-  for (double z : {1.0, 1.4, 2.0}) {
-    for (uint32_t d : ds) points.push_back(Point{z, d, 0, 0});
+  const auto scenarios = ZipfScenarios({1.0, 1.4, 2.0}, keys, messages,
+                                       static_cast<uint64_t>(env.seed));
+
+  // Grid 1: the adaptive algorithm (one default variant).
+  SweepGrid adaptive;
+  adaptive.scenarios = scenarios;
+  adaptive.algorithms = {AlgorithmKind::kDChoices};
+  adaptive.worker_counts = {n};
+  adaptive.track_memory = true;
+
+  // Grid 2: the uniform Greedy-d family, one variant per fixed d.
+  SweepGrid uniform;
+  uniform.scenarios = scenarios;
+  uniform.algorithms = {AlgorithmKind::kGreedyD};
+  uniform.worker_counts = {n};
+  uniform.track_memory = true;
+  for (uint32_t d : {1u, 2u, 3u, 4u, 8u, 16u, 32u}) {
+    SweepVariant variant;
+    variant.label = "greedy-" + std::to_string(d);
+    variant.options.fixed_d = d;
+    uniform.variants.push_back(variant);
   }
 
-  ParallelFor(points.size(), [&](size_t i) {
-    Point& p = points[i];
-    PartitionSimConfig config;
-    if (p.d == 0) {
-      config.algorithm = AlgorithmKind::kDChoices;
-    } else {
-      config.algorithm = AlgorithmKind::kGreedyD;
-      config.partitioner.fixed_d = p.d;
-    }
-    config.partitioner.num_workers = n;
-    config.partitioner.hash_seed = static_cast<uint64_t>(env.seed);
-    config.num_sources = static_cast<uint32_t>(env.sources);
-    config.track_memory = true;
-    const DatasetSpec spec =
-        MakeZipfSpec(p.z, keys, messages, static_cast<uint64_t>(env.seed));
-    auto gen = MakeGenerator(spec);
-    auto result = RunPartitionSimulation(config, gen.get());
-    if (!result.ok()) return;
-    p.imbalance = result->final_imbalance;
-    p.memory = result->memory_entries;
-  }, static_cast<size_t>(env.threads));
-
-  std::printf("#%-5s %10s %14s %16s\n", "skew", "scheme", "imbalance",
-              "mem entries");
-  for (const Point& p : points) {
-    char scheme[24];
-    if (p.d == 0) {
-      std::snprintf(scheme, sizeof(scheme), "D-C");
-    } else {
-      std::snprintf(scheme, sizeof(scheme), "greedy-%u", p.d);
-    }
-    std::printf("%-6.1f %10s %14s %16llu\n", p.z, scheme,
-                Sci(p.imbalance).c_str(),
-                static_cast<unsigned long long>(p.memory));
-  }
-  return 0;
+  std::vector<SweepGrid> grids;
+  grids.push_back(std::move(adaptive));
+  grids.push_back(std::move(uniform));
+  return RunGridsAndReport(env, std::move(grids));
 }
 
 }  // namespace

@@ -3,33 +3,22 @@
 // Algorithm 1 nominally recomputes d on every message; our implementation
 // caches it and refreshes on a doubling warm-up schedule followed by a
 // fixed cadence (PartitionerOptions::reoptimize_interval). This study
-// sweeps the cadence on both a static and a drifting stream and reports
-// imbalance plus the optimizer invocation count per sender.
+// sweeps the cadence (the variant axis) on both a static and a drifting
+// stream (the scenario axis) and reports imbalance plus the optimizer
+// invocation count per sender (the reopt_per_sender metric column, read
+// off PartitionSimResult::reoptimizations).
 //
 // Expected outcome: on static streams anything from 256 to 64k messages is
 // equivalent (the head barely changes); under concept drift, very long
 // cadences lag the head and cost balance — the reason the default stays in
 // the low thousands.
 
-#include <cstdio>
-#include <memory>
-#include <vector>
+#include <string>
 
 #include "common/bench_util.h"
-#include "slb/common/parallel.h"
-#include "slb/core/d_choices.h"
-#include "slb/sim/load_tracker.h"
-#include "slb/workload/datasets.h"
 
 namespace slb::bench {
 namespace {
-
-struct Point {
-  bool drifting;
-  uint32_t interval;
-  double imbalance = 0;
-  uint64_t reoptimizations = 0;
-};
 
 int Main(int argc, char** argv) {
   const BenchEnv env =
@@ -41,54 +30,31 @@ int Main(int argc, char** argv) {
               "n=50, m=" + std::to_string(messages) +
                   ", static: ZF z=1.8 | drifting: CT-like");
 
-  std::vector<Point> points;
-  for (bool drifting : {false, true}) {
-    for (uint32_t interval : {256u, 1024u, 2048u, 8192u, 65536u}) {
-      points.push_back(Point{drifting, interval, 0, 0});
-    }
+  DatasetSpec static_spec =
+      MakeZipfSpec(1.8, 10000, messages, static_cast<uint64_t>(env.seed));
+  static_spec.name = "static";
+  DatasetSpec drifting_spec = MakeCashtagsSpec(1.0);
+  drifting_spec.num_messages = messages;
+  drifting_spec.name = "drifting";
+
+  SweepGrid grid;
+  grid.scenarios = {ScenarioFromDataset(static_spec),
+                    ScenarioFromDataset(drifting_spec)};
+  grid.algorithms = {AlgorithmKind::kDChoices};
+  grid.worker_counts = {n};
+  for (uint32_t interval : {256u, 1024u, 2048u, 8192u, 65536u}) {
+    SweepVariant variant;
+    variant.label = "every-" + std::to_string(interval);
+    variant.options.reoptimize_interval = interval;
+    grid.variants.push_back(variant);
   }
-
-  ParallelFor(points.size(), [&](size_t i) {
-    Point& p = points[i];
-    DatasetSpec spec;
-    if (p.drifting) {
-      spec = MakeCashtagsSpec(1.0);
-      spec.num_messages = messages;
-    } else {
-      spec = MakeZipfSpec(1.8, 10000, messages, static_cast<uint64_t>(env.seed));
-    }
-    spec.seed = static_cast<uint64_t>(env.seed);
-
-    // Run manually (instead of RunPartitionSimulation) to read the
-    // optimizer invocation count off the concrete DChoices type.
-    PartitionerOptions options;
-    options.num_workers = n;
-    options.hash_seed = static_cast<uint64_t>(env.seed);
-    options.reoptimize_interval = p.interval;
-    const uint32_t s = static_cast<uint32_t>(env.sources);
-    std::vector<std::unique_ptr<DChoices>> senders;
-    for (uint32_t j = 0; j < s; ++j) {
-      senders.push_back(std::make_unique<DChoices>(options));
-    }
-    auto gen = MakeGenerator(spec);
-    LoadTracker tracker(n);
-    for (uint64_t m = 0; m < spec.num_messages; ++m) {
-      const uint64_t key = gen->NextKey();
-      DChoices& sender = *senders[m % s];
-      tracker.Record(sender.Route(key), key, sender.last_was_head());
-    }
-    p.imbalance = tracker.Imbalance();
-    p.reoptimizations = senders[0]->reoptimize_count();
-  }, static_cast<size_t>(env.threads));
-
-  std::printf("#%-9s %10s %14s %18s\n", "stream", "interval", "imbalance",
-              "reopt/sender");
-  for (const Point& p : points) {
-    std::printf("%-10s %10u %14s %18llu\n", p.drifting ? "drifting" : "static",
-                p.interval, Sci(p.imbalance).c_str(),
-                static_cast<unsigned long long>(p.reoptimizations));
-  }
-  return 0;
+  grid.runner = [](const SweepCellContext& ctx) -> Result<CellPayload> {
+    auto payload = ctx.RunDefault();
+    if (!payload.ok()) return payload;
+    payload->AddCount("reopt_per_sender", payload->sim.reoptimizations);
+    return payload;
+  };
+  return RunGridAndReport(env, std::move(grid));
 }
 
 }  // namespace

@@ -2,30 +2,20 @@
 //
 // The paper uses SpaceSaving [11]; this study swaps in Misra-Gries, Lossy
 // Counting, and Count-Min (all tuned to the same theta/2 error target) and
-// also sweeps SpaceSaving's capacity below/above the 2/theta auto-sizing,
-// measuring the resulting D-Choices imbalance.
+// also sweeps SpaceSaving's capacity below/above the 2/theta auto-sizing
+// (the variant axis), measuring the resulting D-Choices imbalance across
+// the skew scenarios.
 //
 // Expected outcome: any sketch with error <= theta/2 yields equivalent
 // balance (head detection is binary); undersized sketches miss head keys
 // and degrade towards PKG behaviour at high skew.
 
-#include <cstdio>
-#include <vector>
+#include <string>
 
 #include "common/bench_util.h"
-#include "slb/common/parallel.h"
-#include "slb/workload/datasets.h"
 
 namespace slb::bench {
 namespace {
-
-struct Point {
-  const char* label;
-  SketchKind sketch;
-  size_t capacity;  // 0 = auto
-  double z;
-  double imbalance = 0;
-};
 
 int Main(int argc, char** argv) {
   const BenchEnv env =
@@ -53,34 +43,19 @@ int Main(int argc, char** argv) {
       {"ss-decay", SketchKind::kDecayingSpaceSaving, 0},
   };
 
-  std::vector<Point> points;
-  for (double z : {1.0, 1.4, 1.8, 2.0}) {
-    for (const Variant& v : variants) {
-      points.push_back(Point{v.label, v.sketch, v.capacity, z, 0});
-    }
+  SweepGrid grid;
+  grid.scenarios = ZipfScenarios({1.0, 1.4, 1.8, 2.0}, keys, messages,
+                                 static_cast<uint64_t>(env.seed));
+  grid.algorithms = {AlgorithmKind::kDChoices};
+  grid.worker_counts = {n};
+  for (const Variant& v : variants) {
+    SweepVariant variant;
+    variant.label = v.label;
+    variant.options.sketch = v.sketch;
+    variant.options.sketch_capacity = v.capacity;
+    grid.variants.push_back(variant);
   }
-
-  ParallelFor(points.size(), [&](size_t i) {
-    Point& p = points[i];
-    PartitionSimConfig config;
-    config.algorithm = AlgorithmKind::kDChoices;
-    config.partitioner.num_workers = n;
-    config.partitioner.hash_seed = static_cast<uint64_t>(env.seed);
-    config.partitioner.sketch = p.sketch;
-    config.partitioner.sketch_capacity = p.capacity;
-    config.num_sources = static_cast<uint32_t>(env.sources);
-    const DatasetSpec spec =
-        MakeZipfSpec(p.z, keys, messages, static_cast<uint64_t>(env.seed));
-    p.imbalance = RunAveraged(config, spec, env.runs,
-                              static_cast<uint64_t>(env.seed))
-                      .mean_final_imbalance;
-  }, static_cast<size_t>(env.threads));
-
-  std::printf("#%-5s %10s %14s\n", "skew", "sketch", "imbalance");
-  for (const Point& p : points) {
-    std::printf("%-6.1f %10s %14s\n", p.z, p.label, Sci(p.imbalance).c_str());
-  }
-  return 0;
+  return RunGridAndReport(env, std::move(grid));
 }
 
 }  // namespace

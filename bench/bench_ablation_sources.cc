@@ -2,26 +2,17 @@
 //
 // Every source routes with only its LOCAL load estimate and its LOCAL
 // sketch (Sec. III-B). The paper bounds the worst case at s * eps
-// (Fig. 10-11 reference line). This study sweeps s and verifies the
-// degradation is graceful — the argument for why sender-local state
-// (no coordination on the hot path) is acceptable.
+// (Fig. 10-11 reference line). This study sweeps s — as the variant axis,
+// via SweepVariant::num_sources — and verifies the degradation is graceful:
+// the argument for why sender-local state (no coordination on the hot path)
+// is acceptable. The s_eps_bound metric column carries the bound.
 
-#include <cstdio>
-#include <vector>
+#include <string>
 
 #include "common/bench_util.h"
-#include "slb/common/parallel.h"
-#include "slb/workload/datasets.h"
 
 namespace slb::bench {
 namespace {
-
-struct Point {
-  AlgorithmKind algo;
-  double z;
-  uint32_t sources;
-  double imbalance = 0;
-};
 
 int Main(int argc, char** argv) {
   const BenchEnv env =
@@ -34,38 +25,26 @@ int Main(int argc, char** argv) {
               "n=50, |K|=1e4, m=" + std::to_string(messages) +
                   ", worst-case bound s*eps");
 
-  std::vector<Point> points;
-  for (AlgorithmKind algo : {AlgorithmKind::kDChoices, AlgorithmKind::kWChoices,
-                             AlgorithmKind::kPkg}) {
-    for (double z : {1.4, 2.0}) {
-      for (uint32_t s : {1u, 2u, 5u, 10u, 20u, 48u}) {
-        points.push_back(Point{algo, z, s, 0});
-      }
-    }
+  SweepGrid grid;
+  grid.scenarios = ZipfScenarios({1.4, 2.0}, keys, messages,
+                                 static_cast<uint64_t>(env.seed));
+  grid.algorithms = {AlgorithmKind::kDChoices, AlgorithmKind::kWChoices,
+                     AlgorithmKind::kPkg};
+  grid.worker_counts = {n};
+  for (uint32_t s : {1u, 2u, 5u, 10u, 20u, 48u}) {
+    SweepVariant variant;
+    variant.label = "s=" + std::to_string(s);
+    variant.num_sources = s;
+    grid.variants.push_back(variant);
   }
-
-  ParallelFor(points.size(), [&](size_t i) {
-    Point& p = points[i];
-    PartitionSimConfig config;
-    config.algorithm = p.algo;
-    config.partitioner.num_workers = n;
-    config.partitioner.hash_seed = static_cast<uint64_t>(env.seed);
-    config.num_sources = p.sources;
-    const DatasetSpec spec =
-        MakeZipfSpec(p.z, keys, messages, static_cast<uint64_t>(env.seed));
-    p.imbalance = RunAveraged(config, spec, env.runs,
-                              static_cast<uint64_t>(env.seed))
-                      .mean_final_imbalance;
-  }, static_cast<size_t>(env.threads));
-
-  std::printf("#%-5s %6s %8s %14s %14s\n", "algo", "skew", "sources",
-              "imbalance", "s*eps");
-  for (const Point& p : points) {
-    std::printf("%-6s %6.1f %8u %14s %14s\n", AlgorithmKindName(p.algo).c_str(),
-                p.z, p.sources, Sci(p.imbalance).c_str(),
-                Sci(p.sources * 1e-4).c_str());
-  }
-  return 0;
+  grid.runner = [](const SweepCellContext& ctx) -> Result<CellPayload> {
+    auto payload = ctx.RunDefault();
+    if (!payload.ok()) return payload;
+    const uint32_t s = ctx.variant->num_sources;
+    payload->AddMetric("s_eps_bound", s * ctx.variant->options.epsilon);
+    return payload;
+  };
+  return RunGridAndReport(env, std::move(grid));
 }
 
 }  // namespace

@@ -1,0 +1,65 @@
+// Adversarial headroom: where does the paper's static-head assumption break?
+//
+// D-Choices and W-Choices assume the head of the distribution is *stable*:
+// SpaceSaving converges on the heavy hitters and FINDOPTIMALCHOICES sizes d
+// for them. The adversarial catalog (slb/workload/scenario.h) generates the
+// dynamics that violate that assumption — a cold key igniting (flash-crowd),
+// the whole hot set rotating (hot-set-churn), and a key crossing the head
+// threshold silently (single-key-ramp). AutoFlow (arXiv:2103.08888) argues
+// these hotspot dynamics, not static skew, are where balancers actually
+// break.
+//
+// This bench runs D-C and W-C head-to-head with their decaying-SpaceSaving
+// variant (recency-weighted counters, variant axis: sketch=ss vs ss-decay)
+// across all three scenarios at n = 50. Output is the summary table plus
+// the per-sample series table, so the failure is visible *over time*: with
+// the plain sketch the imbalance spikes when the hot set moves and recovers
+// slowly (stale head, wrong d); the decaying sketch re-converges within an
+// epoch.
+
+#include <string>
+
+#include "common/bench_util.h"
+
+namespace slb::bench {
+namespace {
+
+int Main(int argc, char** argv) {
+  FlagSet flags("Adversarial headroom: D-C/W-C vs decaying SpaceSaving");
+  int64_t workers = 50;
+  flags.AddInt64("workers", &workers, "deployment size n");
+  const BenchEnv env = ParseBenchArgs(argc, argv, "", &flags);
+  const uint64_t messages = env.MessagesOr(500000, 5000000);
+
+  PrintBanner("bench_adversarial_headroom",
+              "no paper figure — adversarial extension (PR-2 catalog)",
+              "n=" + std::to_string(workers) + ", |K|=1e4, m=" +
+                  std::to_string(messages) +
+                  ", scenarios: flash-crowd / hot-set-churn / single-key-ramp");
+
+  ScenarioOptions options;
+  options.num_keys = 10000;
+  options.num_messages = messages;
+
+  SweepGrid grid;
+  grid.scenarios = {ScenarioFromCatalog("flash-crowd", options),
+                    ScenarioFromCatalog("hot-set-churn", options),
+                    ScenarioFromCatalog("single-key-ramp", options)};
+  grid.algorithms = {AlgorithmKind::kDChoices, AlgorithmKind::kWChoices};
+  grid.worker_counts = {static_cast<uint32_t>(workers)};
+  SweepVariant plain;
+  plain.label = "ss";
+  plain.options.sketch = SketchKind::kSpaceSaving;
+  SweepVariant decaying;
+  decaying.label = "ss-decay";
+  decaying.options.sketch = SketchKind::kDecayingSpaceSaving;
+  grid.variants = {plain, decaying};
+  // Fine-grained sampling so the burst window / epoch boundaries resolve.
+  grid.num_samples = 120;
+  return RunGridAndReport(env, std::move(grid), ReportMode::kTableAndSeries);
+}
+
+}  // namespace
+}  // namespace slb::bench
+
+int main(int argc, char** argv) { return slb::bench::Main(argc, argv); }

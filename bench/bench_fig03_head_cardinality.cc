@@ -1,12 +1,12 @@
 // Figure 3 — number of keys in the head of the distribution as a function of
 // skew, for the two extreme thresholds theta = 1/(5n) and theta = 2/n, at
-// n in {50, 100}. Computed analytically from the Zipf pmf (|K| = 1e4).
+// n in {50, 100}. Computed analytically from the Zipf pmf (|K| = 1e4); the
+// head_keys metric column carries the count, with the threshold on the
+// variant axis. No stream is simulated.
 //
 // Expected shape: the head is largest at moderate skew (more keys pass the
 // threshold) and shrinks again at extreme skew where a handful of keys
 // dominate; always a small number (tens) of keys.
-
-#include <cstdio>
 
 #include "common/bench_util.h"
 #include "slb/workload/zipf.h"
@@ -21,23 +21,28 @@ int Main(int argc, char** argv) {
 
   PrintBanner("bench_fig03_head_cardinality", "Figure 3",
               "|K|=1e4, theta in {1/(5n), 2/n}, n in {50, 100}");
-  std::printf("#%-6s %14s %14s %14s %14s\n", "skew", "n50:1/(5n)", "n50:2/n",
-              "n100:1/(5n)", "n100:2/n");
-  for (double z : SkewGrid(env.paper)) {
-    const ZipfDistribution zipf(z, keys);
-    uint64_t head[4];
-    int i = 0;
-    for (uint32_t n : {50u, 100u}) {
-      head[i++] = zipf.CountAboveThreshold(1.0 / (5.0 * n));
-      head[i++] = zipf.CountAboveThreshold(2.0 / n);
-    }
-    std::printf("%-7.1f %14llu %14llu %14llu %14llu\n", z,
-                static_cast<unsigned long long>(head[0]),
-                static_cast<unsigned long long>(head[1]),
-                static_cast<unsigned long long>(head[2]),
-                static_cast<unsigned long long>(head[3]));
-  }
-  return 0;
+
+  SweepGrid grid;
+  grid.scenarios = SkewScenarios(env.paper, keys, /*num_messages=*/1,
+                                 static_cast<uint64_t>(env.seed));
+  grid.algorithms = {AlgorithmKind::kDChoices};  // placeholder coordinate
+  grid.worker_counts = {50, 100};
+  SweepVariant loose;
+  loose.label = "theta=1/(5n)";
+  loose.options.theta_ratio = 0.2;
+  SweepVariant tight;
+  tight.label = "theta=2/n";
+  tight.options.theta_ratio = 2.0;
+  grid.variants = {loose, tight};
+  grid.runner = [keys](const SweepCellContext& ctx) -> Result<CellPayload> {
+    const ZipfDistribution zipf(ctx.scenario->param, keys);
+    const double theta = ctx.MakeSimConfig().partitioner.theta();
+    CellPayload payload;
+    payload.AddCount("head_keys", zipf.CountAboveThreshold(theta));
+    payload.AddMetric("theta", theta);
+    return payload;
+  };
+  return RunGridAndReport(env, std::move(grid));
 }
 
 }  // namespace

@@ -1,12 +1,11 @@
 // Figure 4 — fraction of workers (d/n) used by D-Choices for the head as a
 // function of skew, for n in {5, 10, 50, 100}. d is computed analytically
 // via FINDOPTIMALCHOICES from the true Zipf pmf (|K| = 1e4, eps = 1e-4,
-// theta = 1/(5n)), exactly as Sec. IV-B does.
+// theta = 1/(5n)), exactly as Sec. IV-B does; the d / d_over_n metric
+// columns carry the figure. No stream is simulated.
 //
 // Expected shape: d/n rises with skew and is clearly below 1 at n = 50 and
 // n = 100 (D-C cheaper than W-C), while small deployments saturate at d = n.
-
-#include <cstdio>
 
 #include "common/bench_util.h"
 #include "slb/analysis/choices.h"
@@ -24,22 +23,27 @@ int Main(int argc, char** argv) {
 
   PrintBanner("bench_fig04_dchoices_fraction", "Figure 4",
               "|K|=1e4, eps=" + FormatDouble(epsilon) + ", theta=1/(5n)");
-  std::printf("#%-6s %10s %10s %10s %10s   (d values in parentheses)\n", "skew",
-              "n=5", "n=10", "n=50", "n=100");
-  for (double z : SkewGrid(env.paper)) {
-    const ZipfDistribution zipf(z, keys);
-    std::printf("%-7.1f", z);
-    for (uint32_t n : {5u, 10u, 50u, 100u}) {
-      const double theta = 1.0 / (5.0 * n);
-      const uint64_t head_size = zipf.CountAboveThreshold(theta);
-      const auto head =
-          HeadProfile::FromProbabilities(zipf.TopProbabilities(head_size));
-      const uint32_t d = FindOptimalChoices(head, n, epsilon);
-      std::printf(" %6.3f(%2u)", static_cast<double>(d) / n, d);
-    }
-    std::printf("\n");
-  }
-  return 0;
+
+  SweepGrid grid;
+  grid.scenarios = SkewScenarios(env.paper, keys, /*num_messages=*/1,
+                                 static_cast<uint64_t>(env.seed));
+  grid.algorithms = {AlgorithmKind::kDChoices};
+  grid.worker_counts = {5, 10, 50, 100};
+  grid.runner = [keys, epsilon](const SweepCellContext& ctx) -> Result<CellPayload> {
+    const uint32_t n = ctx.num_workers;
+    const ZipfDistribution zipf(ctx.scenario->param, keys);
+    const double theta = 1.0 / (5.0 * n);
+    const uint64_t head_size = zipf.CountAboveThreshold(theta);
+    const auto head =
+        HeadProfile::FromProbabilities(zipf.TopProbabilities(head_size));
+    const uint32_t d = FindOptimalChoices(head, n, epsilon);
+    CellPayload payload;
+    payload.AddCount("d", d);
+    payload.AddMetric("d_over_n", static_cast<double>(d) / n);
+    payload.AddCount("head_keys", head_size);
+    return payload;
+  };
+  return RunGridAndReport(env, std::move(grid));
 }
 
 }  // namespace

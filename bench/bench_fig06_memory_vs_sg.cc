@@ -1,100 +1,41 @@
 // Figure 6 — memory overhead of D-Choices and W-Choices relative to shuffle
 // grouping, for n in {50, 100}. Estimated exactly as Fig. 5 (Sec. IV-B
 // formulas over the stream's frequency table): memSG = sum_k min(f_k, n).
-// Measured columns report the simulated runs' actual distinct (key,worker)
-// assignments.
+// The mem_measured_overhead_pct column reports the simulated runs' actual
+// distinct (key,worker) assignments.
+//
+// One row per (skew, n, algorithm) with the MemoryModelTable payload columns
+// (mem_baseline = sg) plus the analytic d as a metric column.
 //
 // Expected shape: both algorithms use 70-95% LESS memory than SG across the
 // skew range (strongly negative overhead) — the paper's second desideratum.
 
-#include <cstdio>
-#include <unordered_set>
-#include <vector>
+#include <string>
 
 #include "common/bench_util.h"
-#include "slb/analysis/choices.h"
-#include "slb/analysis/memory_model.h"
-#include "slb/common/parallel.h"
-#include "slb/workload/datasets.h"
+#include "common/memory_overhead.h"
 
 namespace slb::bench {
 namespace {
-
-struct Point {
-  double z;
-  uint32_t n;
-  uint32_t d = 0;
-  double dc_est_pct = 0;
-  double wc_est_pct = 0;
-  double dc_measured_pct = 0;
-  double wc_measured_pct = 0;
-};
 
 int Main(int argc, char** argv) {
   const BenchEnv env =
       ParseBenchArgs(argc, argv, "Fig. 6: memory overhead w.r.t. SG");
   const uint64_t keys = 10000;
   const uint64_t messages = env.MessagesOr(500000, 10000000);
-  const double epsilon = 1e-4;
 
   PrintBanner("bench_fig06_memory_vs_sg", "Figure 6",
               "|K|=1e4, m=" + std::to_string(messages) +
                   ", eps=1e-4, theta=1/(5n), n in {50,100}");
 
-  const auto grid = SkewGrid(env.paper);
-  std::vector<Point> points;
-  for (uint32_t n : {50u, 100u}) {
-    for (double z : grid) points.push_back(Point{z, n, 0, 0, 0, 0, 0});
-  }
-
-  ParallelFor(points.size(), [&](size_t i) {
-    Point& p = points[i];
-    const DatasetSpec spec =
-        MakeZipfSpec(p.z, keys, messages, static_cast<uint64_t>(env.seed));
-    FrequencyTable counts(keys, 0);
-    {
-      auto gen = MakeGenerator(spec);
-      for (uint64_t m = 0; m < messages; ++m) ++counts[gen->NextKey()];
-    }
-
-    const ZipfDistribution zipf(p.z, keys);
-    const double theta = 1.0 / (5.0 * p.n);
-    const uint64_t head_size = zipf.CountAboveThreshold(theta);
-    const auto head =
-        HeadProfile::FromProbabilities(zipf.TopProbabilities(head_size));
-    p.d = FindOptimalChoices(head, p.n, epsilon);
-    std::unordered_set<uint64_t> head_keys;
-    for (uint64_t r = 0; r < head_size; ++r) head_keys.insert(r);
-
-    const uint64_t mem_sg = MemorySg(counts, p.n);
-    p.dc_est_pct = OverheadPercent(MemoryDc(counts, head_keys, p.d), mem_sg);
-    p.wc_est_pct = OverheadPercent(MemoryWc(counts, head_keys, p.n), mem_sg);
-
-    for (AlgorithmKind kind :
-         {AlgorithmKind::kDChoices, AlgorithmKind::kWChoices}) {
-      PartitionSimConfig config;
-      config.algorithm = kind;
-      config.partitioner.num_workers = p.n;
-      config.partitioner.hash_seed = static_cast<uint64_t>(env.seed);
-      config.num_sources = static_cast<uint32_t>(env.sources);
-      config.track_memory = true;
-      auto gen = MakeGenerator(spec);
-      auto result = RunPartitionSimulation(config, gen.get());
-      if (!result.ok()) continue;
-      const double pct = OverheadPercent(result->memory_entries, mem_sg);
-      (kind == AlgorithmKind::kDChoices ? p.dc_measured_pct
-                                        : p.wc_measured_pct) = pct;
-    }
-  }, static_cast<size_t>(env.threads));
-
-  std::printf("#%-6s %8s %4s %14s %14s %16s %16s\n", "skew", "workers", "d",
-              "D-C est(%)", "W-C est(%)", "D-C measured(%)", "W-C measured(%)");
-  for (const Point& p : points) {
-    std::printf("%-7.1f %8u %4u %14.2f %14.2f %16.2f %16.2f\n", p.z, p.n, p.d,
-                p.dc_est_pct, p.wc_est_pct, p.dc_measured_pct,
-                p.wc_measured_pct);
-  }
-  return 0;
+  SweepGrid grid;
+  grid.scenarios =
+      SkewScenarios(env.paper, keys, messages, static_cast<uint64_t>(env.seed));
+  grid.algorithms = {AlgorithmKind::kDChoices, AlgorithmKind::kWChoices};
+  grid.worker_counts = {50, 100};
+  grid.track_memory = true;
+  grid.runner = MakeMemoryOverheadRunner(MemoryBaseline::kSg);
+  return RunGridAndReport(env, std::move(grid));
 }
 
 }  // namespace

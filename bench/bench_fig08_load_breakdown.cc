@@ -5,17 +5,18 @@
 // As in the paper, head membership here is the *oracle* classification from
 // the true distribution (p_k >= theta), applied to all three algorithms —
 // PKG itself is head-oblivious. Keys equal ranks in the non-drifting ZF
-// stream, so the oracle test is rank < |H|.
+// stream, so the oracle test is rank < |H|, installed via
+// SweepGrid::oracle_head_size; the per-worker table comes from the sweep
+// engine's worker-loads emitter (one row per cell x worker).
 //
 // Expected shape: PKG overloads the two workers holding the hottest key;
 // W-C mixes head and tail to a flat 20% everywhere; RR splits the head
 // evenly but the tail cannot fully compensate, leaving visible imbalance.
 
-#include <cstdio>
-#include <vector>
+#include <string>
 
 #include "common/bench_util.h"
-#include "slb/workload/datasets.h"
+#include "slb/workload/zipf.h"
 
 namespace slb::bench {
 namespace {
@@ -33,8 +34,6 @@ int Main(int argc, char** argv) {
   const uint64_t messages = env.MessagesOr(500000, 10000000);
   const double z = 2.0;
   const double theta = 1.0 / (8.0 * n);
-  const DatasetSpec spec =
-      MakeZipfSpec(z, keys, messages, static_cast<uint64_t>(env.seed));
 
   // Oracle head: ranks whose true probability clears theta.
   const ZipfDistribution zipf(z, keys);
@@ -43,47 +42,22 @@ int Main(int argc, char** argv) {
   PrintBanner("bench_fig08_load_breakdown", "Figure 8",
               "n=5, z=2.0, theta=1/(8n), |H|=" + std::to_string(head_size) +
                   ", m=" + std::to_string(messages) + ", ideal=20%");
-  std::printf("#%-5s %8s %10s %10s %10s\n", "algo", "worker", "head(%)",
-              "tail(%)", "total(%)");
 
-  for (AlgorithmKind algo : {AlgorithmKind::kPkg, AlgorithmKind::kWChoices,
-                             AlgorithmKind::kRoundRobinHead}) {
-    PartitionerOptions options;
-    options.num_workers = n;
-    options.theta_ratio = 0.125;  // 1/(8n)
-    options.hash_seed = static_cast<uint64_t>(env.seed);
+  DatasetSpec spec =
+      MakeZipfSpec(z, keys, messages, static_cast<uint64_t>(env.seed));
+  spec.name = "z=2.0";
 
-    const uint32_t s = static_cast<uint32_t>(env.sources);
-    std::vector<std::unique_ptr<StreamPartitioner>> senders;
-    for (uint32_t i = 0; i < s; ++i) {
-      auto sender = CreatePartitioner(algo, options);
-      if (!sender.ok()) {
-        std::fprintf(stderr, "failed: %s\n", sender.status().ToString().c_str());
-        return 1;
-      }
-      senders.push_back(std::move(sender.value()));
-    }
+  SweepVariant variant;
+  variant.options.theta_ratio = 0.125;  // 1/(8n)
 
-    std::vector<uint64_t> head_load(n, 0);
-    std::vector<uint64_t> tail_load(n, 0);
-    auto gen = MakeGenerator(spec);
-    for (uint64_t i = 0; i < messages; ++i) {
-      const uint64_t key = gen->NextKey();
-      const uint32_t w = senders[i % s]->Route(key);
-      (key < head_size ? head_load : tail_load)[w] += 1;
-    }
-
-    for (uint32_t w = 0; w < n; ++w) {
-      const double head_pct = 100.0 * static_cast<double>(head_load[w]) /
-                              static_cast<double>(messages);
-      const double tail_pct = 100.0 * static_cast<double>(tail_load[w]) /
-                              static_cast<double>(messages);
-      std::printf("%-6s %8u %10.2f %10.2f %10.2f\n",
-                  AlgorithmKindName(algo).c_str(), w + 1, head_pct, tail_pct,
-                  head_pct + tail_pct);
-    }
-  }
-  return 0;
+  SweepGrid grid;
+  grid.scenarios = {ScenarioFromDataset(spec)};
+  grid.algorithms = {AlgorithmKind::kPkg, AlgorithmKind::kWChoices,
+                     AlgorithmKind::kRoundRobinHead};
+  grid.worker_counts = {n};
+  grid.variants = {variant};
+  grid.oracle_head_size = head_size;
+  return RunGridAndReport(env, std::move(grid), ReportMode::kWorkerLoads);
 }
 
 }  // namespace

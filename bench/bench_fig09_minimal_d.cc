@@ -2,43 +2,45 @@
 // minimal d that empirically matches W-Choices' imbalance, for n in
 // {50, 100} over the skew grid (|K| = 1e4).
 //
-// For each point: run W-C to get the imbalance target, then find (by linear
-// scan over d, like the paper's exhaustive search, accelerated by
-// monotonicity) the smallest d for which Fixed-D matches it; report the
-// analytic d next to that minimum.
+// For each cell: run W-C to get the imbalance target, then find (by binary
+// search over d, valid because imbalance is statistically non-increasing
+// in d) the smallest d for which Fixed-D matches it; the analytic_d /
+// minimal_d metric columns report the analysis next to that minimum. The
+// search is adaptive, so it lives in a custom cell runner rather than a
+// static grid axis; each probe is a full RunPartitionSimulation averaged
+// over --runs seeds (the engine itself runs each cell once — the runner
+// owns the averaging so the search is not repeated per run).
 //
 // Expected shape: the analytic d sits slightly above the empirical minimum
 // and never below it by more than sampling noise.
 
-#include <cstdio>
-#include <vector>
+#include <algorithm>
+#include <string>
 
 #include "common/bench_util.h"
 #include "slb/analysis/choices.h"
-#include "slb/common/parallel.h"
-#include "slb/workload/datasets.h"
+#include "slb/workload/zipf.h"
 
 namespace slb::bench {
 namespace {
 
-struct Point {
-  double z;
-  uint32_t n;
-  uint32_t analytic_d = 0;
-  uint32_t minimal_d = 0;
-  double wc_imbalance = 0;
-};
-
-double RunOnce(AlgorithmKind algo, uint32_t n, uint32_t fixed_d,
-               const DatasetSpec& spec, const BenchEnv& env) {
-  PartitionSimConfig config;
-  config.algorithm = algo;
-  config.partitioner.num_workers = n;
+// Mean final imbalance over `runs` simulations at seeds seed, seed+1, ...
+Result<double> AveragedImbalance(const SweepCellContext& ctx,
+                                 AlgorithmKind algorithm, uint32_t fixed_d,
+                                 int64_t runs) {
+  PartitionSimConfig config = ctx.MakeSimConfig();
+  config.algorithm = algorithm;
   config.partitioner.fixed_d = fixed_d;
-  config.partitioner.hash_seed = static_cast<uint64_t>(env.seed);
-  config.num_sources = static_cast<uint32_t>(env.sources);
-  return RunAveraged(config, spec, env.runs, static_cast<uint64_t>(env.seed))
-      .mean_final_imbalance;
+  if (runs < 1) runs = 1;
+  double sum = 0.0;
+  for (int64_t r = 0; r < runs; ++r) {
+    auto gen = ctx.scenario->make(ctx.grid->seed + static_cast<uint64_t>(r));
+    if (!gen.ok()) return gen.status();
+    auto result = RunPartitionSimulation(config, gen->get());
+    if (!result.ok()) return result.status();
+    sum += result->final_imbalance;
+  }
+  return sum / static_cast<double>(runs);
 }
 
 int Main(int argc, char** argv) {
@@ -50,59 +52,66 @@ int Main(int argc, char** argv) {
   PrintBanner("bench_fig09_minimal_d", "Figure 9",
               "|K|=1e4, m=" + std::to_string(messages) + ", eps=1e-4");
 
-  std::vector<Point> points;
-  for (uint32_t n : {50u, 100u}) {
-    for (double z : SkewGrid(env.paper)) points.push_back(Point{z, n, 0, 0, 0});
-  }
-
-  ParallelFor(points.size(), [&](size_t i) {
-    Point& p = points[i];
-    const DatasetSpec spec =
-        MakeZipfSpec(p.z, keys, messages, static_cast<uint64_t>(env.seed));
+  SweepGrid grid;
+  grid.scenarios =
+      SkewScenarios(env.paper, keys, messages, static_cast<uint64_t>(env.seed));
+  grid.algorithms = {AlgorithmKind::kFixedDChoices};
+  grid.worker_counts = {50, 100};
+  grid.runner = [keys, epsilon,
+                 runs = env.runs](const SweepCellContext& ctx) -> Result<CellPayload> {
+    const uint32_t n = ctx.num_workers;
 
     // Analytic d from the true pmf (as D-Choices would compute with a
     // perfect sketch).
-    const ZipfDistribution zipf(p.z, keys);
-    const uint64_t head_size = zipf.CountAboveThreshold(1.0 / (5.0 * p.n));
+    const ZipfDistribution zipf(ctx.scenario->param, keys);
+    const uint64_t head_size = zipf.CountAboveThreshold(1.0 / (5.0 * n));
     const auto head =
         HeadProfile::FromProbabilities(zipf.TopProbabilities(head_size));
-    p.analytic_d = FindOptimalChoices(head, p.n, epsilon);
+    const uint32_t analytic_d = FindOptimalChoices(head, n, epsilon);
 
     // Empirical target: W-C's imbalance, with matching tolerance slack.
-    p.wc_imbalance = RunOnce(AlgorithmKind::kWChoices, p.n, 0, spec, env);
+    auto wc = AveragedImbalance(ctx, AlgorithmKind::kWChoices, 0, runs);
+    if (!wc.ok()) return wc.status();
+    const uint32_t sources = ctx.MakeSimConfig().num_sources;
     const double target =
-        std::max(p.wc_imbalance * 1.10,
-                 p.wc_imbalance + static_cast<double>(env.sources) * epsilon);
+        std::max(*wc * 1.10, *wc + static_cast<double>(sources) * epsilon);
 
-    // Imbalance is (statistically) non-increasing in d: binary search the
-    // smallest d in [2, n] whose Fixed-D run meets the target.
+    // Smallest d in [2, n] whose Fixed-D run meets the target (imbalance is
+    // statistically non-increasing in d, so binary search applies).
+    uint32_t minimal_d = 0;
     uint32_t lo = 2;
-    uint32_t hi = p.n;
-    if (RunOnce(AlgorithmKind::kFixedDChoices, p.n, lo, spec, env) <= target) {
-      p.minimal_d = lo;
-      return;
-    }
-    while (hi - lo > 1) {
-      const uint32_t mid = lo + (hi - lo) / 2;
-      const double imb =
-          RunOnce(AlgorithmKind::kFixedDChoices, p.n, mid, spec, env);
-      if (imb <= target) {
-        hi = mid;
-      } else {
-        lo = mid;
+    uint32_t hi = n;
+    auto probe =
+        AveragedImbalance(ctx, AlgorithmKind::kFixedDChoices, lo, runs);
+    if (!probe.ok()) return probe.status();
+    if (*probe <= target) {
+      minimal_d = lo;
+    } else {
+      while (hi - lo > 1) {
+        const uint32_t mid = lo + (hi - lo) / 2;
+        probe = AveragedImbalance(ctx, AlgorithmKind::kFixedDChoices, mid, runs);
+        if (!probe.ok()) return probe.status();
+        if (*probe <= target) {
+          hi = mid;
+        } else {
+          lo = mid;
+        }
       }
+      minimal_d = hi;
     }
-    p.minimal_d = hi;
-  }, static_cast<size_t>(env.threads));
 
-  std::printf("#%-6s %8s %12s %12s %14s %12s\n", "skew", "workers",
-              "analytic-d", "minimal-d", "analytic-d/n", "minimal-d/n");
-  for (const Point& p : points) {
-    std::printf("%-7.1f %8u %12u %12u %14.3f %12.3f\n", p.z, p.n, p.analytic_d,
-                p.minimal_d, static_cast<double>(p.analytic_d) / p.n,
-                static_cast<double>(p.minimal_d) / p.n);
-  }
-  return 0;
+    CellPayload payload;
+    payload.AddMetric("wc_target_imbalance", *wc);
+    payload.AddCount("analytic_d", analytic_d);
+    payload.AddCount("minimal_d", minimal_d);
+    payload.AddMetric("analytic_d_over_n", static_cast<double>(analytic_d) / n);
+    payload.AddMetric("minimal_d_over_n", static_cast<double>(minimal_d) / n);
+    return payload;
+  };
+  // The runner owns the --runs averaging; run each cell once in the engine.
+  BenchEnv search_env = env;
+  search_env.runs = 1;
+  return RunGridAndReport(search_env, std::move(grid));
 }
 
 }  // namespace

@@ -37,7 +37,7 @@ int Main(int argc, char** argv) {
   grid.algorithms = {AlgorithmKind::kPkg, AlgorithmKind::kDChoices,
                      AlgorithmKind::kWChoices};
   grid.worker_counts = {5, 20, 100};
-  return RunGridAndReport(env, std::move(grid), /*series=*/true);
+  return RunGridAndReport(env, std::move(grid), ReportMode::kSeries);
 }
 
 }  // namespace

@@ -3,68 +3,46 @@
 // (n = 80 workers, 48 sources, |K| = 1e4, m = 2e6 at paper scale).
 //
 // The cluster model is the queueing network described in
-// slb/sim/dspe_simulator.h (the Apache Storm stand-in; see DESIGN.md).
+// slb/sim/dspe_simulator.h (the Apache Storm stand-in; see DESIGN.md). Each
+// sweep cell is one RunDspeSimulation; the throughput_per_s / makespan_s /
+// completed payload columns carry the figure.
 //
 // Expected shape: KG lowest and degrading with skew; PKG in between, also
 // degrading; D-C and W-C matching SG's (transport-bound) plateau. Paper
 // headline: D-C/W-C up to ~1.5x PKG and ~2.3x KG at high skew.
 
-#include <cstdio>
-#include <vector>
+#include <string>
 
 #include "common/bench_util.h"
-#include "slb/common/parallel.h"
-#include "slb/sim/dspe_simulator.h"
+#include "common/dspe_cell.h"
 
 namespace slb::bench {
 namespace {
 
-struct Point {
-  double z;
-  AlgorithmKind algo;
-  DspeResult result;
-};
-
 int Main(int argc, char** argv) {
-  const BenchEnv env = ParseBenchArgs(argc, argv, "Fig. 13: cluster throughput");
+  BenchEnv defaults;
+  defaults.sources = 48;  // the paper's 48 spouts, overridable via --sources
+  const BenchEnv env = ParseBenchArgs(argc, argv, "Fig. 13: cluster throughput",
+                                      nullptr, defaults);
   const uint64_t messages = env.MessagesOr(200000, 2000000);
 
   PrintBanner("bench_fig13_throughput", "Figure 13",
-              "n=80, sources=48, |K|=1e4, m=" + std::to_string(messages) +
+              "n=80, sources=" + std::to_string(env.sources) +
+                  ", |K|=1e4, m=" + std::to_string(messages) +
                   ", 1.5ms/tuple worker, 3300/s transport, 70 pending/source");
 
-  const AlgorithmKind algos[5] = {
-      AlgorithmKind::kKeyGrouping, AlgorithmKind::kPkg, AlgorithmKind::kDChoices,
-      AlgorithmKind::kWChoices, AlgorithmKind::kShuffleGrouping};
+  DspeCellOptions cell;
+  cell.latency = false;  // Fig. 14 reports latency; this figure throughput
 
-  std::vector<Point> points;
-  for (double z : {1.4, 1.7, 2.0}) {
-    for (AlgorithmKind algo : algos) points.push_back(Point{z, algo, {}});
-  }
-
-  ParallelFor(points.size(), [&](size_t i) {
-    Point& p = points[i];
-    DspeConfig config;
-    config.algorithm = p.algo;
-    config.partitioner.num_workers = 80;
-    config.partitioner.hash_seed = static_cast<uint64_t>(env.seed);
-    config.num_sources = 48;
-    config.num_messages = messages;
-    config.zipf_exponent = p.z;
-    config.num_keys = 10000;
-    config.seed = static_cast<uint64_t>(env.seed);
-    auto result = RunDspeSimulation(config);
-    if (result.ok()) p.result = result.value();
-  }, static_cast<size_t>(env.threads));
-
-  std::printf("#%-5s %6s %16s %12s\n", "skew", "algo", "throughput(ev/s)",
-              "makespan(s)");
-  for (const Point& p : points) {
-    std::printf("%-6.1f %6s %16.0f %12.1f\n", p.z,
-                AlgorithmKindName(p.algo).c_str(), p.result.throughput_per_s,
-                p.result.makespan_s);
-  }
-  return 0;
+  SweepGrid grid;
+  grid.scenarios = ZipfScenarios({1.4, 1.7, 2.0}, 10000, messages,
+                                 static_cast<uint64_t>(env.seed));
+  grid.algorithms = {AlgorithmKind::kKeyGrouping, AlgorithmKind::kPkg,
+                     AlgorithmKind::kDChoices, AlgorithmKind::kWChoices,
+                     AlgorithmKind::kShuffleGrouping};
+  grid.worker_counts = {80};
+  grid.runner = MakeDspeCellRunner(cell);
+  return RunGridAndReport(env, std::move(grid));
 }
 
 }  // namespace

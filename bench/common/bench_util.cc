@@ -2,6 +2,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <utility>
 
 #include "slb/sim/report.h"
 #include "slb/workload/datasets.h"
@@ -9,8 +10,9 @@
 namespace slb::bench {
 
 BenchEnv ParseBenchArgs(int argc, char** argv, const std::string& description,
-                        FlagSet* extra) {
+                        FlagSet* extra, BenchEnv defaults) {
   static BenchEnv env;  // targets must outlive Parse
+  env = std::move(defaults);
   FlagSet own(description);
   FlagSet& flags = extra != nullptr ? *extra : own;
   flags.AddBool("paper", &env.paper, "use paper-scale parameters (slow)");
@@ -20,12 +22,18 @@ BenchEnv ParseBenchArgs(int argc, char** argv, const std::string& description,
   flags.AddInt64("seed", &env.seed, "master RNG seed");
   flags.AddInt64("runs", &env.runs, "independent runs to average");
   flags.AddInt64("threads", &env.threads, "sweep parallelism (0 = hardware)");
+  flags.AddString("format", &env.format, "summary table format: tsv/csv/json");
   const Status st = flags.Parse(argc, argv);
   if (!st.ok()) {
     std::fprintf(stderr, "%s\n%s", st.ToString().c_str(), flags.Usage().c_str());
     std::exit(2);
   }
   if (flags.help_requested()) std::exit(0);
+  if (env.format != "tsv" && env.format != "csv" && env.format != "json") {
+    std::fprintf(stderr, "bad --format '%s' (want tsv, csv, or json)\n",
+                 env.format.c_str());
+    std::exit(2);
+  }
   return env;
 }
 
@@ -47,27 +55,23 @@ std::vector<double> SkewGrid(bool paper) {
   return grid;
 }
 
-AveragedRun RunAveraged(const PartitionSimConfig& config, const DatasetSpec& spec,
-                        int64_t runs, uint64_t seed) {
-  AveragedRun out;
-  if (runs < 1) runs = 1;
-  for (int64_t r = 0; r < runs; ++r) {
-    DatasetSpec run_spec = spec;
-    run_spec.seed = seed + static_cast<uint64_t>(r);
-    auto gen = MakeGenerator(run_spec);
-    auto result = RunPartitionSimulation(config, gen.get());
-    if (!result.ok()) {
-      std::fprintf(stderr, "simulation failed: %s\n",
-                   result.status().ToString().c_str());
-      std::exit(1);
-    }
-    out.mean_final_imbalance += result->final_imbalance;
-    out.mean_avg_imbalance += result->avg_imbalance;
-    if (r == runs - 1) out.last = std::move(result.value());
+std::vector<SweepScenario> SkewScenarios(bool paper, uint64_t num_keys,
+                                         uint64_t num_messages, uint64_t seed) {
+  return ZipfScenarios(SkewGrid(paper), num_keys, num_messages, seed);
+}
+
+std::vector<SweepScenario> ZipfScenarios(const std::vector<double>& exponents,
+                                         uint64_t num_keys,
+                                         uint64_t num_messages, uint64_t seed) {
+  std::vector<SweepScenario> scenarios;
+  for (double z : exponents) {
+    DatasetSpec spec = MakeZipfSpec(z, num_keys, num_messages, seed);
+    char label[16];
+    std::snprintf(label, sizeof(label), "z=%.1f", z);
+    spec.name = label;
+    scenarios.push_back(ScenarioFromDataset(spec));
   }
-  out.mean_final_imbalance /= static_cast<double>(runs);
-  out.mean_avg_imbalance /= static_cast<double>(runs);
-  return out;
+  return scenarios;
 }
 
 std::string Sci(double value) {
@@ -76,15 +80,67 @@ std::string Sci(double value) {
   return buf;
 }
 
-int RunGridAndReport(const BenchEnv& env, SweepGrid grid, bool series) {
-  grid.num_sources = static_cast<uint32_t>(env.sources);
-  grid.seed = static_cast<uint64_t>(env.seed);
-  grid.runs = static_cast<uint32_t>(env.runs < 1 ? 1 : env.runs);
-  const SweepResultTable table =
-      RunSweep(grid, static_cast<size_t>(env.threads));
-  std::fputs((series ? SweepSeriesToTsv(table) : SweepToTsv(table)).c_str(),
-             stdout);
+namespace {
+
+std::string RenderTable(const SweepResultTable& table,
+                        const std::string& format) {
+  if (format == "csv") return SweepToCsv(table);
+  if (format == "json") return SweepToJson(table);
+  return SweepToTsv(table);
+}
+
+int Report(const BenchEnv& env, const SweepResultTable& table,
+           ReportMode mode) {
+  switch (mode) {
+    case ReportMode::kTable:
+      std::fputs(RenderTable(table, env.format).c_str(), stdout);
+      break;
+    case ReportMode::kSeries:
+      std::fputs(SweepSeriesToTsv(table).c_str(), stdout);
+      break;
+    case ReportMode::kTableAndSeries:
+      std::fputs(RenderTable(table, env.format).c_str(), stdout);
+      std::fputs("\n", stdout);
+      std::fputs(SweepSeriesToTsv(table).c_str(), stdout);
+      break;
+    case ReportMode::kWorkerLoads:
+      std::fputs(SweepWorkerLoadsToTsv(table).c_str(), stdout);
+      break;
+  }
   return table.num_errors() == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int RunGridAndReport(const BenchEnv& env, SweepGrid grid, ReportMode mode) {
+  std::vector<SweepGrid> grids;
+  grids.push_back(std::move(grid));
+  return RunGridsAndReport(env, std::move(grids), mode);
+}
+
+int RunGridsAndReport(const BenchEnv& env, std::vector<SweepGrid> grids,
+                      ReportMode mode) {
+  // The long-format emitters (series / worker-loads) are TSV-only; honor
+  // the flag contract up front instead of sweeping and then silently
+  // ignoring --format.
+  if (mode != ReportMode::kTable && env.format != "tsv") {
+    std::fprintf(stderr,
+                 "--format %s is not supported here: this bench emits a "
+                 "long-format TSV table (only --format tsv)\n",
+                 env.format.c_str());
+    return 2;
+  }
+  SweepResultTable table;
+  for (SweepGrid& grid : grids) {
+    grid.num_sources = static_cast<uint32_t>(env.sources);
+    grid.seed = static_cast<uint64_t>(env.seed);
+    grid.runs = static_cast<uint32_t>(env.runs < 1 ? 1 : env.runs);
+    SweepResultTable part = RunSweep(grid, static_cast<size_t>(env.threads));
+    for (SweepCellResult& cell : part.cells) {
+      table.cells.push_back(std::move(cell));
+    }
+  }
+  return Report(env, table, mode);
 }
 
 }  // namespace slb::bench

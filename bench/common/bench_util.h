@@ -1,13 +1,17 @@
 // Shared harness utilities for the figure/table reproduction binaries.
 //
-// Every bench binary accepts:
+// Every bench binary accepts the same flag vocabulary:
 //   --paper           paper-scale parameters (slower, closer to the paper)
 //   --messages N      override the stream length (0 = per-bench default)
 //   --sources S       number of sources (Table III default: 5)
 //   --seed S          master seed
 //   --runs R          independent runs to average (seeds seed, seed+1, ...)
 //   --threads T       sweep parallelism (0 = hardware)
-// and prints gnuplot-ready, tab-separated series to stdout with '#' headers.
+//   --format F        summary-table format: tsv (default) / csv / json
+// and prints gnuplot-ready tables to stdout with '#' headers (TSV), or the
+// CSV/JSON renderings of the same sweep table. Per-bench extras are
+// registered on a FlagSet passed to ParseBenchArgs so `--help` lists one
+// merged vocabulary. docs/SWEEP_FORMATS.md documents the output schemas.
 
 #pragma once
 
@@ -31,6 +35,7 @@ struct BenchEnv {
   int64_t seed = 42;
   int64_t runs = 1;
   int64_t threads = 0;
+  std::string format = "tsv";  // summary table format: tsv / csv / json
 
   /// Picks the stream length: explicit --messages wins, then paper/quick.
   uint64_t MessagesOr(uint64_t quick_default, uint64_t paper_default) const {
@@ -40,9 +45,10 @@ struct BenchEnv {
 };
 
 /// Parses common flags (plus any extra flags already registered on `extra`).
-/// Exits the process on bad flags or --help.
+/// `defaults` seeds the pre-parse values (e.g. the DSPE benches default to
+/// the paper's 48 sources). Exits the process on bad flags or --help.
 BenchEnv ParseBenchArgs(int argc, char** argv, const std::string& description,
-                        FlagSet* extra = nullptr);
+                        FlagSet* extra = nullptr, BenchEnv defaults = BenchEnv{});
 
 /// Prints the standard experiment banner: which figure/table of the paper
 /// this binary regenerates and with which parameters.
@@ -53,23 +59,39 @@ void PrintBanner(const std::string& experiment, const std::string& paper_ref,
 /// mode, 0.2..2.0 step 0.2 in quick mode.
 std::vector<double> SkewGrid(bool paper);
 
-/// Runs one partition simulation, averaging final imbalance over `runs`
-/// seeds. Also returns the last run's full result for series/loads.
-struct AveragedRun {
-  double mean_final_imbalance = 0.0;
-  double mean_avg_imbalance = 0.0;
-  PartitionSimResult last;
-};
-AveragedRun RunAveraged(const PartitionSimConfig& config, const DatasetSpec& spec,
-                        int64_t runs, uint64_t seed);
+/// Scenarios for the skew grid: one ZF dataset per exponent, labelled
+/// "z=<exponent>", with SweepScenario::param = z for custom runners.
+std::vector<SweepScenario> SkewScenarios(bool paper, uint64_t num_keys,
+                                         uint64_t num_messages, uint64_t seed);
+
+/// Same labelling/seeding for an explicit exponent list (the benches that
+/// sweep a few representative z values instead of the full grid).
+std::vector<SweepScenario> ZipfScenarios(const std::vector<double>& exponents,
+                                         uint64_t num_keys,
+                                         uint64_t num_messages, uint64_t seed);
 
 /// Formats a double for TSV output (scientific, 4 significant digits).
 std::string Sci(double value);
 
+/// Which sweep emitters RunGridAndReport prints (all to stdout).
+enum class ReportMode {
+  kTable,           // SweepToTsv/Csv/Json per --format
+  kSeries,          // per-sample long format (SweepSeriesToTsv)
+  kTableAndSeries,  // summary table, blank line, then the series table
+  kWorkerLoads,     // per-worker head/tail breakdown (SweepWorkerLoadsToTsv)
+};
+
 /// Applies the common sweep knobs (--sources/--seed/--runs) to `grid`, runs
-/// it with --threads parallelism, and prints the result table to stdout
-/// (the per-epoch series table when `series` is set). Returns the process
-/// exit code: 1 when any cell failed.
-int RunGridAndReport(const BenchEnv& env, SweepGrid grid, bool series = false);
+/// it with --threads parallelism, and prints the result per `mode`. Returns
+/// the process exit code: 1 when any cell failed.
+int RunGridAndReport(const BenchEnv& env, SweepGrid grid,
+                     ReportMode mode = ReportMode::kTable);
+
+/// Same, but concatenates the tables of several grids (stable order: grids
+/// in call order, cells in grid order) into ONE report. For experiments
+/// whose axes do not form a single cartesian product, e.g. comparing an
+/// adaptive algorithm against a fixed-parameter family.
+int RunGridsAndReport(const BenchEnv& env, std::vector<SweepGrid> grids,
+                      ReportMode mode = ReportMode::kTable);
 
 }  // namespace slb::bench

@@ -1,0 +1,59 @@
+#include "dspe_cell.h"
+
+#include <utility>
+
+namespace slb::bench {
+
+SweepCellRunner MakeDspeCellRunner(DspeCellOptions options) {
+  return [options](const SweepCellContext& ctx) -> Result<CellPayload> {
+    DspeConfig config = options.base;
+    config.algorithm = ctx.algorithm;
+    config.partitioner = ctx.variant->options;
+    config.partitioner.num_workers = ctx.num_workers;
+    config.partitioner.hash_seed = ctx.grid->seed;
+    config.num_sources = ctx.variant->num_sources > 0
+                             ? ctx.variant->num_sources
+                             : ctx.grid->num_sources;
+    config.zipf_exponent = ctx.scenario->param;
+    config.seed = ctx.run_seed;
+    // Single source of truth for the workload size: the scenario's own
+    // generator (the DSPE simulator draws its stream internally, so only
+    // the counts and the exponent cross over).
+    auto gen = ctx.MakeStream();
+    if (!gen.ok()) return gen.status();
+    config.num_messages = (*gen)->num_messages();
+    config.num_keys = (*gen)->num_keys();
+
+    auto result = RunDspeSimulation(config);
+    if (!result.ok()) return result.status();
+
+    CellPayload payload;
+    payload.sim.total_messages = result->completed;
+    if (options.throughput) {
+      ThroughputCounters counters;
+      counters.throughput_per_s = result->throughput_per_s;
+      counters.makespan_s = result->makespan_s;
+      counters.completed = result->completed;
+      payload.throughput = counters;
+    }
+    if (options.latency) {
+      LatencySnapshot snapshot;
+      snapshot.count = static_cast<int64_t>(result->completed);
+      snapshot.avg_ms = result->latency_avg_ms;
+      snapshot.p50_ms = result->latency_p50_ms;
+      snapshot.p95_ms = result->latency_p95_ms;
+      snapshot.p99_ms = result->latency_p99_ms;
+      snapshot.max_ms = result->latency_max_ms;
+      payload.latency = snapshot;
+    }
+    if (options.worker_latency) {
+      payload.AddMetric("worker_avg_max_ms", result->max_worker_avg_latency_ms);
+      payload.AddMetric("worker_avg_p50_ms", result->p50_worker_avg_latency_ms);
+      payload.AddMetric("worker_avg_p95_ms", result->p95_worker_avg_latency_ms);
+      payload.AddMetric("worker_avg_p99_ms", result->p99_worker_avg_latency_ms);
+    }
+    return payload;
+  };
+}
+
+}  // namespace slb::bench

@@ -1,0 +1,29 @@
+// Sweep cell runner for the cluster-level experiments (Figs. 13-14): each
+// cell is one RunDspeSimulation of the queueing-network Storm stand-in,
+// reported as throughput counters and latency snapshots in the cell payload
+// (the partition-sim fields stay zero — the DSPE simulator measures the
+// cluster, not routing imbalance).
+
+#pragma once
+
+#include "slb/sim/dspe_simulator.h"
+#include "slb/sim/sweep.h"
+
+namespace slb::bench {
+
+struct DspeCellOptions {
+  /// Template config for the cluster's service parameters. Everything
+  /// workload- or cell-shaped is overwritten per cell: algorithm,
+  /// partitioner options, worker count, source count, seed, the Zipf
+  /// exponent (SweepScenario::param), and the message/key counts (read
+  /// from the scenario's generator, the single source of truth).
+  DspeConfig base;
+  /// Which payload components the cells attach.
+  bool throughput = true;       // Fig. 13 columns
+  bool latency = true;          // tuple-level latency snapshot
+  bool worker_latency = false;  // Fig. 14's per-worker average percentiles
+};
+
+SweepCellRunner MakeDspeCellRunner(DspeCellOptions options);
+
+}  // namespace slb::bench

@@ -1,0 +1,76 @@
+#include "memory_overhead.h"
+
+#include <unordered_set>
+#include <utility>
+
+#include "slb/analysis/choices.h"
+#include "slb/analysis/memory_model.h"
+#include "slb/workload/zipf.h"
+
+namespace slb::bench {
+
+SweepCellRunner MakeMemoryOverheadRunner(MemoryBaseline baseline) {
+  return [baseline](const SweepCellContext& ctx) -> Result<CellPayload> {
+    const PartitionSimConfig config = ctx.MakeSimConfig();
+    const uint32_t n = ctx.num_workers;
+
+    // Frequency table of this cell's concrete stream (keys equal ranks).
+    // Recomputed per cell even though it only depends on the scenario:
+    // cells must be pure functions of their context (no cross-cell state),
+    // and counting is cheap next to the simulation below.
+    auto gen = ctx.MakeStream();
+    if (!gen.ok()) return gen.status();
+    const uint64_t keys = (*gen)->num_keys();
+    const uint64_t messages = (*gen)->num_messages();
+    FrequencyTable counts(keys, 0);
+    for (uint64_t m = 0; m < messages; ++m) ++counts[(*gen)->NextKey()];
+
+    // Analytic head and d (Sec. IV) from the true pmf at this cell's theta.
+    const ZipfDistribution zipf(ctx.scenario->param, keys);
+    const uint64_t head_size =
+        zipf.CountAboveThreshold(config.partitioner.theta());
+    const auto head =
+        HeadProfile::FromProbabilities(zipf.TopProbabilities(head_size));
+    const uint32_t d = FindOptimalChoices(head, n, config.partitioner.epsilon);
+    std::unordered_set<uint64_t> head_keys;
+    for (uint64_t r = 0; r < head_size; ++r) head_keys.insert(r);
+
+    MemoryModelTable memory;
+    if (baseline == MemoryBaseline::kPkg) {
+      memory.baseline = "pkg";
+      memory.baseline_entries = MemoryPkg(counts);
+    } else {
+      memory.baseline = "sg";
+      memory.baseline_entries = MemorySg(counts, n);
+    }
+    switch (ctx.algorithm) {
+      case AlgorithmKind::kDChoices:
+        memory.estimated_entries = MemoryDc(counts, head_keys, d);
+        break;
+      case AlgorithmKind::kWChoices:
+        memory.estimated_entries = MemoryWc(counts, head_keys, n);
+        break;
+      default:
+        return Status::InvalidArgument(
+            "memory-overhead runner supports only D-Choices / W-Choices");
+    }
+    memory.estimated_overhead_pct =
+        OverheadPercent(memory.estimated_entries, memory.baseline_entries);
+
+    // Measured footprint from the simulated run (same stream, Reset by the
+    // simulator; requires grid.track_memory).
+    auto sim = RunPartitionSimulation(config, gen->get());
+    if (!sim.ok()) return sim.status();
+
+    CellPayload payload;
+    payload.sim = std::move(sim.value());
+    memory.measured_entries = payload.sim.memory_entries;
+    memory.measured_overhead_pct =
+        OverheadPercent(memory.measured_entries, memory.baseline_entries);
+    payload.memory = std::move(memory);
+    payload.AddCount("d", d);
+    return payload;
+  };
+}
+
+}  // namespace slb::bench

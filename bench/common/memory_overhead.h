@@ -1,0 +1,28 @@
+// Sweep cell runner for the Sec. IV-B memory-overhead experiments
+// (Figs. 5-6): estimates memDC / memWC from the concrete stream's frequency
+// table, runs the simulation with (key,worker) accounting, and attaches a
+// MemoryModelTable payload comparing both against a baseline scheme.
+
+#pragma once
+
+#include <cstdint>
+
+#include "slb/sim/sweep.h"
+
+namespace slb::bench {
+
+/// Which scheme the overhead percentages are measured against.
+enum class MemoryBaseline {
+  kPkg,  // memPKG = sum_k min(f_k, 2)      (Fig. 5)
+  kSg,   // memSG  = sum_k min(f_k, n)      (Fig. 6)
+};
+
+/// Cell runner for grids whose scenarios are ZF streams (SweepScenario::param
+/// = the Zipf exponent, keys = ranks) and whose algorithm axis is D-Choices /
+/// W-Choices. The head and d are the *analytic* ones (theta and epsilon come
+/// from the cell's partitioner options, i.e. theta = 1/(5n) by default),
+/// exactly as Sec. IV-B computes the estimates. Set grid.track_memory = true
+/// so the measured footprint is recorded.
+SweepCellRunner MakeMemoryOverheadRunner(MemoryBaseline baseline);
+
+}  // namespace slb::bench

@@ -1,0 +1,63 @@
+#!/usr/bin/env bash
+# Smoke-runs every bench binary with a tiny message budget and fails on a
+# non-zero exit or an empty result table. TSVs land in $OUT_DIR (default
+# bench-smoke/) so CI can upload them as artifacts.
+#
+# Usage: scripts/bench_smoke.sh [build_dir] [out_dir]
+#
+# The bench_micro_* binaries are excluded: they are Google-Benchmark micros
+# with their own reporting, not sweep-table experiments (and are absent when
+# libbenchmark is not installed).
+
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+OUT_DIR="${2:-bench-smoke}"
+MESSAGES="${BENCH_SMOKE_MESSAGES:-20000}"
+THREADS="${BENCH_SMOKE_THREADS:-2}"
+
+if [ ! -d "$BUILD_DIR/bench" ]; then
+  echo "error: $BUILD_DIR/bench not found (build first)" >&2
+  exit 2
+fi
+
+mkdir -p "$OUT_DIR"
+failures=0
+count=0
+
+for bin in "$BUILD_DIR"/bench/bench_*; do
+  name="$(basename "$bin")"
+  case "$name" in
+    bench_micro_*) continue ;;
+  esac
+  [ -x "$bin" ] || continue
+  count=$((count + 1))
+  out="$OUT_DIR/$name.tsv"
+
+  if ! "$bin" --messages "$MESSAGES" --threads "$THREADS" > "$out" 2> "$OUT_DIR/$name.err"; then
+    echo "FAIL  $name: non-zero exit" >&2
+    sed 's/^/      /' "$OUT_DIR/$name.err" >&2 || true
+    failures=$((failures + 1))
+    continue
+  fi
+
+  # A healthy run prints at least one non-comment, non-blank result row.
+  # (grep -c reads the whole stream — no -q/SIGPIPE race under pipefail.)
+  rows="$(grep -v '^#' "$out" | grep -c '[^[:space:]]' || true)"
+  if [ "${rows:-0}" -eq 0 ]; then
+    echo "FAIL  $name: empty result table" >&2
+    failures=$((failures + 1))
+    continue
+  fi
+
+  echo "OK    $name (${rows} rows)"
+done
+
+if [ "$count" -eq 0 ]; then
+  echo "error: no bench binaries found under $BUILD_DIR/bench" >&2
+  exit 2
+fi
+
+echo "---"
+echo "$((count - failures))/$count bench binaries passed"
+exit "$((failures > 0 ? 1 : 0))"

@@ -26,7 +26,7 @@ class DChoices final : public HeadTailPartitioner {
   uint32_t head_choices() const override { return d_; }
 
   /// Number of times FINDOPTIMALCHOICES has run (diagnostics).
-  uint64_t reoptimize_count() const { return reoptimize_count_; }
+  uint64_t reoptimize_count() const override { return reoptimize_count_; }
 
  protected:
   uint32_t RouteHead(uint64_t key) override {

@@ -109,6 +109,10 @@ class StreamPartitioner {
   /// Number of choices currently granted to head keys (2 when the algorithm
   /// has no separate head handling; n for W-Choices).
   virtual uint32_t head_choices() const { return 2; }
+
+  /// Times the head-choices optimizer has run (0 for algorithms without one;
+  /// D-Choices overrides — the reoptimization-cadence ablation reads this).
+  virtual uint64_t reoptimize_count() const { return 0; }
 };
 
 /// Creates a sender-local partitioner instance.

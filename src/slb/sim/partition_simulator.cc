@@ -39,7 +39,10 @@ Result<PartitionSimResult> RunPartitionSimulation(const PartitionSimConfig& conf
     // round-robin across sources.
     StreamPartitioner& sender = *senders[i % config.num_sources];
     const uint32_t worker = sender.Route(key);
-    tracker.Record(worker, key, sender.last_was_head());
+    const bool is_head = config.oracle_head_size > 0
+                             ? key < config.oracle_head_size
+                             : sender.last_was_head();
+    tracker.Record(worker, key, is_head);
 
     if ((i + 1) % sample_every == 0 || i + 1 == m) {
       result.imbalance_series.push_back(tracker.Imbalance());
@@ -63,6 +66,7 @@ Result<PartitionSimResult> RunPartitionSimulation(const PartitionSimConfig& conf
   result.worker_tail_loads = tracker.NormalizedTailLoads();
   result.memory_entries = tracker.memory_entries();
   result.final_head_choices = senders.front()->head_choices();
+  result.reoptimizations = senders.front()->reoptimize_count();
   result.head_messages = tracker.head_messages();
   result.total_messages = tracker.total();
   return result;

@@ -30,6 +30,13 @@ struct PartitionSimConfig {
 
   /// Enables distinct (key,worker) memory accounting (Figs. 5-6).
   bool track_memory = false;
+
+  /// When > 0, the head/tail load split uses the *oracle* classification
+  /// key < oracle_head_size instead of the partitioner's own head flag
+  /// (Fig. 8 applies one ground-truth head to head-oblivious schemes too;
+  /// keys equal ranks in the non-drifting ZF streams, so the oracle test is
+  /// rank < |H|).
+  uint64_t oracle_head_size = 0;
 };
 
 struct PartitionSimResult {
@@ -53,6 +60,10 @@ struct PartitionSimResult {
 
   /// d reported by source 0 at the end (D-Choices diagnostics).
   uint32_t final_head_choices = 0;
+
+  /// FINDOPTIMALCHOICES invocations by source 0 (0 for algorithms without a
+  /// cached optimizer; the reoptimization-cadence ablation reads this).
+  uint64_t reoptimizations = 0;
 
   uint64_t head_messages = 0;
   uint64_t total_messages = 0;

@@ -1,6 +1,7 @@
 #include "slb/sim/report.h"
 
 #include <cstdio>
+#include <vector>
 
 namespace slb {
 
@@ -14,6 +15,19 @@ std::string Num(double value) {
   char buf[40];
   std::snprintf(buf, sizeof(buf), "%.16e", value);
   return buf;
+}
+
+std::string Count(uint64_t value) { return std::to_string(value); }
+
+// Integral payload metrics carry exact counts in a double; render without
+// an exponent so they read (and diff) like the counts they are.
+std::string MetricValue(const PayloadMetric& metric) {
+  if (metric.integral) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.0f", metric.value);
+    return buf;
+  }
+  return Num(metric.value);
 }
 
 std::string StatusField(const Status& status) {
@@ -55,60 +69,145 @@ std::string JsonEscape(const std::string& text) {
   return out;
 }
 
-void AppendRow(std::string* out, const SweepCellResult& cell, char sep,
-               bool csv) {
-  auto field = [&](const std::string& text) {
-    *out += csv ? CsvEscape(text) : text;
-    *out += sep;
-  };
-  field(cell.scenario);
-  field(cell.variant.empty() && !csv ? "-" : cell.variant);
-  field(AlgorithmKindName(cell.algorithm));
-  field(std::to_string(cell.num_workers));
-  field(std::to_string(cell.seed));
-  field(std::to_string(cell.runs));
-  field(StatusField(cell.status));
-  field(Num(cell.mean_final_imbalance));
-  field(Num(cell.mean_avg_imbalance));
-  field(Num(cell.mean_max_imbalance));
-  field(std::to_string(cell.result.memory_entries));
-  field(std::to_string(cell.result.final_head_choices));
-  field(std::to_string(cell.result.head_messages));
-  field(std::to_string(cell.result.total_messages));
-  out->back() = '\n';  // replace the trailing separator
-}
-
-constexpr const char* kColumns[] = {
+constexpr const char* kFixedColumns[] = {
     "scenario",       "variant",        "algo",
     "workers",        "seed",           "runs",
     "status",         "final_imbalance", "avg_imbalance",
     "max_imbalance",  "memory_entries", "head_choices",
     "head_messages",  "total_messages"};
 
+constexpr const char* kMemoryColumns[] = {
+    "mem_baseline",         "mem_baseline_entries", "mem_estimated_entries",
+    "mem_est_overhead_pct", "mem_measured_overhead_pct"};
+
+constexpr const char* kLatencyColumns[] = {
+    "lat_count", "lat_avg_ms", "lat_p50_ms",
+    "lat_p95_ms", "lat_p99_ms", "lat_max_ms"};
+
+constexpr const char* kThroughputColumns[] = {"throughput_per_s", "makespan_s",
+                                              "completed"};
+
+// Which payload columns this table renders. Derived by scanning the cells
+// in stable row order, so it is a pure function of the table — identical
+// across thread counts, and identical for every row (cells missing a
+// component render zeros).
+struct PayloadColumns {
+  bool memory = false;
+  bool latency = false;
+  bool throughput = false;
+  /// Union of metric names in first-seen (cell-order, then payload-order)
+  /// appearance; `integral` is taken from the first definition.
+  std::vector<PayloadMetric> metrics;
+};
+
+PayloadColumns ScanPayloadColumns(const SweepResultTable& table) {
+  PayloadColumns columns;
+  for (const SweepCellResult& cell : table.cells) {
+    if (cell.payload.memory.has_value()) columns.memory = true;
+    if (cell.payload.latency.has_value()) columns.latency = true;
+    if (cell.payload.throughput.has_value()) columns.throughput = true;
+    for (const PayloadMetric& metric : cell.payload.metrics) {
+      if (FindMetric(columns.metrics, metric.name) == nullptr) {
+        columns.metrics.push_back(PayloadMetric{metric.name, 0.0, metric.integral});
+      }
+    }
+  }
+  return columns;
+}
+
+void AppendHeader(std::string* out, const PayloadColumns& columns, char sep) {
+  bool first = true;
+  auto name = [&](const char* text) {
+    if (!first) *out += sep;
+    first = false;
+    *out += text;
+  };
+  for (const char* text : kFixedColumns) name(text);
+  if (columns.memory) {
+    for (const char* text : kMemoryColumns) name(text);
+  }
+  if (columns.latency) {
+    for (const char* text : kLatencyColumns) name(text);
+  }
+  if (columns.throughput) {
+    for (const char* text : kThroughputColumns) name(text);
+  }
+  for (const PayloadMetric& metric : columns.metrics) name(metric.name.c_str());
+  *out += '\n';
+}
+
+void AppendRow(std::string* out, const SweepCellResult& cell,
+               const PayloadColumns& columns, char sep, bool csv) {
+  auto field = [&](const std::string& text) {
+    *out += csv ? CsvEscape(text) : text;
+    *out += sep;
+  };
+  const CellPayload& payload = cell.payload;
+  field(cell.scenario);
+  field(cell.variant.empty() && !csv ? "-" : cell.variant);
+  field(AlgorithmKindName(cell.algorithm));
+  field(Count(cell.num_workers));
+  field(Count(cell.seed));
+  field(Count(cell.runs));
+  field(StatusField(cell.status));
+  field(Num(cell.mean_final_imbalance));
+  field(Num(cell.mean_avg_imbalance));
+  field(Num(cell.mean_max_imbalance));
+  field(Count(payload.sim.memory_entries));
+  field(Count(payload.sim.final_head_choices));
+  field(Count(payload.sim.head_messages));
+  field(Count(payload.sim.total_messages));
+  if (columns.memory) {
+    static const MemoryModelTable kNoMemory;
+    const MemoryModelTable& mem = payload.memory.value_or(kNoMemory);
+    field(mem.baseline.empty() && !csv ? "-" : mem.baseline);
+    field(Count(mem.baseline_entries));
+    field(Count(mem.estimated_entries));
+    field(Num(mem.estimated_overhead_pct));
+    field(Num(mem.measured_overhead_pct));
+  }
+  if (columns.latency) {
+    const LatencySnapshot lat = payload.latency.value_or(LatencySnapshot{});
+    field(Count(static_cast<uint64_t>(lat.count)));
+    field(Num(lat.avg_ms));
+    field(Num(lat.p50_ms));
+    field(Num(lat.p95_ms));
+    field(Num(lat.p99_ms));
+    field(Num(lat.max_ms));
+  }
+  if (columns.throughput) {
+    const ThroughputCounters thr =
+        payload.throughput.value_or(ThroughputCounters{});
+    field(Num(thr.throughput_per_s));
+    field(Num(thr.makespan_s));
+    field(Count(thr.completed));
+  }
+  for (const PayloadMetric& column : columns.metrics) {
+    const PayloadMetric* metric = FindMetric(payload.metrics, column.name);
+    PayloadMetric absent{column.name, 0.0, column.integral};
+    field(MetricValue(metric != nullptr ? *metric : absent));
+  }
+  out->back() = '\n';  // replace the trailing separator
+}
+
 }  // namespace
 
 std::string SweepToTsv(const SweepResultTable& table) {
+  const PayloadColumns columns = ScanPayloadColumns(table);
   std::string out = "#";
-  for (size_t i = 0; i < std::size(kColumns); ++i) {
-    if (i > 0) out += '\t';
-    out += kColumns[i];
-  }
-  out += '\n';
+  AppendHeader(&out, columns, '\t');
   for (const SweepCellResult& cell : table.cells) {
-    AppendRow(&out, cell, '\t', /*csv=*/false);
+    AppendRow(&out, cell, columns, '\t', /*csv=*/false);
   }
   return out;
 }
 
 std::string SweepToCsv(const SweepResultTable& table) {
+  const PayloadColumns columns = ScanPayloadColumns(table);
   std::string out;
-  for (size_t i = 0; i < std::size(kColumns); ++i) {
-    if (i > 0) out += ',';
-    out += kColumns[i];
-  }
-  out += '\n';
+  AppendHeader(&out, columns, ',');
   for (const SweepCellResult& cell : table.cells) {
-    AppendRow(&out, cell, ',', /*csv=*/true);
+    AppendRow(&out, cell, columns, ',', /*csv=*/true);
   }
   return out;
 }
@@ -117,12 +216,13 @@ std::string SweepToJson(const SweepResultTable& table) {
   std::string out = "[\n";
   for (size_t i = 0; i < table.cells.size(); ++i) {
     const SweepCellResult& cell = table.cells[i];
+    const CellPayload& payload = cell.payload;
     out += "  {\"scenario\":\"" + JsonEscape(cell.scenario) + "\"";
     out += ",\"variant\":\"" + JsonEscape(cell.variant) + "\"";
     out += ",\"algo\":\"" + JsonEscape(AlgorithmKindName(cell.algorithm)) + "\"";
-    out += ",\"workers\":" + std::to_string(cell.num_workers);
-    out += ",\"seed\":" + std::to_string(cell.seed);
-    out += ",\"runs\":" + std::to_string(cell.runs);
+    out += ",\"workers\":" + Count(cell.num_workers);
+    out += ",\"seed\":" + Count(cell.seed);
+    out += ",\"runs\":" + Count(cell.runs);
     out += ",\"status\":\"" + JsonEscape(StatusField(cell.status)) + "\"";
     if (!cell.status.ok()) {
       out += ",\"error\":\"" + JsonEscape(cell.status.message()) + "\"";
@@ -130,14 +230,50 @@ std::string SweepToJson(const SweepResultTable& table) {
     out += ",\"final_imbalance\":" + Num(cell.mean_final_imbalance);
     out += ",\"avg_imbalance\":" + Num(cell.mean_avg_imbalance);
     out += ",\"max_imbalance\":" + Num(cell.mean_max_imbalance);
-    out += ",\"memory_entries\":" + std::to_string(cell.result.memory_entries);
-    out += ",\"head_choices\":" + std::to_string(cell.result.final_head_choices);
-    out += ",\"head_messages\":" + std::to_string(cell.result.head_messages);
-    out += ",\"total_messages\":" + std::to_string(cell.result.total_messages);
+    out += ",\"memory_entries\":" + Count(payload.sim.memory_entries);
+    out += ",\"head_choices\":" + Count(payload.sim.final_head_choices);
+    out += ",\"head_messages\":" + Count(payload.sim.head_messages);
+    out += ",\"total_messages\":" + Count(payload.sim.total_messages);
+    if (payload.memory.has_value()) {
+      const MemoryModelTable& mem = *payload.memory;
+      out += ",\"memory\":{\"baseline\":\"" + JsonEscape(mem.baseline) + "\"";
+      out += ",\"baseline_entries\":" + Count(mem.baseline_entries);
+      out += ",\"estimated_entries\":" + Count(mem.estimated_entries);
+      out += ",\"measured_entries\":" + Count(mem.measured_entries);
+      out += ",\"estimated_overhead_pct\":" + Num(mem.estimated_overhead_pct);
+      out += ",\"measured_overhead_pct\":" + Num(mem.measured_overhead_pct);
+      out += "}";
+    }
+    if (payload.latency.has_value()) {
+      const LatencySnapshot& lat = *payload.latency;
+      out += ",\"latency\":{\"count\":" + Count(static_cast<uint64_t>(lat.count));
+      out += ",\"avg_ms\":" + Num(lat.avg_ms);
+      out += ",\"p50_ms\":" + Num(lat.p50_ms);
+      out += ",\"p95_ms\":" + Num(lat.p95_ms);
+      out += ",\"p99_ms\":" + Num(lat.p99_ms);
+      out += ",\"max_ms\":" + Num(lat.max_ms);
+      out += "}";
+    }
+    if (payload.throughput.has_value()) {
+      const ThroughputCounters& thr = *payload.throughput;
+      out += ",\"throughput\":{\"per_s\":" + Num(thr.throughput_per_s);
+      out += ",\"makespan_s\":" + Num(thr.makespan_s);
+      out += ",\"completed\":" + Count(thr.completed);
+      out += "}";
+    }
+    if (!payload.metrics.empty()) {
+      out += ",\"metrics\":{";
+      for (size_t mi = 0; mi < payload.metrics.size(); ++mi) {
+        if (mi > 0) out += ',';
+        out += "\"" + JsonEscape(payload.metrics[mi].name) + "\":" +
+               MetricValue(payload.metrics[mi]);
+      }
+      out += "}";
+    }
     out += ",\"imbalance_series\":[";
-    for (size_t s = 0; s < cell.result.imbalance_series.size(); ++s) {
+    for (size_t s = 0; s < payload.sim.imbalance_series.size(); ++s) {
       if (s > 0) out += ',';
-      out += Num(cell.result.imbalance_series[s]);
+      out += Num(payload.sim.imbalance_series[s]);
     }
     out += "]}";
     if (i + 1 < table.cells.size()) out += ',';
@@ -152,20 +288,54 @@ std::string SweepSeriesToTsv(const SweepResultTable& table) {
       "#scenario\tvariant\talgo\tworkers\tsample\tposition\timbalance\n";
   for (const SweepCellResult& cell : table.cells) {
     if (!cell.status.ok()) continue;
-    for (size_t s = 0; s < cell.result.imbalance_series.size(); ++s) {
+    const PartitionSimResult& sim = cell.payload.sim;
+    for (size_t s = 0; s < sim.imbalance_series.size(); ++s) {
       out += cell.scenario;
       out += '\t';
       out += cell.variant.empty() ? "-" : cell.variant;
       out += '\t';
       out += AlgorithmKindName(cell.algorithm);
       out += '\t';
-      out += std::to_string(cell.num_workers);
+      out += Count(cell.num_workers);
       out += '\t';
-      out += std::to_string(s + 1);
+      out += Count(s + 1);
       out += '\t';
-      out += std::to_string(cell.result.sample_positions[s]);
+      out += Count(sim.sample_positions[s]);
       out += '\t';
-      out += Num(cell.result.imbalance_series[s]);
+      out += Num(sim.imbalance_series[s]);
+      out += '\n';
+    }
+  }
+  return out;
+}
+
+std::string SweepWorkerLoadsToTsv(const SweepResultTable& table) {
+  std::string out =
+      "#scenario\tvariant\talgo\tworkers\tworker\thead_pct\ttail_pct\t"
+      "total_pct\n";
+  for (const SweepCellResult& cell : table.cells) {
+    if (!cell.status.ok()) continue;
+    const PartitionSimResult& sim = cell.payload.sim;
+    for (size_t w = 0; w < sim.worker_loads.size(); ++w) {
+      const double head =
+          w < sim.worker_head_loads.size() ? sim.worker_head_loads[w] : 0.0;
+      const double tail =
+          w < sim.worker_tail_loads.size() ? sim.worker_tail_loads[w] : 0.0;
+      out += cell.scenario;
+      out += '\t';
+      out += cell.variant.empty() ? "-" : cell.variant;
+      out += '\t';
+      out += AlgorithmKindName(cell.algorithm);
+      out += '\t';
+      out += Count(cell.num_workers);
+      out += '\t';
+      out += Count(w + 1);
+      out += '\t';
+      out += Num(100.0 * head);
+      out += '\t';
+      out += Num(100.0 * tail);
+      out += '\t';
+      out += Num(100.0 * sim.worker_loads[w]);
       out += '\n';
     }
   }

@@ -11,6 +11,7 @@ namespace slb {
 SweepScenario ScenarioFromDataset(const DatasetSpec& spec) {
   SweepScenario scenario;
   scenario.label = spec.name;
+  scenario.param = spec.zipf_exponent;
   scenario.make = [spec](uint64_t seed) -> Result<std::unique_ptr<StreamGenerator>> {
     DatasetSpec seeded = spec;
     seeded.seed = seed;
@@ -24,6 +25,7 @@ SweepScenario ScenarioFromCatalog(const std::string& name,
                                   std::string label) {
   SweepScenario scenario;
   scenario.label = label.empty() ? name : std::move(label);
+  scenario.param = options.zipf_exponent;
   scenario.make = [name, options](uint64_t seed) {
     ScenarioOptions seeded = options;
     seeded.seed = seed;
@@ -72,6 +74,68 @@ SweepScenario ScenarioFromTrace(std::string label, Trace trace) {
   return scenario;
 }
 
+LatencySnapshot LatencySnapshot::FromHistogram(const Histogram& histogram) {
+  LatencySnapshot snapshot;
+  snapshot.count = histogram.count();
+  snapshot.avg_ms = histogram.mean();
+  snapshot.p50_ms = histogram.p50();
+  snapshot.p95_ms = histogram.p95();
+  snapshot.p99_ms = histogram.p99();
+  snapshot.max_ms = histogram.max();
+  return snapshot;
+}
+
+void CellPayload::AddMetric(std::string name, double value) {
+  metrics.push_back(PayloadMetric{std::move(name), value, /*integral=*/false});
+}
+
+void CellPayload::AddCount(std::string name, uint64_t value) {
+  metrics.push_back(PayloadMetric{std::move(name),
+                                  static_cast<double>(value),
+                                  /*integral=*/true});
+}
+
+const PayloadMetric* FindMetric(const std::vector<PayloadMetric>& metrics,
+                                const std::string& name) {
+  for (const PayloadMetric& metric : metrics) {
+    if (metric.name == name) return &metric;
+  }
+  return nullptr;
+}
+
+const PayloadMetric* CellPayload::FindMetric(const std::string& name) const {
+  return slb::FindMetric(metrics, name);
+}
+
+PartitionSimConfig SweepCellContext::MakeSimConfig() const {
+  PartitionSimConfig config;
+  config.algorithm = algorithm;
+  config.partitioner = variant->options;
+  config.partitioner.num_workers = num_workers;
+  config.partitioner.hash_seed = grid->seed;
+  config.num_sources =
+      variant->num_sources > 0 ? variant->num_sources : grid->num_sources;
+  config.num_samples =
+      scenario->num_samples > 0 ? scenario->num_samples : grid->num_samples;
+  config.track_memory = grid->track_memory;
+  config.oracle_head_size = grid->oracle_head_size;
+  return config;
+}
+
+Result<std::unique_ptr<StreamGenerator>> SweepCellContext::MakeStream() const {
+  return scenario->make(run_seed);
+}
+
+Result<CellPayload> SweepCellContext::RunDefault() const {
+  auto gen = MakeStream();
+  if (!gen.ok()) return gen.status();
+  auto result = RunPartitionSimulation(MakeSimConfig(), gen->get());
+  if (!result.ok()) return result.status();
+  CellPayload payload;
+  payload.sim = std::move(result.value());
+  return payload;
+}
+
 size_t SweepResultTable::num_errors() const {
   size_t errors = 0;
   for (const SweepCellResult& cell : cells) {
@@ -107,41 +171,35 @@ void FailCell(SweepCellResult* cell, Status status) {
   cell->mean_final_imbalance = 0.0;
   cell->mean_avg_imbalance = 0.0;
   cell->mean_max_imbalance = 0.0;
-  cell->result = PartitionSimResult{};
+  cell->payload = CellPayload{};
 }
 
-// Runs one fully-expanded cell: `runs` independent simulations averaged,
-// with the last run's full result retained. Self-contained — reads nothing
+// Runs one fully-expanded cell: `runs` independent experiments averaged,
+// with the last run's full payload retained. Self-contained — reads nothing
 // mutable outside the cell, so cells can execute in any order. `runs` is
 // the caller's clamped count (grid.runs may be 0).
 void RunCell(const SweepGrid& grid, uint32_t runs,
              const SweepScenario& scenario, const SweepVariant& variant,
              SweepCellResult* cell) {
   for (uint32_t r = 0; r < runs; ++r) {
-    auto gen = scenario.make(grid.seed + r);
-    if (!gen.ok()) {
-      FailCell(cell, gen.status());
-      return;
-    }
-    PartitionSimConfig config;
-    config.algorithm = cell->algorithm;
-    config.partitioner = variant.options;
-    config.partitioner.num_workers = cell->num_workers;
-    config.partitioner.hash_seed = grid.seed;
-    config.num_sources = grid.num_sources;
-    config.num_samples =
-        scenario.num_samples > 0 ? scenario.num_samples : grid.num_samples;
-    config.track_memory = grid.track_memory;
+    SweepCellContext context;
+    context.grid = &grid;
+    context.scenario = &scenario;
+    context.variant = &variant;
+    context.algorithm = cell->algorithm;
+    context.num_workers = cell->num_workers;
+    context.run_seed = grid.seed + r;
+    context.run = r;
 
-    auto result = RunPartitionSimulation(config, gen->get());
-    if (!result.ok()) {
-      FailCell(cell, result.status());
+    auto payload = grid.runner ? grid.runner(context) : context.RunDefault();
+    if (!payload.ok()) {
+      FailCell(cell, payload.status());
       return;
     }
-    cell->mean_final_imbalance += result->final_imbalance;
-    cell->mean_avg_imbalance += result->avg_imbalance;
-    cell->mean_max_imbalance += result->max_imbalance;
-    if (r == runs - 1) cell->result = std::move(result.value());
+    cell->mean_final_imbalance += payload->sim.final_imbalance;
+    cell->mean_avg_imbalance += payload->sim.avg_imbalance;
+    cell->mean_max_imbalance += payload->sim.max_imbalance;
+    if (r == runs - 1) cell->payload = std::move(payload.value());
   }
   cell->mean_final_imbalance /= runs;
   cell->mean_avg_imbalance /= runs;

@@ -150,6 +150,40 @@ TEST(PartitionSimTest, SingleSourceAndManySources) {
   EXPECT_LT(ten->final_imbalance, 2e-2);
 }
 
+TEST(PartitionSimTest, OracleHeadClassifiesByRank) {
+  // PKG is head-oblivious (last_was_head always false); with an oracle head
+  // the split reflects the true rank classification instead (Fig. 8).
+  auto config = Config(AlgorithmKind::kPkg, 5);
+  auto blind_stream = Stream(2.0, 10000, 60000);
+  auto blind = RunPartitionSimulation(config, blind_stream.get());
+  ASSERT_TRUE(blind.ok());
+  EXPECT_EQ(blind->head_messages, 0u);
+
+  config.oracle_head_size = 1;  // exactly the hottest key
+  auto oracle_stream = Stream(2.0, 10000, 60000);
+  auto oracle = RunPartitionSimulation(config, oracle_stream.get());
+  ASSERT_TRUE(oracle.ok());
+  // At z=2 the rank-0 key alone carries a large share of the stream.
+  EXPECT_GT(oracle->head_messages, oracle->total_messages / 5);
+  // Routing itself is untouched — only the head/tail attribution changes.
+  EXPECT_EQ(oracle->final_imbalance, blind->final_imbalance);
+  EXPECT_EQ(oracle->worker_loads, blind->worker_loads);
+}
+
+TEST(PartitionSimTest, ReoptimizationCountExposed) {
+  auto stream = Stream(1.8, 5000, 100000);
+  auto dc = RunPartitionSimulation(Config(AlgorithmKind::kDChoices, 20),
+                                   stream.get());
+  ASSERT_TRUE(dc.ok());
+  EXPECT_GT(dc->reoptimizations, 0u);
+
+  auto stream2 = Stream(1.8, 5000, 100000);
+  auto pkg =
+      RunPartitionSimulation(Config(AlgorithmKind::kPkg, 20), stream2.get());
+  ASSERT_TRUE(pkg.ok());
+  EXPECT_EQ(pkg->reoptimizations, 0u);
+}
+
 TEST(PartitionSimTest, DriftingStreamStillBalanced) {
   DatasetSpec ct = MakeCashtagsSpec(0.1);
   auto gen = MakeGenerator(ct);

@@ -81,9 +81,9 @@ TEST(SweepDeterminismTest, SerialAndParallelTablesAreByteIdentical) {
     const SweepCellResult& a = serial.cells[i];
     const SweepCellResult& b = parallel.cells[i];
     EXPECT_EQ(a.mean_final_imbalance, b.mean_final_imbalance) << "cell " << i;
-    EXPECT_EQ(a.result.imbalance_series, b.result.imbalance_series)
+    EXPECT_EQ(a.payload.sim.imbalance_series, b.payload.sim.imbalance_series)
         << "cell " << i;
-    EXPECT_EQ(a.result.worker_loads, b.result.worker_loads) << "cell " << i;
+    EXPECT_EQ(a.payload.sim.worker_loads, b.payload.sim.worker_loads) << "cell " << i;
   }
 }
 
@@ -116,10 +116,10 @@ TEST(SweepDeterminismTest, CellsMatchStandaloneSimulation) {
           auto standalone = RunPartitionSimulation(config, gen->get());
           ASSERT_TRUE(standalone.ok());
           EXPECT_EQ(cell->mean_final_imbalance, standalone->final_imbalance);
-          EXPECT_EQ(cell->result.final_imbalance, standalone->final_imbalance);
-          EXPECT_EQ(cell->result.imbalance_series,
+          EXPECT_EQ(cell->payload.sim.final_imbalance, standalone->final_imbalance);
+          EXPECT_EQ(cell->payload.sim.imbalance_series,
                     standalone->imbalance_series);
-          EXPECT_EQ(cell->result.worker_loads, standalone->worker_loads);
+          EXPECT_EQ(cell->payload.sim.worker_loads, standalone->worker_loads);
         }
       }
     }
@@ -149,8 +149,8 @@ TEST(SweepEdgeCaseTest, SingleCellGrid) {
   EXPECT_TRUE(cell.status.ok());
   EXPECT_EQ(cell.scenario, "zipf");
   EXPECT_EQ(cell.num_workers, 6u);
-  EXPECT_EQ(cell.result.total_messages, 20000u);
-  EXPECT_EQ(cell.result.worker_loads.size(), 6u);
+  EXPECT_EQ(cell.payload.sim.total_messages, 20000u);
+  EXPECT_EQ(cell.payload.sim.worker_loads.size(), 6u);
   EXPECT_GT(cell.mean_final_imbalance, 0.0);
 }
 
@@ -171,11 +171,11 @@ TEST(SweepEdgeCaseTest, ErrorCellsAreIsolated) {
   EXPECT_FALSE(bad.status.ok());
   EXPECT_TRUE(bad.status.IsInvalidArgument());
   EXPECT_EQ(bad.mean_final_imbalance, 0.0);
-  EXPECT_TRUE(bad.result.imbalance_series.empty());
+  EXPECT_TRUE(bad.payload.sim.imbalance_series.empty());
 
   const SweepCellResult& good = table.cells[1];
   EXPECT_TRUE(good.status.ok()) << good.status.ToString();
-  EXPECT_EQ(good.result.total_messages, 20000u);
+  EXPECT_EQ(good.payload.sim.total_messages, 20000u);
 
   // The error shows up in every rendering without breaking the format.
   const std::string csv = SweepToCsv(table);
