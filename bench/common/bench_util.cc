@@ -118,24 +118,39 @@ int RunGridAndReport(const BenchEnv& env, SweepGrid grid, ReportMode mode) {
   return RunGridsAndReport(env, std::move(grids), mode);
 }
 
-int RunGridsAndReport(const BenchEnv& env, std::vector<SweepGrid> grids,
-                      ReportMode mode) {
+SweepResultTable RunGridForEnv(const BenchEnv& env, SweepGrid grid) {
+  grid.num_sources = static_cast<uint32_t>(env.sources);
+  grid.seed = static_cast<uint64_t>(env.seed);
+  grid.runs = static_cast<uint32_t>(env.runs < 1 ? 1 : env.runs);
+  return RunSweep(grid, static_cast<size_t>(env.threads));
+}
+
+bool CheckReportFormat(const BenchEnv& env, ReportMode mode) {
   // The long-format emitters (series / worker-loads) are TSV-only; honor
-  // the flag contract up front instead of sweeping and then silently
-  // ignoring --format.
+  // the flag contract instead of silently ignoring --format.
   if (mode != ReportMode::kTable && env.format != "tsv") {
     std::fprintf(stderr,
                  "--format %s is not supported here: this bench emits a "
                  "long-format TSV table (only --format tsv)\n",
                  env.format.c_str());
-    return 2;
+    return false;
   }
+  return true;
+}
+
+int ReportTable(const BenchEnv& env, const SweepResultTable& table,
+                ReportMode mode) {
+  if (!CheckReportFormat(env, mode)) return 2;
+  return Report(env, table, mode);
+}
+
+int RunGridsAndReport(const BenchEnv& env, std::vector<SweepGrid> grids,
+                      ReportMode mode) {
+  // Reject the mode/format combination BEFORE sweeping.
+  if (!CheckReportFormat(env, mode)) return 2;
   SweepResultTable table;
   for (SweepGrid& grid : grids) {
-    grid.num_sources = static_cast<uint32_t>(env.sources);
-    grid.seed = static_cast<uint64_t>(env.seed);
-    grid.runs = static_cast<uint32_t>(env.runs < 1 ? 1 : env.runs);
-    SweepResultTable part = RunSweep(grid, static_cast<size_t>(env.threads));
+    SweepResultTable part = RunGridForEnv(env, std::move(grid));
     for (SweepCellResult& cell : part.cells) {
       table.cells.push_back(std::move(cell));
     }

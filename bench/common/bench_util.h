@@ -94,4 +94,23 @@ int RunGridAndReport(const BenchEnv& env, SweepGrid grid,
 int RunGridsAndReport(const BenchEnv& env, std::vector<SweepGrid> grids,
                       ReportMode mode = ReportMode::kTable);
 
+/// The sweep half of RunGridAndReport without the report: applies the
+/// common knobs (--sources/--seed/--runs) to `grid` and runs it with
+/// --threads parallelism. For benches that post-process the table (e.g. the
+/// adversarial-headroom bench derives a per-scenario variant-gap table)
+/// before printing it with ReportTable.
+SweepResultTable RunGridForEnv(const BenchEnv& env, SweepGrid grid);
+
+/// The report half: prints `table` per `mode` (honoring --format) and
+/// returns the process exit code — 1 when any cell failed, 2 when the
+/// mode/format combination is unsupported.
+int ReportTable(const BenchEnv& env, const SweepResultTable& table,
+                ReportMode mode);
+
+/// True when `mode` can be rendered under --format; prints the rejection to
+/// stderr otherwise (the long-format emitters are TSV-only). Benches that
+/// sweep with RunGridForEnv and report later must call this BEFORE the
+/// sweep so a bad flag fails fast instead of after minutes of simulation.
+bool CheckReportFormat(const BenchEnv& env, ReportMode mode);
+
 }  // namespace slb::bench

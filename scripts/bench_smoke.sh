@@ -58,6 +58,43 @@ if [ "$count" -eq 0 ]; then
   exit 2
 fi
 
+# The adversarial-headroom bench must cover the full calibrated scenario
+# list even at the tiny smoke budget: its derived headroom table (the lines
+# after the "# headroom:" marker) needs one row per (scenario, algorithm)
+# for at least 6 scenarios, including the four PR-4 catalog additions.
+HEADROOM_TSV="$OUT_DIR/bench_adversarial_headroom.tsv"
+headroom_failures=0
+if [ -f "$HEADROOM_TSV" ]; then
+  headroom_rows="$(sed -n '/^# headroom:/,$p' "$HEADROOM_TSV" \
+                    | grep -v '^#' | grep -c '[^[:space:]]' || true)"
+  headroom_scenarios="$(sed -n '/^# headroom:/,$p' "$HEADROOM_TSV" \
+                    | grep -v '^#' | cut -f1 | sort -u | grep -c '[^[:space:]]' || true)"
+  if [ "${headroom_scenarios:-0}" -lt 6 ]; then
+    echo "FAIL  bench_adversarial_headroom: headroom table covers only" \
+         "${headroom_scenarios:-0} scenarios (want >= 6)" >&2
+    headroom_failures=$((headroom_failures + 1))
+  fi
+  for scenario in correlated-burst diurnal key-space-growth replay-with-noise; do
+    if ! sed -n '/^# headroom:/,$p' "$HEADROOM_TSV" | grep -q "^$scenario	"; then
+      echo "FAIL  bench_adversarial_headroom: scenario '$scenario' missing" \
+           "from the headroom table" >&2
+      headroom_failures=$((headroom_failures + 1))
+    fi
+  done
+  if [ "$headroom_failures" -eq 0 ]; then
+    echo "OK    bench_adversarial_headroom headroom table" \
+         "(${headroom_rows:-0} rows, ${headroom_scenarios:-0} scenarios)"
+  fi
+else
+  # The coverage assertion must not vanish with the binary it asserts on.
+  echo "FAIL  bench_adversarial_headroom: no result table at $HEADROOM_TSV" \
+       "(binary missing from the build?)" >&2
+  headroom_failures=1
+fi
+
 echo "---"
 echo "$((count - failures))/$count bench binaries passed"
-exit "$((failures > 0 ? 1 : 0))"
+if [ "$headroom_failures" -gt 0 ]; then
+  echo "headroom coverage check FAILED ($headroom_failures problems)" >&2
+fi
+exit "$(((failures + headroom_failures) > 0 ? 1 : 0))"

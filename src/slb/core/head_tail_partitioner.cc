@@ -36,10 +36,24 @@ std::unique_ptr<FrequencyEstimator> HeadTailPartitioner::MakeSketch(
     case SketchKind::kDecayingSpaceSaving: {
       // One half-life per ~4/theta messages: long enough that a stable
       // head key keeps a decisive count, short enough to forget yesterday's
-      // hot keys within a few head-turnover periods.
-      const auto half_life =
+      // hot keys within a few head-turnover periods. decay_half_life
+      // overrides; decay_auto_tune lets the sketch walk away from the
+      // starting point when the observed head churn disagrees with it.
+      const auto derived =
           static_cast<uint64_t>(std::max(1024.0, std::ceil(4.0 / theta)));
-      return std::make_unique<DecayingSpaceSaving>(capacity, half_life);
+      const uint64_t half_life =
+          options.decay_half_life > 0 ? options.decay_half_life : derived;
+      DecayingSpaceSaving::AutoTune tune;
+      if (options.decay_auto_tune) {
+        tune.enabled = true;
+        tune.min_half_life = std::max<uint64_t>(256, half_life / 16);
+        // The ceiling must reach "effectively no decay": on a stable head
+        // the tuner keeps doubling, and capping near the starting point
+        // would freeze the over-decay it exists to escape (a 1024-message
+        // half-life on a 10M-message stream shreds the counts).
+        tune.max_half_life = std::max(half_life * 16, uint64_t{1} << 22);
+      }
+      return std::make_unique<DecayingSpaceSaving>(capacity, half_life, tune);
     }
   }
   return nullptr;

@@ -73,6 +73,19 @@ struct PartitionerOptions {
 
   SketchKind sketch = SketchKind::kSpaceSaving;
 
+  /// kDecayingSpaceSaving only: fixed decay half-life in messages
+  /// (0 = derive from theta: max(1024, 4/theta), the calibrated default).
+  uint64_t decay_half_life = 0;
+
+  /// kDecayingSpaceSaving only: adapt the half-life online. At each decay
+  /// boundary the sketch halves the half-life when its top-k head churned
+  /// since the previous boundary and doubles it when the head was stable,
+  /// within [max(256, half_life/16), max(half_life*16, 2^22)] — the ceiling
+  /// reaches "effectively no decay" so a stable head converges to plain
+  /// SpaceSaving behaviour. Deterministic (no RNG), so seeded experiments
+  /// remain reproducible.
+  bool decay_auto_tune = false;
+
   /// Messages between FINDOPTIMALCHOICES refreshes in D-Choices. The paper's
   /// Algorithm 1 calls it per message; recomputing on a short interval is
   /// behaviourally identical (the head evolves slowly) and keeps routing O(1).

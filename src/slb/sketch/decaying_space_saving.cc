@@ -1,22 +1,79 @@
 #include "slb/sketch/decaying_space_saving.h"
 
+#include <algorithm>
+
 #include "slb/common/logging.h"
 
 namespace slb {
 
 DecayingSpaceSaving::DecayingSpaceSaving(size_t capacity, uint64_t half_life)
-    : inner_(capacity), half_life_(half_life) {
+    : DecayingSpaceSaving(capacity, half_life, AutoTune()) {}
+
+DecayingSpaceSaving::DecayingSpaceSaving(size_t capacity, uint64_t half_life,
+                                         AutoTune auto_tune)
+    : inner_(capacity),
+      half_life_(half_life),
+      initial_half_life_(half_life),
+      auto_tune_(auto_tune) {
   SLB_CHECK(half_life >= 1) << "half life must be positive";
+  if (auto_tune_.enabled) {
+    SLB_CHECK(auto_tune_.min_half_life >= 1);
+    SLB_CHECK(auto_tune_.min_half_life <= auto_tune_.max_half_life);
+    SLB_CHECK(auto_tune_.head_size >= 1);
+    SLB_CHECK(auto_tune_.churn_threshold >= 0.0 &&
+              auto_tune_.churn_threshold <= 1.0);
+    SLB_CHECK(auto_tune_.stable_threshold >= 0.0 &&
+              auto_tune_.stable_threshold <= 1.0);
+    SLB_CHECK(auto_tune_.churn_threshold <= auto_tune_.stable_threshold)
+        << "an overlap cannot be churning and stable at once";
+    half_life_ = std::clamp(half_life_, auto_tune_.min_half_life,
+                            auto_tune_.max_half_life);
+    initial_half_life_ = half_life_;
+  }
 }
 
 void DecayingSpaceSaving::Reset() {
   inner_.Reset();
+  half_life_ = initial_half_life_;
   since_decay_ = 0;
   decays_ = 0;
+  tune_shrinks_ = 0;
+  tune_growths_ = 0;
+  head_snapshot_.clear();
+}
+
+void DecayingSpaceSaving::TuneHalfLife() {
+  std::vector<HeavyKey> counters = inner_.Counters();  // descending by count
+  const size_t k = std::min(auto_tune_.head_size, counters.size());
+  std::vector<uint64_t> head;
+  head.reserve(k);
+  for (size_t i = 0; i < k; ++i) head.push_back(counters[i].key);
+  std::sort(head.begin(), head.end());
+
+  if (!head_snapshot_.empty() && !head.empty()) {
+    std::vector<uint64_t> common;
+    std::set_intersection(head.begin(), head.end(), head_snapshot_.begin(),
+                          head_snapshot_.end(), std::back_inserter(common));
+    const double overlap = static_cast<double>(common.size()) /
+                           static_cast<double>(head_snapshot_.size());
+    if (overlap < auto_tune_.churn_threshold) {
+      const uint64_t shrunk =
+          std::max(auto_tune_.min_half_life, half_life_ / 2);
+      tune_shrinks_ += shrunk != half_life_;
+      half_life_ = shrunk;
+    } else if (overlap >= auto_tune_.stable_threshold) {
+      const uint64_t grown =
+          std::min(auto_tune_.max_half_life, half_life_ * 2);
+      tune_growths_ += grown != half_life_;
+      half_life_ = grown;
+    }
+  }
+  head_snapshot_ = std::move(head);
 }
 
 uint64_t DecayingSpaceSaving::UpdateAndEstimate(uint64_t key) {
   if (++since_decay_ >= half_life_) {
+    if (auto_tune_.enabled) TuneHalfLife();
     inner_.ScaleDown(2);
     since_decay_ = 0;
     ++decays_;

@@ -16,6 +16,17 @@
 //   hot-set-churn     the hot set rotates wholesale every epoch
 //   multi-tenant      interleaved Zipf streams with distinct exponents
 //   single-key-ramp   one key ramps linearly from ~0 to p% of traffic
+//   correlated-burst  a GROUP of cold keys ignites together for a window
+//   diurnal           sinusoidal intensity curves over tenant-like key bands
+//   key-space-growth  fresh keys keep arriving; the head is a moving target
+//   replay-with-noise wraps any base scenario with seeded key + order noise
+//
+// Every generator must pass the catalog-wide property-test harness
+// (tests/workload/scenario_harness.h): golden-seed determinism, Reset
+// round-trip byte-equality, message-count exactness, key-range containment,
+// and a per-scenario shape predicate. The harness enumerates
+// ScenarioNames(), so a generator registered here without a harness entry
+// fails the completeness test.
 
 #pragma once
 
@@ -69,6 +80,39 @@ struct ScenarioOptions {
   // --- drift -------------------------------------------------------------
   /// Fraction of key identities reshuffled per epoch (see DriftingKeyMapper).
   double drift_swap_fraction = 0.1;
+
+  // --- correlated-burst ----------------------------------------------------
+  /// Keys in the bursting group: the coldest `burst_group_size` ranks ignite
+  /// *together* during the [burst_begin, burst_end) window, splitting
+  /// `burst_fraction` of traffic uniformly. Must be in [1, num_keys].
+  uint64_t burst_group_size = 16;
+
+  // --- diurnal -------------------------------------------------------------
+  /// Messages per full sinusoidal intensity cycle. Must be >= 2.
+  uint64_t diurnal_period = 5000;
+  /// Tenant-like key bands, each with a phase-shifted intensity curve.
+  /// Must be in [1, num_keys].
+  uint64_t diurnal_num_bands = 4;
+  /// Peak-to-mean swing of each band's intensity, in [0, 1].
+  double diurnal_amplitude = 0.8;
+
+  // --- key-space-growth ----------------------------------------------------
+  /// Fraction of the key space live at stream start, in (0, 1].
+  double growth_initial_fraction = 0.1;
+  /// Per-message probability that a fresh key joins the live set. Must be
+  /// in [0, 1): a rate of 1 would make every message a fresh key.
+  double growth_rate = 0.05;
+
+  // --- replay-with-noise ---------------------------------------------------
+  /// Catalog name of the base scenario being replayed (any name except
+  /// "replay-with-noise" itself).
+  std::string replay_base = "zipf";
+  /// Probability a replayed key is replaced by a uniform random key, [0, 1].
+  double noise_rate = 0.05;
+  /// Local-reorder window: keys are emitted from a sliding buffer of this
+  /// size, perturbing local ordering while preserving composition. Must be
+  /// >= 1 (1 = no reordering).
+  uint64_t noise_window = 16;
 };
 
 /// Flash crowd: a base Zipf stream in which the *coldest* key (rank K-1)
@@ -176,11 +220,146 @@ class SingleKeyRampStreamGenerator final : public StreamGenerator {
   uint64_t position_ = 0;
 };
 
+/// Correlated burst: the coldest `burst_group_size` keys ignite *together*
+/// for the [burst_begin, burst_end) window, splitting `burst_fraction` of
+/// traffic uniformly. Where flash-crowd stresses single-key reaction time,
+/// this stresses the sketch's capacity headroom: a whole group of previously
+/// unmonitored keys must enter the head at once, evicting each other while
+/// they climb.
+class CorrelatedBurstStreamGenerator final : public StreamGenerator {
+ public:
+  explicit CorrelatedBurstStreamGenerator(const ScenarioOptions& options);
+
+  uint64_t NextKey() override;
+  void Reset() override;
+  uint64_t num_messages() const override { return options_.num_messages; }
+  uint64_t num_keys() const override { return options_.num_keys; }
+  std::string name() const override { return "correlated-burst"; }
+
+  /// First key of the bursting group (the group is [start, start + size)).
+  uint64_t group_start() const {
+    return options_.num_keys - options_.burst_group_size;
+  }
+  uint64_t group_size() const { return options_.burst_group_size; }
+  /// True while message index `position` falls inside the burst window.
+  bool InBurstWindow(uint64_t position) const;
+
+ private:
+  ScenarioOptions options_;
+  ZipfDistribution zipf_;
+  Rng rng_;
+  uint64_t position_ = 0;
+  uint64_t burst_first_;  // first message index inside the window
+  uint64_t burst_last_;   // one past the last message index inside it
+};
+
+/// Diurnal load curve: `diurnal_num_bands` tenant-like key bands own disjoint
+/// key ranges; band b's share of each message is proportional to the
+/// phase-shifted sinusoid 1 + amplitude * sin(2*pi*(t/period + b/B)). The
+/// per-epoch message *mix* therefore rotates smoothly through the bands —
+/// every band's head keys wax and wane on the cycle, so a sketch tuned for
+/// one phase is mis-tuned half a period later.
+class DiurnalStreamGenerator final : public StreamGenerator {
+ public:
+  explicit DiurnalStreamGenerator(const ScenarioOptions& options);
+
+  uint64_t NextKey() override;
+  void Reset() override;
+  uint64_t num_messages() const override { return options_.num_messages; }
+  /// Keys actually reachable: floor(K / B) * B.
+  uint64_t num_keys() const override;
+  std::string name() const override { return "diurnal"; }
+
+  uint64_t num_bands() const { return options_.diurnal_num_bands; }
+  uint64_t keys_per_band() const { return keys_per_band_; }
+  uint64_t period() const { return options_.diurnal_period; }
+  /// Band b's (unnormalized) intensity at message index `position`.
+  double BandIntensity(uint64_t band, uint64_t position) const;
+
+ private:
+  /// Recomputes the cumulative band weights for the phase slot containing
+  /// `position` (weights are piecewise-constant over kPhaseSlots per cycle).
+  void RefreshWeights(uint64_t position);
+
+  static constexpr uint64_t kPhaseSlots = 64;
+
+  ScenarioOptions options_;
+  ZipfDistribution band_zipf_;
+  Rng rng_;
+  uint64_t position_ = 0;
+  uint64_t keys_per_band_;
+  uint64_t slot_ = ~uint64_t{0};           // phase slot of cached weights
+  std::vector<double> cumulative_weight_;  // per-band, ascending
+};
+
+/// Key-space growth: only `growth_initial_fraction` of the key space exists
+/// at stream start; fresh keys arrive at `growth_rate` per message, and the
+/// Zipf head is anchored at the *newest* live key — rank 0 is the most
+/// recent arrival, so the heavy hitters are by construction keys no sketch
+/// has seen before. Stresses head tracking with a permanently moving target
+/// (the AutoFlow hotspot-migration regime).
+class KeySpaceGrowthStreamGenerator final : public StreamGenerator {
+ public:
+  explicit KeySpaceGrowthStreamGenerator(const ScenarioOptions& options);
+
+  uint64_t NextKey() override;
+  void Reset() override;
+  uint64_t num_messages() const override { return options_.num_messages; }
+  uint64_t num_keys() const override { return options_.num_keys; }
+  std::string name() const override { return "key-space-growth"; }
+
+  /// Keys live at stream start.
+  uint64_t initial_live_keys() const { return initial_live_; }
+  /// Keys live right now (monotone non-decreasing as the stream advances).
+  uint64_t live_keys() const { return live_; }
+
+ private:
+  ScenarioOptions options_;
+  ZipfDistribution zipf_;
+  Rng rng_;
+  uint64_t position_ = 0;
+  uint64_t initial_live_;
+  uint64_t live_;
+};
+
+/// Replay with noise: wraps any base catalog scenario, emitting its key
+/// sequence through a sliding `noise_window` buffer (seeded local-order
+/// perturbation) and replacing each emitted key with a uniform random key
+/// with probability `noise_rate`. Composition is preserved up to the noise
+/// rate, ordering only locally — the trace-perturbation robustness check:
+/// any conclusion that flips under small noise was overfit to one trace.
+class ReplayWithNoiseStreamGenerator final : public StreamGenerator {
+ public:
+  /// `base` supplies the replayed stream; it is owned and Reset() by the
+  /// wrapper. MakeScenario builds it from `options.replay_base`.
+  ReplayWithNoiseStreamGenerator(const ScenarioOptions& options,
+                                 std::unique_ptr<StreamGenerator> base);
+
+  uint64_t NextKey() override;
+  void Reset() override;
+  uint64_t num_messages() const override { return base_->num_messages(); }
+  uint64_t num_keys() const override { return base_->num_keys(); }
+  std::string name() const override { return "replay-with-noise"; }
+
+  const StreamGenerator& base() const { return *base_; }
+  double noise_rate() const { return options_.noise_rate; }
+
+ private:
+  void FillWindow();
+
+  ScenarioOptions options_;
+  std::unique_ptr<StreamGenerator> base_;
+  Rng rng_;
+  std::vector<uint64_t> window_;
+  uint64_t pulled_ = 0;  // keys drawn from base_ so far this pass
+};
+
 /// All catalog names accepted by MakeScenario, in stable order.
 std::vector<std::string> ScenarioNames();
 
 /// Builds a catalog scenario by name ("zipf", "drift", "flash-crowd",
-/// "hot-set-churn", "multi-tenant", "single-key-ramp"). Returns
+/// "hot-set-churn", "multi-tenant", "single-key-ramp", "correlated-burst",
+/// "diurnal", "key-space-growth", "replay-with-noise"). Returns
 /// InvalidArgument for unknown names or out-of-range knobs.
 Result<std::unique_ptr<StreamGenerator>> MakeScenario(
     const std::string& name, const ScenarioOptions& options = {});

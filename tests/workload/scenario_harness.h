@@ -1,0 +1,61 @@
+// Scenario property-test harness.
+//
+// Every generator in the adversarial catalog (slb/workload/scenario.h) must
+// satisfy the same contract — the sweep engine rebuilds generators per cell
+// and relies on it — so the contract is machine-checked in ONE place instead
+// of hand-copied per scenario:
+//
+//   1. same-seed determinism   two same-options instances emit byte-identical
+//                              key streams (construction is a pure function
+//                              of the seed);
+//   2. Reset round-trip        Reset() replays the exact sequence,
+//                              byte-for-byte over the full stream;
+//   3. message-count exactness num_messages() matches the requested options
+//                              and the generator yields exactly that many
+//                              keys without aborting;
+//   4. key-range containment   every emitted key is < num_keys();
+//   5. shape predicate         a per-scenario check that the advertised
+//                              dynamics actually happen (the burst window
+//                              dominates, the hot set rotates, fresh keys
+//                              arrive, ...), registered in the harness.
+//
+// The registry is keyed by catalog name and the completeness test compares
+// HarnessCoveredScenarios() against ScenarioNames(), so a generator added to
+// the catalog without a harness entry — or an entry whose scenario was
+// removed — fails CI.
+//
+// Usage (tests/workload/scenario_test.cc):
+//   for (const auto& name : ScenarioNames()) {
+//     SCOPED_TRACE(name);
+//     slb::testing::RunScenarioPropertyChecks(name);
+//   }
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "slb/workload/scenario.h"
+
+namespace slb::testing {
+
+/// The catalog-wide options the harness checks every scenario under: small
+/// enough to run in milliseconds, skewed and dynamic enough that every
+/// scenario's failure mode is statistically visible. Individual scenarios
+/// may further adjust knobs via their registry entry (see the .cc).
+ScenarioOptions HarnessBaseOptions();
+
+/// The options scenario `name` is actually checked under: HarnessBaseOptions
+/// plus the scenario's registered adjustments. Exposed so tests asserting on
+/// harness behaviour agree with the harness about knob values.
+ScenarioOptions HarnessOptionsFor(const std::string& name);
+
+/// Runs invariants 1-5 for `name` using gtest EXPECT/ADD_FAILURE, so
+/// failures surface in the calling test (wrap in SCOPED_TRACE(name)).
+/// A name without a registry entry is itself a failure.
+void RunScenarioPropertyChecks(const std::string& name);
+
+/// Catalog names with a registered harness entry, in registry order.
+std::vector<std::string> HarnessCoveredScenarios();
+
+}  // namespace slb::testing

@@ -1,10 +1,14 @@
 #include "slb/workload/scenario.h"
 
+#include <gtest/gtest-spi.h>
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <map>
 #include <set>
 #include <vector>
+
+#include "scenario_harness.h"
 
 namespace slb {
 namespace {
@@ -25,6 +29,39 @@ std::vector<uint64_t> Pull(StreamGenerator* gen, uint64_t count) {
   keys.reserve(count);
   for (uint64_t i = 0; i < count; ++i) keys.push_back(gen->NextKey());
   return keys;
+}
+
+// --- property-test harness -------------------------------------------------
+//
+// The harness machine-checks the catalog-wide contract (same-seed
+// determinism, Reset round-trip, message-count exactness, key-range
+// containment) plus one registered shape predicate per scenario. Running it
+// over ScenarioNames() means a future generator is covered the moment it is
+// registered in the factory — and the completeness test below makes SKIPPING
+// the harness a CI failure rather than a silent gap.
+
+TEST(ScenarioHarnessTest, EveryCatalogScenarioPassesPropertyChecks) {
+  for (const std::string& name : ScenarioNames()) {
+    SCOPED_TRACE(name);
+    slb::testing::RunScenarioPropertyChecks(name);
+  }
+}
+
+TEST(ScenarioHarnessTest, HarnessCoversEveryCatalogName) {
+  std::vector<std::string> catalog = ScenarioNames();
+  std::vector<std::string> covered = slb::testing::HarnessCoveredScenarios();
+  std::sort(catalog.begin(), catalog.end());
+  std::sort(covered.begin(), covered.end());
+  EXPECT_EQ(catalog, covered)
+      << "catalog and harness registry diverged: every MakeScenario name "
+         "needs a shape predicate in tests/workload/scenario_harness.cc, and "
+         "every registry entry needs a live scenario";
+}
+
+TEST(ScenarioHarnessTest, UnregisteredNameIsAHarnessFailure) {
+  EXPECT_NONFATAL_FAILURE(
+      slb::testing::RunScenarioPropertyChecks("no-such-scenario"),
+      "no harness entry");
 }
 
 TEST(ScenarioFactoryTest, UnknownNameIsInvalidArgument) {
@@ -83,6 +120,98 @@ TEST(ScenarioFactoryTest, OutOfRangeKnobsAreInvalidArgument) {
   opt = BaseOptions();
   opt.drift_swap_fraction = 2.0;
   EXPECT_TRUE(MakeScenario("drift", opt).status().IsInvalidArgument());
+}
+
+TEST(ScenarioFactoryTest, NewScenarioKnobsAreValidated) {
+  auto opt = BaseOptions();
+  opt.burst_group_size = 0;
+  EXPECT_TRUE(
+      MakeScenario("correlated-burst", opt).status().IsInvalidArgument());
+
+  opt = BaseOptions();
+  opt.burst_group_size = opt.num_keys + 1;
+  EXPECT_TRUE(
+      MakeScenario("correlated-burst", opt).status().IsInvalidArgument());
+
+  opt = BaseOptions();
+  opt.burst_fraction = -0.5;
+  EXPECT_TRUE(
+      MakeScenario("correlated-burst", opt).status().IsInvalidArgument());
+
+  opt = BaseOptions();
+  opt.diurnal_period = 0;  // zero period: no cycle to modulate
+  EXPECT_TRUE(MakeScenario("diurnal", opt).status().IsInvalidArgument());
+
+  opt = BaseOptions();
+  opt.diurnal_num_bands = 0;
+  EXPECT_TRUE(MakeScenario("diurnal", opt).status().IsInvalidArgument());
+
+  opt = BaseOptions();
+  opt.diurnal_num_bands = opt.num_keys + 1;
+  EXPECT_TRUE(MakeScenario("diurnal", opt).status().IsInvalidArgument());
+
+  opt = BaseOptions();
+  opt.diurnal_amplitude = 1.5;
+  EXPECT_TRUE(MakeScenario("diurnal", opt).status().IsInvalidArgument());
+
+  opt = BaseOptions();
+  opt.growth_rate = 1.0;  // rate >= 1: every message a fresh key
+  EXPECT_TRUE(
+      MakeScenario("key-space-growth", opt).status().IsInvalidArgument());
+
+  opt = BaseOptions();
+  opt.growth_rate = -0.1;
+  EXPECT_TRUE(
+      MakeScenario("key-space-growth", opt).status().IsInvalidArgument());
+
+  opt = BaseOptions();
+  opt.growth_initial_fraction = 0.0;
+  EXPECT_TRUE(
+      MakeScenario("key-space-growth", opt).status().IsInvalidArgument());
+
+  opt = BaseOptions();
+  opt.growth_initial_fraction = 1.5;
+  EXPECT_TRUE(
+      MakeScenario("key-space-growth", opt).status().IsInvalidArgument());
+
+  opt = BaseOptions();
+  opt.noise_rate = -0.01;  // negative noise rate
+  EXPECT_TRUE(
+      MakeScenario("replay-with-noise", opt).status().IsInvalidArgument());
+
+  opt = BaseOptions();
+  opt.noise_rate = 1.01;
+  EXPECT_TRUE(
+      MakeScenario("replay-with-noise", opt).status().IsInvalidArgument());
+
+  opt = BaseOptions();
+  opt.noise_window = 0;
+  EXPECT_TRUE(
+      MakeScenario("replay-with-noise", opt).status().IsInvalidArgument());
+
+  opt = BaseOptions();
+  opt.replay_base = "replay-with-noise";  // would recurse forever
+  EXPECT_TRUE(
+      MakeScenario("replay-with-noise", opt).status().IsInvalidArgument());
+
+  opt = BaseOptions();
+  opt.replay_base = "no-such-base";
+  EXPECT_TRUE(
+      MakeScenario("replay-with-noise", opt).status().IsInvalidArgument());
+}
+
+TEST(ScenarioFactoryTest, ReplayCanWrapAnyOtherCatalogScenario) {
+  for (const std::string& base : ScenarioNames()) {
+    if (base == "replay-with-noise") continue;
+    SCOPED_TRACE(base);
+    auto opt = BaseOptions();
+    opt.replay_base = base;
+    auto gen = MakeScenario("replay-with-noise", opt);
+    ASSERT_TRUE(gen.ok()) << gen.status().ToString();
+    for (int i = 0; i < 2000; ++i) {
+      ASSERT_LT((*gen)->NextKey(), (*gen)->num_keys());
+    }
+  }
 }
 
 // Reset() must replay the exact sequence, and two same-seed instances must
@@ -160,6 +289,41 @@ TEST(ScenarioGoldenTest, SingleKeyRampSeed7) {
   SingleKeyRampStreamGenerator gen(BaseOptions());
   const uint64_t expected[] = {0, 75, 103, 2, 21, 0, 133, 4, 128, 175, 0, 30};
   for (uint64_t k : expected) EXPECT_EQ(gen.NextKey(), k);
+}
+
+TEST(ScenarioGoldenTest, CorrelatedBurstSeed7) {
+  // Outside the window the stream is the base Zipf (identical to
+  // flash-crowd's head — same rng draw order); inside it (positions >= 8000)
+  // the group [984, 1000) ignites together.
+  CorrelatedBurstStreamGenerator gen(BaseOptions());
+  const uint64_t head[] = {5, 15, 75, 60, 403, 2, 36, 1, 0, 156, 0, 4};
+  for (uint64_t k : head) EXPECT_EQ(gen.NextKey(), k);
+  gen.Reset();
+  for (int i = 0; i < 8000; ++i) gen.NextKey();
+  const uint64_t burst[] = {997, 114, 995, 997, 995, 1, 987, 0, 997, 998, 0, 76};
+  for (uint64_t k : burst) EXPECT_EQ(gen.NextKey(), k);
+}
+
+TEST(ScenarioGoldenTest, DiurnalSeed7) {
+  DiurnalStreamGenerator gen(BaseOptions());
+  const uint64_t expected[] = {250, 775, 26, 1,  508, 314,
+                               33,  252, 532, 293, 33, 761};
+  for (uint64_t k : expected) EXPECT_EQ(gen.NextKey(), k);
+}
+
+TEST(ScenarioGoldenTest, KeySpaceGrowthSeed7) {
+  // Only keys < 100 (the initial 10% of the space) are live this early, and
+  // the head hugs the frontier (ranks count back from the newest key).
+  KeySpaceGrowthStreamGenerator gen(BaseOptions());
+  const uint64_t expected[] = {99, 24, 92, 98, 95, 91, 98, 13, 33, 100, 35, 98};
+  for (uint64_t k : expected) EXPECT_EQ(gen.NextKey(), k);
+}
+
+TEST(ScenarioGoldenTest, ReplayWithNoiseSeed7) {
+  auto gen = MakeScenario("replay-with-noise", BaseOptions());
+  ASSERT_TRUE(gen.ok()) << gen.status().ToString();
+  const uint64_t expected[] = {4, 60, 403, 0, 175, 2, 676, 2, 30, 39, 0, 7};
+  for (uint64_t k : expected) EXPECT_EQ((*gen)->NextKey(), k);
 }
 
 // --- distribution-shape assertions ---------------------------------------
