@@ -11,10 +11,12 @@
 // degrading; D-C and W-C matching SG's (transport-bound) plateau. Paper
 // headline: D-C/W-C up to ~1.5x PKG and ~2.3x KG at high skew.
 
+#include <cstdio>
 #include <string>
 
 #include "common/bench_util.h"
 #include "common/dspe_cell.h"
+#include "slb/common/flags.h"
 
 namespace slb::bench {
 namespace {
@@ -22,17 +24,51 @@ namespace {
 int Main(int argc, char** argv) {
   BenchEnv defaults;
   defaults.sources = 48;  // the paper's 48 spouts, overridable via --sources
-  const BenchEnv env = ParseBenchArgs(argc, argv, "Fig. 13: cluster throughput",
-                                      nullptr, defaults);
+
+  std::string engine_name = "sim";
+  int64_t engine_threads = 0;
+  int64_t queue_capacity = 1024;
+  int64_t batch_size = 64;
+  FlagSet extra;
+  extra.AddString("engine", &engine_name,
+                  "execution engine: sim (modeled) or threaded (measured)");
+  extra.AddInt64("engine-threads", &engine_threads,
+                 "threaded engine: executor threads (0 = hardware)");
+  extra.AddInt64("queue-capacity", &queue_capacity,
+                 "threaded engine: per-edge ring capacity in tuples");
+  extra.AddInt64("batch-size", &batch_size,
+                 "threaded engine: emit batch / task quantum in tuples");
+
+  BenchEnv env = ParseBenchArgs(argc, argv, "Fig. 13: cluster throughput",
+                                &extra, defaults);
+  const auto engine = ParseDspeEngine(engine_name);
+  if (!engine.ok()) {
+    std::fprintf(stderr, "%s\n", engine.status().ToString().c_str());
+    return 1;
+  }
+  // The threaded engine saturates the host by itself; running sweep cells
+  // concurrently on top would just make every cell's measurement noisy.
+  if (engine.value() == DspeEngine::kThreaded && env.threads == 0) {
+    env.threads = 1;
+  }
   const uint64_t messages = env.MessagesOr(200000, 2000000);
 
   PrintBanner("bench_fig13_throughput", "Figure 13",
-              "n=80, sources=" + std::to_string(env.sources) +
-                  ", |K|=1e4, m=" + std::to_string(messages) +
-                  ", 1.5ms/tuple worker, 3300/s transport, 70 pending/source");
+              "n=80, sources=" + std::to_string(env.sources) + ", |K|=1e4, m=" +
+                  std::to_string(messages) + ", engine=" + engine_name +
+                  (engine.value() == DspeEngine::kThreaded
+                       ? " (measured msgs/s + queue-delay percentiles)"
+                       : ", 1.5ms/tuple worker, 3300/s transport, "
+                         "70 pending/source"));
 
   DspeCellOptions cell;
-  cell.latency = false;  // Fig. 14 reports latency; this figure throughput
+  cell.engine = engine.value();
+  cell.runtime.num_threads = static_cast<uint32_t>(engine_threads);
+  cell.runtime.queue_capacity = static_cast<uint32_t>(queue_capacity);
+  cell.runtime.batch_size = static_cast<uint32_t>(batch_size);
+  // Threaded cells report measured queue delay in the lat_* columns; the
+  // sim reports latency via Fig. 14 only.
+  cell.latency = engine.value() == DspeEngine::kThreaded;
 
   SweepGrid grid;
   grid.scenarios = ZipfScenarios({1.4, 1.7, 2.0}, 10000, messages,

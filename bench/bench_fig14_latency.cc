@@ -9,10 +9,12 @@
 // of SG's; PKG sits in between; D-C and W-C track SG closely. Paper headline:
 // D-C/W-C cut PKG's p99 by ~60% and KG's by >75% at high skew.
 
+#include <cstdio>
 #include <string>
 
 #include "common/bench_util.h"
 #include "common/dspe_cell.h"
+#include "slb/common/flags.h"
 
 namespace slb::bench {
 namespace {
@@ -20,18 +22,52 @@ namespace {
 int Main(int argc, char** argv) {
   BenchEnv defaults;
   defaults.sources = 48;  // the paper's 48 spouts, overridable via --sources
-  const BenchEnv env = ParseBenchArgs(argc, argv, "Fig. 14: cluster latency",
-                                      nullptr, defaults);
+
+  std::string engine_name = "sim";
+  int64_t engine_threads = 0;
+  int64_t queue_capacity = 1024;
+  int64_t batch_size = 64;
+  FlagSet extra;
+  extra.AddString("engine", &engine_name,
+                  "execution engine: sim (modeled) or threaded (measured)");
+  extra.AddInt64("engine-threads", &engine_threads,
+                 "threaded engine: executor threads (0 = hardware)");
+  extra.AddInt64("queue-capacity", &queue_capacity,
+                 "threaded engine: per-edge ring capacity in tuples");
+  extra.AddInt64("batch-size", &batch_size,
+                 "threaded engine: emit batch / task quantum in tuples");
+
+  BenchEnv env = ParseBenchArgs(argc, argv, "Fig. 14: cluster latency", &extra,
+                                defaults);
+  const auto engine = ParseDspeEngine(engine_name);
+  if (!engine.ok()) {
+    std::fprintf(stderr, "%s\n", engine.status().ToString().c_str());
+    return 1;
+  }
+  // The threaded engine saturates the host by itself; concurrent sweep cells
+  // would corrupt every cell's latency measurement.
+  if (engine.value() == DspeEngine::kThreaded && env.threads == 0) {
+    env.threads = 1;
+  }
   const uint64_t messages = env.MessagesOr(200000, 2000000);
 
   PrintBanner("bench_fig14_latency", "Figure 14",
-              "n=80, sources=" + std::to_string(env.sources) +
-                  ", |K|=1e4, m=" + std::to_string(messages) +
-                  "; tuple-level lat_* + across-worker worker_avg_* (ms)");
+              "n=80, sources=" + std::to_string(env.sources) + ", |K|=1e4, m=" +
+                  std::to_string(messages) + ", engine=" + engine_name +
+                  (engine.value() == DspeEngine::kThreaded
+                       ? "; measured tuple-level lat_* (ms)"
+                       : "; tuple-level lat_* + across-worker "
+                         "worker_avg_* (ms)"));
 
   DspeCellOptions cell;
+  cell.engine = engine.value();
+  cell.runtime.num_threads = static_cast<uint32_t>(engine_threads);
+  cell.runtime.queue_capacity = static_cast<uint32_t>(queue_capacity);
+  cell.runtime.batch_size = static_cast<uint32_t>(batch_size);
   cell.throughput = false;  // Fig. 13 reports throughput; this figure latency
-  cell.worker_latency = true;
+  // Per-worker-average percentiles come from the queueing model; the
+  // threaded engine reports measured tuple-level percentiles instead.
+  cell.worker_latency = engine.value() == DspeEngine::kSim;
 
   SweepGrid grid;
   grid.scenarios = ZipfScenarios({1.4, 1.7, 2.0}, 10000, messages,

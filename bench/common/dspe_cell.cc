@@ -1,8 +1,146 @@
 #include "dspe_cell.h"
 
+#include <cctype>
+#include <memory>
 #include <utility>
 
+#include "slb/common/rng.h"
+#include "slb/dspe/standard_bolts.h"
+#include "slb/dspe/topology.h"
+#include "slb/workload/zipf.h"
+
 namespace slb::bench {
+namespace {
+
+// Spout used by the threaded engine: one Zipf stream per source task, same
+// workload shape the simulator draws internally.
+class CellZipfSpout final : public Spout {
+ public:
+  CellZipfSpout(double z, uint64_t keys, uint64_t count, uint64_t seed)
+      : zipf_(z, keys), remaining_(count), rng_(seed) {}
+
+  bool NextTuple(TopologyTuple* out) override {
+    if (remaining_ == 0) return false;
+    --remaining_;
+    out->key = zipf_.Sample(&rng_);
+    out->value = 1;
+    return true;
+  }
+
+ private:
+  ZipfDistribution zipf_;
+  uint64_t remaining_;
+  Rng rng_;
+};
+
+Result<CellPayload> RunSimCell(const DspeCellOptions& options,
+                               const DspeConfig& config) {
+  auto result = RunDspeSimulation(config);
+  if (!result.ok()) return result.status();
+
+  CellPayload payload;
+  payload.sim.total_messages = result->completed;
+  if (options.throughput) {
+    ThroughputCounters counters;
+    counters.throughput_per_s = result->throughput_per_s;
+    counters.makespan_s = result->makespan_s;
+    counters.completed = result->completed;
+    payload.throughput = counters;
+  }
+  if (options.latency) {
+    LatencySnapshot snapshot;
+    snapshot.count = static_cast<int64_t>(result->completed);
+    snapshot.avg_ms = result->latency_avg_ms;
+    snapshot.p50_ms = result->latency_p50_ms;
+    snapshot.p95_ms = result->latency_p95_ms;
+    snapshot.p99_ms = result->latency_p99_ms;
+    snapshot.max_ms = result->latency_max_ms;
+    payload.latency = snapshot;
+  }
+  if (options.worker_latency) {
+    payload.AddMetric("worker_avg_max_ms", result->max_worker_avg_latency_ms);
+    payload.AddMetric("worker_avg_p50_ms", result->p50_worker_avg_latency_ms);
+    payload.AddMetric("worker_avg_p95_ms", result->p95_worker_avg_latency_ms);
+    payload.AddMetric("worker_avg_p99_ms", result->p99_worker_avg_latency_ms);
+  }
+  return payload;
+}
+
+Result<CellPayload> RunThreadedCell(const DspeCellOptions& options,
+                                    const DspeConfig& config,
+                                    const SweepCellContext& ctx) {
+  // The same spout->worker shape the simulator models: num_sources spout
+  // tasks splitting the stream evenly, `n` worker-bolt tasks, the cell's
+  // grouping scheme on the single edge. Worker state is a real per-key sum,
+  // so processing cost is genuine work rather than an injected delay.
+  const uint64_t per_source = config.num_messages / config.num_sources;
+  const uint64_t remainder = config.num_messages % config.num_sources;
+  const double z = config.zipf_exponent;
+  const uint64_t keys = config.num_keys;
+  const uint64_t seed = config.seed;
+
+  TopologyBuilder builder;
+  builder.AddSpout(
+      "sources",
+      [=](uint32_t task) {
+        const uint64_t count = per_source + (task < remainder ? 1 : 0);
+        return std::make_unique<CellZipfSpout>(
+            z, keys, count, seed ^ (0x5851f42d4c957f2dULL * (task + 1)));
+      },
+      config.num_sources);
+  Grouping grouping;
+  grouping.algorithm = ctx.algorithm;
+  // theta/epsilon/sketch knobs carry over; num_workers and hash_seed are
+  // filled in by the engine from the destination parallelism and edge seed.
+  grouping.options = ctx.variant->options;
+  builder
+      .AddBolt("workers",
+               [](uint32_t) { return std::make_unique<CountingBolt>(); },
+               config.partitioner.num_workers)
+      .Input("sources", grouping);
+
+  TopologyOptions topology_options;
+  topology_options.hash_seed = config.partitioner.hash_seed;
+  topology_options.seed = config.seed;
+  topology_options.max_pending_per_spout = config.max_pending_per_source;
+
+  auto result = ExecuteTopologyThreaded(builder.Build(), topology_options,
+                                        options.runtime);
+  if (!result.ok()) return result.status();
+  const TopologyStats& stats = result.value();
+
+  CellPayload payload;
+  payload.sim.total_messages = stats.roots_acked;
+  if (options.throughput) {
+    ThroughputCounters counters;
+    counters.throughput_per_s = stats.throughput_per_s;
+    counters.makespan_s = stats.makespan_s;
+    counters.completed = stats.roots_acked;
+    payload.throughput = counters;
+  }
+  if (options.latency) {
+    LatencySnapshot snapshot;
+    snapshot.count = static_cast<int64_t>(stats.roots_acked);
+    snapshot.avg_ms = stats.latency_avg_ms;
+    snapshot.p50_ms = stats.latency_p50_ms;
+    snapshot.p95_ms = stats.latency_p95_ms;
+    snapshot.p99_ms = stats.latency_p99_ms;
+    snapshot.max_ms = stats.latency_max_ms;
+    payload.latency = snapshot;
+  }
+  return payload;
+}
+
+}  // namespace
+
+Result<DspeEngine> ParseDspeEngine(const std::string& text) {
+  std::string lower = text;
+  for (char& c : lower) c = static_cast<char>(std::tolower(c));
+  if (lower == "sim") return DspeEngine::kSim;
+  if (lower == "threaded") return DspeEngine::kThreaded;
+  return Status::InvalidArgument("unknown engine '" + text +
+                                 "' (expected sim or threaded)");
+}
 
 SweepCellRunner MakeDspeCellRunner(DspeCellOptions options) {
   return [options](const SweepCellContext& ctx) -> Result<CellPayload> {
@@ -17,42 +155,16 @@ SweepCellRunner MakeDspeCellRunner(DspeCellOptions options) {
     config.zipf_exponent = ctx.scenario->param;
     config.seed = ctx.run_seed;
     // Single source of truth for the workload size: the scenario's own
-    // generator (the DSPE simulator draws its stream internally, so only
-    // the counts and the exponent cross over).
+    // generator (both engines draw their streams internally, so only the
+    // counts and the exponent cross over).
     auto gen = ctx.MakeStream();
     if (!gen.ok()) return gen.status();
     config.num_messages = (*gen)->num_messages();
     config.num_keys = (*gen)->num_keys();
 
-    auto result = RunDspeSimulation(config);
-    if (!result.ok()) return result.status();
-
-    CellPayload payload;
-    payload.sim.total_messages = result->completed;
-    if (options.throughput) {
-      ThroughputCounters counters;
-      counters.throughput_per_s = result->throughput_per_s;
-      counters.makespan_s = result->makespan_s;
-      counters.completed = result->completed;
-      payload.throughput = counters;
-    }
-    if (options.latency) {
-      LatencySnapshot snapshot;
-      snapshot.count = static_cast<int64_t>(result->completed);
-      snapshot.avg_ms = result->latency_avg_ms;
-      snapshot.p50_ms = result->latency_p50_ms;
-      snapshot.p95_ms = result->latency_p95_ms;
-      snapshot.p99_ms = result->latency_p99_ms;
-      snapshot.max_ms = result->latency_max_ms;
-      payload.latency = snapshot;
-    }
-    if (options.worker_latency) {
-      payload.AddMetric("worker_avg_max_ms", result->max_worker_avg_latency_ms);
-      payload.AddMetric("worker_avg_p50_ms", result->p50_worker_avg_latency_ms);
-      payload.AddMetric("worker_avg_p95_ms", result->p95_worker_avg_latency_ms);
-      payload.AddMetric("worker_avg_p99_ms", result->p99_worker_avg_latency_ms);
-    }
-    return payload;
+    return options.engine == DspeEngine::kThreaded
+               ? RunThreadedCell(options, config, ctx)
+               : RunSimCell(options, config);
   };
 }
 

@@ -1,15 +1,33 @@
-// Sweep cell runner for the cluster-level experiments (Figs. 13-14): each
-// cell is one RunDspeSimulation of the queueing-network Storm stand-in,
-// reported as throughput counters and latency snapshots in the cell payload
-// (the partition-sim fields stay zero — the DSPE simulator measures the
-// cluster, not routing imbalance).
+// Sweep cell runner for the cluster-level experiments (Figs. 13-14). Each
+// cell runs one of two engines:
+//
+//   * kSim       — RunDspeSimulation, the queueing-network Storm stand-in
+//                  (modeled service times; deterministic, fast);
+//   * kThreaded  — ExecuteTopologyThreaded, the real multi-threaded runtime
+//                  (SPSC rings, credit backpressure): throughput and latency
+//                  are *measured* on the host, not modeled.
+//
+// Either way the cell reports throughput counters and latency snapshots in
+// the cell payload (the partition-sim fields stay zero — these experiments
+// measure the cluster, not routing imbalance).
 
 #pragma once
 
+#include <string>
+
+#include "slb/dspe/runtime.h"
 #include "slb/sim/dspe_simulator.h"
 #include "slb/sim/sweep.h"
 
 namespace slb::bench {
+
+enum class DspeEngine {
+  kSim,       // discrete-event queueing model
+  kThreaded,  // real threads, measured wall-clock
+};
+
+/// Parses "sim" / "threaded" (case-insensitive).
+Result<DspeEngine> ParseDspeEngine(const std::string& text);
 
 struct DspeCellOptions {
   /// Template config for the cluster's service parameters. Everything
@@ -18,10 +36,15 @@ struct DspeCellOptions {
   /// exponent (SweepScenario::param), and the message/key counts (read
   /// from the scenario's generator, the single source of truth).
   DspeConfig base;
+  DspeEngine engine = DspeEngine::kSim;
+  /// kThreaded only: executor threads / ring sizes / emit batch.
+  TopologyRuntimeOptions runtime;
   /// Which payload components the cells attach.
   bool throughput = true;       // Fig. 13 columns
   bool latency = true;          // tuple-level latency snapshot
   bool worker_latency = false;  // Fig. 14's per-worker average percentiles
+                                // (kSim only; the threaded runtime reports
+                                // tuple-level percentiles)
 };
 
 SweepCellRunner MakeDspeCellRunner(DspeCellOptions options);

@@ -92,9 +92,61 @@ else
   headroom_failures=1
 fi
 
+# Perf guard for the threaded DSPE runtime: bench_fig13_throughput must also
+# work with --engine threaded (real threads, measured wall-clock) and report
+# a strictly positive measured throughput in every cell. Catches runtime
+# wiring rot (deadlock -> empty table, broken ack path -> throughput 0) that
+# the sim-engine loop above cannot see.
+THREADED_TSV="$OUT_DIR/bench_fig13_throughput.threaded.tsv"
+threaded_failures=0
+fig13_bin="$BUILD_DIR/bench/bench_fig13_throughput"
+if [ -x "$fig13_bin" ]; then
+  if ! "$fig13_bin" --engine threaded --messages "$MESSAGES" --runs 1 \
+       > "$THREADED_TSV" 2> "$OUT_DIR/bench_fig13_throughput.threaded.err"; then
+    echo "FAIL  bench_fig13_throughput --engine threaded: non-zero exit" >&2
+    sed 's/^/      /' "$OUT_DIR/bench_fig13_throughput.threaded.err" >&2 || true
+    threaded_failures=$((threaded_failures + 1))
+  else
+    threaded_rows="$(grep -v '^#' "$THREADED_TSV" | grep -c '[^[:space:]]' || true)"
+    if [ "${threaded_rows:-0}" -eq 0 ]; then
+      echo "FAIL  bench_fig13_throughput --engine threaded: empty result table" >&2
+      threaded_failures=$((threaded_failures + 1))
+    else
+      # The column header is the '#scenario ...' comment line; resolve the
+      # throughput_per_s column by name so payload reordering can't silently
+      # blind the guard, then require every row to be measured and positive.
+      bad_rows="$(awk -F'\t' '
+        /^#scenario\t/ {
+          for (i = 1; i <= NF; i++) if ($i == "throughput_per_s") col = i
+          next
+        }
+        /^#/ || /^[[:space:]]*$/ { next }
+        {
+          if (!col) { print "no-throughput-column"; exit }
+          if ($col + 0 <= 0) print $1 "/" $3 "=" $col
+        }' "$THREADED_TSV")"
+      if [ -n "$bad_rows" ]; then
+        echo "FAIL  bench_fig13_throughput --engine threaded: non-positive" \
+             "measured throughput in: $bad_rows" >&2
+        threaded_failures=$((threaded_failures + 1))
+      else
+        echo "OK    bench_fig13_throughput --engine threaded" \
+             "(${threaded_rows} rows, all throughput_per_s > 0)"
+      fi
+    fi
+  fi
+else
+  echo "FAIL  bench_fig13_throughput missing from the build; threaded-engine" \
+       "guard cannot run" >&2
+  threaded_failures=1
+fi
+
 echo "---"
 echo "$((count - failures))/$count bench binaries passed"
 if [ "$headroom_failures" -gt 0 ]; then
   echo "headroom coverage check FAILED ($headroom_failures problems)" >&2
 fi
-exit "$(((failures + headroom_failures) > 0 ? 1 : 0))"
+if [ "$threaded_failures" -gt 0 ]; then
+  echo "threaded-engine perf guard FAILED ($threaded_failures problems)" >&2
+fi
+exit "$(((failures + headroom_failures + threaded_failures) > 0 ? 1 : 0))"

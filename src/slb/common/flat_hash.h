@@ -1,0 +1,147 @@
+// Open-addressed uint64 -> int32 index map (header-only).
+//
+// Purpose-built for the sketch hot path: SpaceSaving resolves key -> counter
+// index once per routed message, and std::unordered_map pays a pointer chase
+// per lookup plus a node allocation per insert. This map stores 12-byte
+// {key, value} slots contiguously (5+ slots per cache line), probes
+// linearly, and deletes with backward shifting — no tombstones, so probe
+// chains never degrade over the sketch's endless insert/evict churn.
+//
+// Restrictions that keep it this small: values must be >= 0 (the empty slot
+// sentinel is value == -1; SpaceSaving stores vector indices, which qualify)
+// and there is no iteration — callers that need to enumerate entries keep
+// their own dense array, which SpaceSaving already does.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "slb/common/logging.h"
+
+namespace slb {
+
+class FlatIndexMap {
+ public:
+  static constexpr int32_t kAbsent = -1;
+
+  explicit FlatIndexMap(size_t expected = 0) { Rehash(SlotsFor(expected)); }
+
+  /// Value stored for `key`, or kAbsent.
+  int32_t Get(uint64_t key) const {
+    size_t i = Mix(key) & mask_;
+    while (true) {
+      const Slot& slot = slots_[i];
+      if (slot.value == kAbsent) return kAbsent;
+      if (slot.key == key) return slot.value;
+      i = (i + 1) & mask_;
+    }
+  }
+
+  bool Contains(uint64_t key) const { return Get(key) != kAbsent; }
+
+  /// Inserts or overwrites. `value` must be >= 0.
+  void Set(uint64_t key, int32_t value) {
+    SLB_CHECK(value >= 0) << "FlatIndexMap reserves negative values";
+    if ((size_ + 1) * 4 > slots_.size() * 3) Rehash(slots_.size() * 2);
+    size_t i = Mix(key) & mask_;
+    while (true) {
+      Slot& slot = slots_[i];
+      if (slot.value == kAbsent) {
+        slot.key = key;
+        slot.value = value;
+        ++size_;
+        return;
+      }
+      if (slot.key == key) {
+        slot.value = value;
+        return;
+      }
+      i = (i + 1) & mask_;
+    }
+  }
+
+  /// Removes `key`; returns false if it was absent. Backward-shift deletion:
+  /// subsequent probe-chain entries slide back over the hole, so lookups
+  /// never traverse tombstones.
+  bool Erase(uint64_t key) {
+    size_t i = Mix(key) & mask_;
+    while (true) {
+      Slot& slot = slots_[i];
+      if (slot.value == kAbsent) return false;
+      if (slot.key == key) break;
+      i = (i + 1) & mask_;
+    }
+    size_t hole = i;
+    size_t j = (hole + 1) & mask_;
+    while (slots_[j].value != kAbsent) {
+      // An entry may slide into the hole only if the hole still lies within
+      // its probe path, i.e. its ideal slot is not "after" the hole when
+      // walking (cyclically) from the ideal slot to j.
+      const size_t ideal = Mix(slots_[j].key) & mask_;
+      if (((j - ideal) & mask_) >= ((j - hole) & mask_)) {
+        slots_[hole] = slots_[j];
+        hole = j;
+      }
+      j = (j + 1) & mask_;
+    }
+    slots_[hole].value = kAbsent;
+    --size_;
+    return true;
+  }
+
+  void Clear() {
+    for (Slot& slot : slots_) slot.value = kAbsent;
+    size_ = 0;
+  }
+
+  void Reserve(size_t expected) {
+    const size_t want = SlotsFor(expected);
+    if (want > slots_.size()) Rehash(want);
+  }
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+ private:
+  struct Slot {
+    uint64_t key = 0;
+    int32_t value = kAbsent;
+  };
+
+  // MurmurHash3's fmix64, inlined here so the common/ layer stays
+  // self-contained (slb/hash depends on common, not the other way around).
+  static uint64_t Mix(uint64_t h) {
+    h ^= h >> 33;
+    h *= 0xff51afd7ed558ccdULL;
+    h ^= h >> 33;
+    h *= 0xc4ceb9fe1a85ec53ULL;
+    h ^= h >> 33;
+    return h;
+  }
+
+  /// Smallest power-of-two slot count holding `expected` entries under the
+  /// 3/4 load-factor ceiling (minimum 16).
+  static size_t SlotsFor(size_t expected) {
+    size_t slots = 16;
+    while (expected * 4 > slots * 3) slots <<= 1;
+    return slots;
+  }
+
+  void Rehash(size_t new_slots) {
+    std::vector<Slot> old = std::move(slots_);
+    slots_.assign(new_slots, Slot{});
+    mask_ = new_slots - 1;
+    size_ = 0;
+    for (const Slot& slot : old) {
+      if (slot.value != kAbsent) Set(slot.key, slot.value);
+    }
+  }
+
+  std::vector<Slot> slots_;
+  size_t mask_ = 0;
+  size_t size_ = 0;
+};
+
+}  // namespace slb

@@ -53,7 +53,7 @@ void Histogram::Add(double x) {
   stats_.Add(x);
   if (capacity_ == 0 || samples_.size() < capacity_) {
     samples_.push_back(x);
-    sorted_ = false;
+    sorted_.store(false, std::memory_order_relaxed);
     return;
   }
   // Reservoir sampling: keep each of the first N samples with prob cap/N.
@@ -62,22 +62,49 @@ void Histogram::Add(double x) {
   const uint64_t slot = rng_.NextBounded(seen);
   if (slot < capacity_) {
     samples_[slot] = x;
-    sorted_ = false;
+    sorted_.store(false, std::memory_order_relaxed);
   }
+}
+
+void Histogram::Merge(const Histogram& other) {
+  stats_.Merge(other.stats_);
+  if (other.subsampled_) subsampled_ = true;
+  samples_.insert(samples_.end(), other.samples_.begin(), other.samples_.end());
+  if (capacity_ > 0 && samples_.size() > capacity_) {
+    // Uniformly downsample the union back to capacity: partial Fisher-Yates
+    // moves a uniform random subset into the prefix.
+    for (size_t i = 0; i < capacity_; ++i) {
+      const uint64_t j =
+          i + rng_.NextBounded(static_cast<uint64_t>(samples_.size() - i));
+      std::swap(samples_[i], samples_[j]);
+    }
+    samples_.resize(capacity_);
+    subsampled_ = true;
+  }
+  sorted_.store(false, std::memory_order_relaxed);
 }
 
 double Histogram::Quantile(double q) const {
   if (samples_.empty()) return 0.0;
-  if (!sorted_) {
-    // Sorting is logically const: the sample multiset is unchanged.
-    auto* self = const_cast<Histogram*>(this);
-    std::sort(self->samples_.begin(), self->samples_.end());
-    self->sorted_ = true;
+  // Double-checked lazy sort. The sample multiset is logically unchanged, so
+  // Quantile stays const; the mutex makes concurrent readers safe (the old
+  // const_cast sort raced when two threads read percentiles at once) and the
+  // release/acquire pair on sorted_ publishes the sorted vector to readers
+  // that skip the lock.
+  if (!sorted_.load(std::memory_order_acquire)) {
+    std::lock_guard<std::mutex> lock(sort_mu_);
+    if (!sorted_.load(std::memory_order_relaxed)) {
+      std::sort(samples_.begin(), samples_.end());
+      sorted_.store(true, std::memory_order_release);
+    }
   }
   q = std::clamp(q, 0.0, 1.0);
   const double rank = q * static_cast<double>(samples_.size() - 1);
   const size_t lo = static_cast<size_t>(std::floor(rank));
-  const size_t hi = static_cast<size_t>(std::ceil(rank));
+  // ceil(rank) <= size-1 mathematically; the min guards against any floating
+  // point drift so the interpolation can never index past the last sample.
+  const size_t hi = std::min(static_cast<size_t>(std::ceil(rank)),
+                             samples_.size() - 1);
   const double frac = rank - static_cast<double>(lo);
   return samples_[lo] * (1.0 - frac) + samples_[hi] * frac;
 }

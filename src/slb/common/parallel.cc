@@ -1,6 +1,8 @@
 #include "slb/common/parallel.h"
 
 #include <atomic>
+#include <exception>
+#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -21,19 +23,37 @@ void ParallelFor(size_t count, const std::function<void(size_t)>& fn,
 
   // Dynamic work stealing via a shared atomic counter: sweep points have very
   // uneven costs (m scales with n and |K|), so static chunking would straggle.
+  // Indices are claimed with a compare-exchange loop that never advances the
+  // counter past `count`, so it cannot wrap when count is near SIZE_MAX.
   std::atomic<size_t> next{0};
+  std::atomic<bool> failed{false};
+  std::exception_ptr first_exception;
+  std::mutex exception_mu;
   std::vector<std::thread> threads;
   threads.reserve(num_threads);
   for (size_t t = 0; t < num_threads; ++t) {
     threads.emplace_back([&]() {
-      while (true) {
-        const size_t i = next.fetch_add(1, std::memory_order_relaxed);
-        if (i >= count) return;
-        fn(i);
+      while (!failed.load(std::memory_order_relaxed)) {
+        size_t i = next.load(std::memory_order_relaxed);
+        do {
+          if (i >= count) return;
+        } while (!next.compare_exchange_weak(i, i + 1,
+                                             std::memory_order_relaxed));
+        try {
+          fn(i);
+        } catch (...) {
+          std::lock_guard<std::mutex> lock(exception_mu);
+          if (first_exception == nullptr) {
+            first_exception = std::current_exception();
+          }
+          failed.store(true, std::memory_order_relaxed);
+          return;
+        }
       }
     });
   }
   for (auto& thread : threads) thread.join();
+  if (first_exception != nullptr) std::rethrow_exception(first_exception);
 }
 
 }  // namespace slb

@@ -13,8 +13,10 @@
 namespace slb {
 
 /// Runs fn(i) for every i in [0, count) across up to `num_threads` threads
-/// (0 = hardware concurrency). Blocks until all indices complete. Exceptions
-/// escaping `fn` terminate the process (the library itself never throws).
+/// (0 = hardware concurrency). Blocks until all indices complete. If `fn`
+/// throws, the first exception (by observation order) is rethrown on the
+/// calling thread after all workers join; remaining unclaimed indices are
+/// skipped, so callers treating exceptions as fatal see consistent state.
 void ParallelFor(size_t count, const std::function<void(size_t)>& fn,
                  size_t num_threads = 0);
 

@@ -37,17 +37,33 @@ GreedyD::GreedyD(const PartitionerOptions& options, uint32_t d, std::string name
 
 uint32_t GreedyD::Route(uint64_t key) {
   ++messages_;
-  uint32_t best = family_.Worker(key, 0);
-  uint64_t best_load = loads_[best];
-  for (uint32_t i = 1; i < d_; ++i) {
-    const uint32_t candidate = family_.Worker(key, i);
-    if (loads_[candidate] < best_load) {
-      best = candidate;
-      best_load = loads_[candidate];
+  uint32_t best;
+  if (d_ == 2) {
+    // The PKG fast path: pair-hash both candidates, pick the lighter one
+    // with a branchless select (skewed streams make the comparison outcome
+    // unpredictable, so a cmov beats a branch here).
+    uint32_t w0, w1;
+    family_.Worker2(key, &w0, &w1);
+    best = loads_[w1] < loads_[w0] ? w1 : w0;
+  } else {
+    best = family_.Worker(key, 0);
+    uint64_t best_load = loads_[best];
+    for (uint32_t i = 1; i < d_; ++i) {
+      const uint32_t candidate = family_.Worker(key, i);
+      if (loads_[candidate] < best_load) {
+        best = candidate;
+        best_load = loads_[candidate];
+      }
     }
   }
   ++loads_[best];
   return best;
+}
+
+void GreedyD::RouteBatch(const uint64_t* keys, size_t count, uint32_t* out) {
+  // Route() is final on this type, so the loop body is a direct call the
+  // compiler can inline — one virtual dispatch per batch, not per message.
+  for (size_t i = 0; i < count; ++i) out[i] = GreedyD::Route(keys[i]);
 }
 
 PartialKeyGrouping::PartialKeyGrouping(const PartitionerOptions& options)

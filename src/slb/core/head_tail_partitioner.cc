@@ -74,6 +74,14 @@ uint32_t HeadTailPartitioner::LeastLoadedOfChoices(uint64_t key, uint32_t d) con
   // must degrade to one choice when n == 1 (d > n never helps anyway: the
   // candidate set cannot contain more than n distinct workers).
   d = std::min(d, family_.max_functions());
+  if (d == 2) {
+    // The tail-key fast path (the overwhelming majority of routed messages):
+    // pair-hash both candidates and select branchlessly — on skewed streams
+    // the load comparison is unpredictable, so a cmov beats a branch.
+    uint32_t w0, w1;
+    family_.Worker2(key, &w0, &w1);
+    return loads_[w1] < loads_[w0] ? w1 : w0;
+  }
   uint32_t best = family_.Worker(key, 0);
   uint64_t best_load = loads_[best];
   for (uint32_t i = 1; i < d; ++i) {
@@ -84,6 +92,13 @@ uint32_t HeadTailPartitioner::LeastLoadedOfChoices(uint64_t key, uint32_t d) con
     }
   }
   return best;
+}
+
+void HeadTailPartitioner::RouteBatch(const uint64_t* keys, size_t count,
+                                     uint32_t* out) {
+  // Route() is final on this class: the loop makes direct calls into the
+  // sketch + tail fast path, paying one virtual dispatch per batch.
+  for (size_t i = 0; i < count; ++i) out[i] = HeadTailPartitioner::Route(keys[i]);
 }
 
 uint32_t HeadTailPartitioner::LeastLoadedOverall() const {

@@ -1,0 +1,127 @@
+#include "slb/dspe/plan.h"
+
+#include <functional>
+#include <unordered_map>
+#include <utility>
+
+#include "slb/common/logging.h"
+
+namespace slb {
+
+const PlannedComponent& TopologyPlan::task_component(uint32_t task) const {
+  SLB_CHECK(task < num_tasks);
+  // Components are contiguous in task space; linear scan is fine for the
+  // component counts topologies have (a handful), binary search if not.
+  for (const PlannedComponent& comp : components) {
+    if (task < comp.first_task + comp.parallelism) return comp;
+  }
+  SLB_CHECK(false) << "task id out of range";
+  return components.back();
+}
+
+Result<TopologyPlan> PlanTopology(const TopologyBuilder::Topology& topology) {
+  if (topology.spouts.empty()) {
+    return Status::InvalidArgument("topology needs at least one spout");
+  }
+
+  TopologyPlan plan;
+  std::unordered_map<std::string, uint32_t> by_name;
+  for (uint32_t i = 0; i < topology.spouts.size(); ++i) {
+    const auto& spout = topology.spouts[i];
+    if (spout.parallelism < 1) {
+      return Status::InvalidArgument("spout '" + spout.name +
+                                     "' needs parallelism >= 1");
+    }
+    if (!by_name.emplace(spout.name, plan.components.size()).second) {
+      return Status::InvalidArgument("duplicate component name: " + spout.name);
+    }
+    plan.components.push_back(
+        PlannedComponent{spout.name, true, spout.parallelism, 0, i, {}});
+  }
+  plan.num_spout_components = static_cast<uint32_t>(plan.components.size());
+  for (uint32_t i = 0; i < topology.bolts.size(); ++i) {
+    const auto& bolt = topology.bolts[i];
+    if (bolt.parallelism < 1) {
+      return Status::InvalidArgument("bolt '" + bolt.name +
+                                     "' needs parallelism >= 1");
+    }
+    if (!by_name.emplace(bolt.name, plan.components.size()).second) {
+      return Status::InvalidArgument("duplicate component name: " + bolt.name);
+    }
+    if (bolt.inputs.empty()) {
+      return Status::InvalidArgument("bolt '" + bolt.name + "' has no inputs");
+    }
+    plan.components.push_back(
+        PlannedComponent{bolt.name, false, bolt.parallelism, 0, i, {}});
+  }
+  for (const auto& bolt : topology.bolts) {
+    const uint32_t to = by_name.at(bolt.name);
+    for (const auto& [upstream, grouping] : bolt.inputs) {
+      auto it = by_name.find(upstream);
+      if (it == by_name.end()) {
+        return Status::InvalidArgument("bolt '" + bolt.name +
+                                       "' consumes unknown component '" +
+                                       upstream + "'");
+      }
+      if (it->second == to) {
+        return Status::InvalidArgument("bolt '" + bolt.name +
+                                       "' cannot consume itself");
+      }
+      plan.components[it->second].outputs.push_back(PlannedEdge{to, grouping});
+    }
+  }
+
+  // Cycle check: DFS over the component graph.
+  {
+    enum class Mark : uint8_t { kWhite, kGray, kBlack };
+    std::vector<Mark> marks(plan.components.size(), Mark::kWhite);
+    std::function<bool(uint32_t)> has_cycle = [&](uint32_t c) {
+      marks[c] = Mark::kGray;
+      for (const PlannedEdge& e : plan.components[c].outputs) {
+        if (marks[e.to_component] == Mark::kGray) return true;
+        if (marks[e.to_component] == Mark::kWhite && has_cycle(e.to_component)) {
+          return true;
+        }
+      }
+      marks[c] = Mark::kBlack;
+      return false;
+    };
+    for (uint32_t c = 0; c < plan.components.size(); ++c) {
+      if (marks[c] == Mark::kWhite && has_cycle(c)) {
+        return Status::InvalidArgument("topology contains a cycle");
+      }
+    }
+  }
+
+  uint32_t next_task = 0;
+  for (PlannedComponent& comp : plan.components) {
+    comp.first_task = next_task;
+    next_task += comp.parallelism;
+  }
+  plan.num_tasks = next_task;
+  return plan;
+}
+
+uint64_t EdgeHashSeed(uint64_t base_seed, uint32_t component, size_t edge_index) {
+  return base_seed ^ (0x9e3779b97f4a7c15ULL * (component + 1)) ^
+         (0x517cc1b727220a95ULL * (edge_index + 1));
+}
+
+Result<std::vector<std::unique_ptr<StreamPartitioner>>> MakeEdgePartitioners(
+    const TopologyPlan& plan, uint32_t component, uint64_t base_hash_seed) {
+  const PlannedComponent& comp = plan.components[component];
+  std::vector<std::unique_ptr<StreamPartitioner>> partitioners;
+  partitioners.reserve(comp.outputs.size());
+  for (size_t e = 0; e < comp.outputs.size(); ++e) {
+    const PlannedEdge& edge = comp.outputs[e];
+    PartitionerOptions popt = edge.grouping.options;
+    popt.num_workers = plan.components[edge.to_component].parallelism;
+    popt.hash_seed = EdgeHashSeed(base_hash_seed, component, e);
+    auto partitioner = CreatePartitioner(edge.grouping.algorithm, popt);
+    if (!partitioner.ok()) return partitioner.status();
+    partitioners.push_back(std::move(partitioner.value()));
+  }
+  return partitioners;
+}
+
+}  // namespace slb

@@ -1,0 +1,62 @@
+// Topology validation and flattening, shared by both execution engines.
+//
+// ExecuteTopology (the discrete-event engine in topology.cc) and
+// ExecuteTopologyThreaded (the real multi-threaded runtime in runtime.cc)
+// must agree exactly on component order, task numbering, and per-edge hash
+// seeds — the determinism cross-check in tests/dspe/runtime_test.cc compares
+// their per-task load vectors, which only works when both engines derive
+// routing state from the same plan.
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "slb/common/status.h"
+#include "slb/core/partitioner.h"
+#include "slb/dspe/topology.h"
+
+namespace slb {
+
+struct PlannedEdge {
+  uint32_t to_component = 0;  // index into TopologyPlan::components
+  Grouping grouping;
+};
+
+struct PlannedComponent {
+  std::string name;
+  bool is_spout = false;
+  uint32_t parallelism = 0;
+  uint32_t first_task = 0;   // global task id of instance 0
+  uint32_t decl_index = 0;   // index into topology.spouts or topology.bolts
+  std::vector<PlannedEdge> outputs;
+};
+
+/// The flattened component DAG: spouts first (in declaration order), then
+/// bolts, with contiguous global task ids.
+struct TopologyPlan {
+  std::vector<PlannedComponent> components;
+  uint32_t num_tasks = 0;
+  uint32_t num_spout_components = 0;
+
+  const PlannedComponent& task_component(uint32_t task) const;
+};
+
+/// Validates the declarative topology (names, parallelism, inputs, acyclic)
+/// and flattens it. Engine-specific knobs (service times, queue sizes) are
+/// validated by the engines themselves.
+Result<TopologyPlan> PlanTopology(const TopologyBuilder::Topology& topology);
+
+/// The per-edge hash seed every sender of one edge shares (Sec. III: all
+/// senders must agree on a key's candidate worker set).
+uint64_t EdgeHashSeed(uint64_t base_seed, uint32_t component, size_t edge_index);
+
+/// Builds the sender-local partitioners for one task of `component`: one per
+/// outgoing edge, each seeded with EdgeHashSeed and sized to the destination
+/// component's parallelism.
+Result<std::vector<std::unique_ptr<StreamPartitioner>>> MakeEdgePartitioners(
+    const TopologyPlan& plan, uint32_t component, uint64_t base_hash_seed);
+
+}  // namespace slb

@@ -1,0 +1,468 @@
+#include "slb/dspe/runtime.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "slb/common/histogram.h"
+#include "slb/common/logging.h"
+#include "slb/dspe/plan.h"
+#include "slb/dspe/spsc_queue.h"
+
+namespace slb {
+namespace {
+
+// A tuple in transit. The (spout_task, root_slot) pair names the root tree
+// this tuple belongs to for ack accounting.
+struct RtTuple {
+  uint64_t key = 0;
+  uint64_t value = 0;
+  uint32_t spout_task = 0;
+  uint32_t root_slot = 0;
+};
+
+// One in-flight root tuple tree of a spout task. `pending` counts the
+// unprocessed tuples of the tree plus, while the spout is still routing the
+// root, an anchor of 1 (the anchor guarantees pending cannot transiently hit
+// zero before all copies are queued). emit_time_s is written by the spout
+// strictly before the release-store that makes pending non-zero, and read by
+// completers strictly before the final decrement, so slot reuse never races.
+struct RootSlot {
+  std::atomic<uint32_t> pending{0};
+  double emit_time_s = 0.0;
+};
+
+class ReusableCollector final : public OutputCollector {
+ public:
+  void Emit(const TopologyTuple& tuple) override { emitted.push_back(tuple); }
+  std::vector<TopologyTuple> emitted;
+};
+
+// Per-destination emit buffer of one outgoing edge: tuples routed but not
+// yet published to the destination ring (the batch plus, under backpressure,
+// the stash of rejected pushes).
+struct OutEdge {
+  uint32_t to_component = 0;
+  std::vector<SpscRing<RtTuple>*> rings;      // one per destination task
+  std::vector<std::vector<RtTuple>> buffers;  // parallel to rings
+  std::vector<size_t> flushed;                // prefix of buffer already sent
+};
+
+struct TaskState {
+  uint32_t task_id = 0;
+  uint32_t component = 0;
+  uint32_t index = 0;
+  std::unique_ptr<Spout> spout;
+  std::unique_ptr<Bolt> bolt;
+  std::vector<std::unique_ptr<StreamPartitioner>> partitioners;
+  std::vector<OutEdge> out;
+  // Bolt: input rings, one per upstream producer task (MPSC as polled SPSC).
+  std::vector<SpscRing<RtTuple>*> inputs;
+  size_t input_cursor = 0;
+  ReusableCollector collector;
+  uint64_t processed = 0;
+  // Spout: root-slot table (size = credit window) and live-root count.
+  std::unique_ptr<RootSlot[]> slots;
+  uint32_t num_slots = 0;
+  std::atomic<uint32_t> in_flight{0};
+  uint32_t slot_cursor = 0;
+  bool exhausted = false;
+};
+
+struct Runtime {
+  std::vector<std::unique_ptr<TaskState>> tasks;
+  std::vector<std::unique_ptr<SpscRing<RtTuple>>> rings;
+  uint32_t batch_size = 64;
+  uint32_t max_pending = 1;
+  uint64_t max_tuples = 0;
+
+  std::chrono::steady_clock::time_point start;
+  std::atomic<uint32_t> active_spouts{0};
+  std::atomic<uint64_t> active_roots{0};
+  std::atomic<uint64_t> total_processed{0};
+  std::atomic<bool> stop{false};
+
+  std::mutex error_mu;
+  Status first_error;  // guarded by error_mu
+
+  double NowSeconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start)
+        .count();
+  }
+
+  void Fail(Status status) {
+    {
+      std::lock_guard<std::mutex> lock(error_mu);
+      if (first_error.ok()) first_error = std::move(status);
+    }
+    stop.store(true, std::memory_order_release);
+  }
+};
+
+// Per-executor-thread accumulators, merged after join. Histogram is
+// non-movable (internal mutex), so contexts live behind unique_ptr.
+struct ThreadCtx {
+  explicit ThreadCtx(uint64_t seed) : latency_ms(1 << 16, seed) {}
+  std::vector<TaskState*> tasks;
+  Histogram latency_ms;
+  uint64_t roots_acked = 0;
+  double last_ack_s = 0.0;
+  uint64_t processed_delta = 0;
+};
+
+// Attempts to publish every buffered tuple; returns true if any tuple moved.
+bool FlushTask(TaskState& task) {
+  bool moved = false;
+  for (OutEdge& edge : task.out) {
+    for (size_t d = 0; d < edge.rings.size(); ++d) {
+      std::vector<RtTuple>& buf = edge.buffers[d];
+      size_t& sent = edge.flushed[d];
+      if (sent == buf.size()) continue;
+      const size_t pushed =
+          edge.rings[d]->TryPushBatch(buf.data() + sent, buf.size() - sent);
+      sent += pushed;
+      moved |= pushed > 0;
+      if (sent == buf.size()) {
+        buf.clear();
+        sent = 0;
+      }
+    }
+  }
+  return moved;
+}
+
+bool AllFlushed(const TaskState& task) {
+  for (const OutEdge& edge : task.out) {
+    for (const auto& buf : edge.buffers) {
+      if (!buf.empty()) return false;
+    }
+  }
+  return true;
+}
+
+// Routes `tuple` along every outgoing edge of `task`, charging each copy to
+// the root's pending count BEFORE the copy becomes visible downstream.
+void RouteDownstream(Runtime& rt, TaskState& task, const TopologyTuple& tuple,
+                     uint32_t spout_task, uint32_t root_slot) {
+  RootSlot& root = rt.tasks[spout_task]->slots[root_slot];
+  for (size_t e = 0; e < task.out.size(); ++e) {
+    OutEdge& edge = task.out[e];
+    const uint32_t dest = task.partitioners[e]->Route(tuple.key);
+    root.pending.fetch_add(1, std::memory_order_relaxed);
+    edge.buffers[dest].push_back(
+        RtTuple{tuple.key, tuple.value, spout_task, root_slot});
+  }
+}
+
+// Drops one reference on a root tree; the final decrement acks the root:
+// records latency, returns the spout's credit, and retires the live root.
+void CompleteOne(Runtime& rt, ThreadCtx& ctx, uint32_t spout_task,
+                 uint32_t root_slot) {
+  TaskState& spout = *rt.tasks[spout_task];
+  RootSlot& root = spout.slots[root_slot];
+  const double emit_s = root.emit_time_s;  // must precede the decrement
+  if (root.pending.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    const double now_s = rt.NowSeconds();
+    ctx.latency_ms.Add((now_s - emit_s) * 1e3);
+    ctx.last_ack_s = std::max(ctx.last_ack_s, now_s);
+    ++ctx.roots_acked;
+    spout.in_flight.fetch_sub(1, std::memory_order_relaxed);
+    rt.active_roots.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+// Finds a root slot with pending == 0. Guaranteed to exist because the
+// caller checked in_flight < num_slots and every live root holds exactly one
+// slot at pending > 0.
+uint32_t ClaimRootSlot(TaskState& task) {
+  for (uint32_t i = 0; i < task.num_slots; ++i) {
+    const uint32_t s = (task.slot_cursor + i) % task.num_slots;
+    // acquire: pairs with the final acq_rel decrement in CompleteOne so the
+    // spout's upcoming emit_time_s write cannot race the completer's read.
+    if (task.slots[s].pending.load(std::memory_order_acquire) == 0) {
+      task.slot_cursor = (s + 1) % task.num_slots;
+      return s;
+    }
+  }
+  SLB_CHECK(false) << "no free root slot despite available credit";
+  return 0;
+}
+
+bool SpoutQuantum(Runtime& rt, ThreadCtx& ctx, TaskState& task) {
+  bool did_work = FlushTask(task);
+  // Emitting while a stash is pending would reorder tuples per destination;
+  // hold off until backpressure clears.
+  if (!AllFlushed(task) || task.exhausted) return did_work;
+
+  for (uint32_t n = 0; n < rt.batch_size; ++n) {
+    if (task.in_flight.load(std::memory_order_relaxed) >= rt.max_pending) {
+      break;  // credit window exhausted: wait for acks (backpressure)
+    }
+    TopologyTuple tuple;
+    if (!task.spout->NextTuple(&tuple)) {
+      task.exhausted = true;
+      rt.active_spouts.fetch_sub(1, std::memory_order_relaxed);
+      break;
+    }
+    ++task.processed;
+    ++ctx.processed_delta;
+    const uint32_t slot = ClaimRootSlot(task);
+    RootSlot& root = task.slots[slot];
+    task.in_flight.fetch_add(1, std::memory_order_relaxed);
+    rt.active_roots.fetch_add(1, std::memory_order_relaxed);
+    root.emit_time_s = rt.NowSeconds();
+    // Anchor reference: holds the tree open until all copies are queued.
+    root.pending.store(1, std::memory_order_release);
+    RouteDownstream(rt, task, tuple, task.task_id, slot);
+    CompleteOne(rt, ctx, task.task_id, slot);  // drop the anchor
+    did_work = true;
+  }
+  did_work |= FlushTask(task);
+  return did_work;
+}
+
+bool BoltQuantum(Runtime& rt, ThreadCtx& ctx, TaskState& task) {
+  bool did_work = FlushTask(task);
+  if (!AllFlushed(task)) return did_work;  // backpressure: do not consume
+
+  uint32_t budget = rt.batch_size;
+  RtTuple chunk[32];
+  while (budget > 0) {
+    // MPSC fan-in: poll the per-producer SPSC rings round-robin.
+    size_t popped = 0;
+    for (size_t i = 0; i < task.inputs.size(); ++i) {
+      const size_t r = (task.input_cursor + i) % task.inputs.size();
+      const size_t want =
+          std::min<size_t>(budget, sizeof(chunk) / sizeof(chunk[0]));
+      popped = task.inputs[r]->TryPopBatch(chunk, want);
+      if (popped > 0) {
+        task.input_cursor = (r + 1) % task.inputs.size();
+        break;
+      }
+    }
+    if (popped == 0) break;
+
+    for (size_t i = 0; i < popped; ++i) {
+      const RtTuple& in = chunk[i];
+      task.collector.emitted.clear();
+      task.bolt->Execute(TopologyTuple{in.key, in.value}, &task.collector);
+      ++task.processed;
+      ++ctx.processed_delta;
+      for (const TopologyTuple& out : task.collector.emitted) {
+        RouteDownstream(rt, task, out, in.spout_task, in.root_slot);
+      }
+      CompleteOne(rt, ctx, in.spout_task, in.root_slot);
+    }
+    budget -= static_cast<uint32_t>(popped);
+    did_work = true;
+  }
+  did_work |= FlushTask(task);
+  return did_work;
+}
+
+void ThreadMain(Runtime& rt, ThreadCtx& ctx) {
+  while (!rt.stop.load(std::memory_order_acquire)) {
+    bool did_work = false;
+    try {
+      for (TaskState* task : ctx.tasks) {
+        did_work |= task->spout != nullptr ? SpoutQuantum(rt, ctx, *task)
+                                           : BoltQuantum(rt, ctx, *task);
+      }
+    } catch (const std::exception& e) {
+      rt.Fail(Status::Internal(std::string("topology task threw: ") + e.what()));
+      return;
+    } catch (...) {
+      rt.Fail(Status::Internal("topology task threw a non-std exception"));
+      return;
+    }
+    if (ctx.processed_delta > 0) {
+      const uint64_t total = rt.total_processed.fetch_add(
+                                 ctx.processed_delta,
+                                 std::memory_order_relaxed) +
+                             ctx.processed_delta;
+      ctx.processed_delta = 0;
+      if (rt.max_tuples != 0 && total > rt.max_tuples) {
+        rt.Fail(Status::FailedPrecondition(
+            "tuple budget exceeded; emission loop in topology?"));
+        return;
+      }
+    }
+    if (!did_work) {
+      if (rt.active_spouts.load(std::memory_order_acquire) == 0 &&
+          rt.active_roots.load(std::memory_order_acquire) == 0) {
+        rt.stop.store(true, std::memory_order_release);
+        return;
+      }
+      std::this_thread::yield();
+    }
+  }
+}
+
+}  // namespace
+
+Result<TopologyStats> ExecuteTopologyThreaded(
+    const TopologyBuilder::Topology& topology, const TopologyOptions& options,
+    const TopologyRuntimeOptions& runtime_options) {
+  if (options.max_pending_per_spout < 1) {
+    return Status::InvalidArgument("max_pending_per_spout must be >= 1");
+  }
+  if (runtime_options.queue_capacity < 2) {
+    return Status::InvalidArgument("queue_capacity must be >= 2");
+  }
+  if (runtime_options.batch_size < 1) {
+    return Status::InvalidArgument("batch_size must be >= 1");
+  }
+
+  auto planned = PlanTopology(topology);
+  if (!planned.ok()) return planned.status();
+  const TopologyPlan& plan = planned.value();
+  const std::vector<PlannedComponent>& components = plan.components;
+
+  Runtime rt;
+  rt.batch_size = runtime_options.batch_size;
+  rt.max_pending = options.max_pending_per_spout;
+  rt.max_tuples = options.max_tuples;
+
+  // --- Instantiate tasks and their sender-local partitioners. --------------
+  rt.tasks.reserve(plan.num_tasks);
+  for (uint32_t c = 0; c < components.size(); ++c) {
+    for (uint32_t i = 0; i < components[c].parallelism; ++i) {
+      auto task = std::make_unique<TaskState>();
+      task->task_id = static_cast<uint32_t>(rt.tasks.size());
+      task->component = c;
+      task->index = i;
+      if (components[c].is_spout) {
+        task->spout = topology.spouts[components[c].decl_index].factory(i);
+        if (task->spout == nullptr) {
+          return Status::InvalidArgument("spout factory returned null");
+        }
+        task->num_slots = options.max_pending_per_spout;
+        task->slots = std::make_unique<RootSlot[]>(task->num_slots);
+      } else {
+        const auto& decl = topology.bolts[components[c].decl_index];
+        task->bolt = decl.factory(i);
+        if (task->bolt == nullptr) {
+          return Status::InvalidArgument("bolt factory returned null");
+        }
+        task->bolt->Prepare(i, components[c].parallelism);
+      }
+      auto partitioners = MakeEdgePartitioners(plan, c, options.hash_seed);
+      if (!partitioners.ok()) return partitioners.status();
+      task->partitioners = std::move(partitioners.value());
+      rt.tasks.push_back(std::move(task));
+    }
+  }
+
+  // --- Transport fabric: one SPSC ring per (producer, consumer) task pair
+  // of every edge, registered on both endpoints in deterministic order. ----
+  for (uint32_t c = 0; c < components.size(); ++c) {
+    const PlannedComponent& comp = components[c];
+    for (const PlannedEdge& edge : comp.outputs) {
+      const PlannedComponent& to = components[edge.to_component];
+      for (uint32_t p = 0; p < comp.parallelism; ++p) {
+        TaskState& producer = *rt.tasks[comp.first_task + p];
+        OutEdge out;
+        out.to_component = edge.to_component;
+        out.rings.reserve(to.parallelism);
+        out.buffers.resize(to.parallelism);
+        out.flushed.assign(to.parallelism, 0);
+        for (uint32_t q = 0; q < to.parallelism; ++q) {
+          rt.rings.push_back(std::make_unique<SpscRing<RtTuple>>(
+              runtime_options.queue_capacity));
+          SpscRing<RtTuple>* ring = rt.rings.back().get();
+          out.rings.push_back(ring);
+          rt.tasks[to.first_task + q]->inputs.push_back(ring);
+        }
+        producer.out.push_back(std::move(out));
+      }
+    }
+  }
+
+  // --- Executor threads: tasks assigned round-robin. -----------------------
+  uint32_t num_threads = runtime_options.num_threads;
+  if (num_threads == 0) {
+    num_threads = std::thread::hardware_concurrency();
+    if (num_threads == 0) num_threads = 1;
+  }
+  num_threads = std::min<uint32_t>(num_threads, plan.num_tasks);
+
+  uint32_t num_spout_tasks = 0;
+  for (uint32_t c = 0; c < plan.num_spout_components; ++c) {
+    num_spout_tasks += components[c].parallelism;
+  }
+  rt.active_spouts.store(num_spout_tasks, std::memory_order_relaxed);
+
+  std::vector<std::unique_ptr<ThreadCtx>> contexts;
+  contexts.reserve(num_threads);
+  for (uint32_t t = 0; t < num_threads; ++t) {
+    contexts.push_back(std::make_unique<ThreadCtx>(options.seed ^ (t + 1)));
+  }
+  for (uint32_t t = 0; t < plan.num_tasks; ++t) {
+    contexts[t % num_threads]->tasks.push_back(rt.tasks[t].get());
+  }
+
+  rt.start = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  threads.reserve(num_threads);
+  for (uint32_t t = 0; t < num_threads; ++t) {
+    threads.emplace_back(ThreadMain, std::ref(rt), std::ref(*contexts[t]));
+  }
+  for (auto& thread : threads) thread.join();
+
+  {
+    std::lock_guard<std::mutex> lock(rt.error_mu);
+    if (!rt.first_error.ok()) return rt.first_error;
+  }
+
+  // --- Collect statistics (all threads joined; plain reads are safe). ------
+  TopologyStats stats;
+  Histogram latency_ms(1 << 18, options.seed ^ 0xabcdULL);
+  double last_ack_s = 0.0;
+  for (const auto& ctx : contexts) {
+    latency_ms.Merge(ctx->latency_ms);
+    stats.roots_acked += ctx->roots_acked;
+    last_ack_s = std::max(last_ack_s, ctx->last_ack_s);
+  }
+  stats.tuples_processed = rt.total_processed.load(std::memory_order_relaxed);
+  stats.makespan_s = last_ack_s;
+  stats.throughput_per_s =
+      last_ack_s > 0 ? static_cast<double>(stats.roots_acked) / last_ack_s : 0.0;
+  stats.latency_avg_ms = latency_ms.mean();
+  stats.latency_p50_ms = latency_ms.p50();
+  stats.latency_p95_ms = latency_ms.p95();
+  stats.latency_p99_ms = latency_ms.p99();
+  stats.latency_max_ms = latency_ms.max();
+
+  for (const PlannedComponent& comp : components) {
+    ComponentStats cs;
+    cs.name = comp.name;
+    uint64_t total = 0;
+    for (uint32_t i = 0; i < comp.parallelism; ++i) {
+      total += rt.tasks[comp.first_task + i]->processed;
+    }
+    cs.tuples_processed = total;
+    cs.task_loads.resize(comp.parallelism, 0.0);
+    double max_load = 0.0;
+    for (uint32_t i = 0; i < comp.parallelism; ++i) {
+      const TaskState& task = *rt.tasks[comp.first_task + i];
+      cs.task_loads[i] = total > 0 ? static_cast<double>(task.processed) /
+                                         static_cast<double>(total)
+                                   : 0.0;
+      max_load = std::max(max_load, cs.task_loads[i]);
+      if (task.bolt != nullptr) cs.state_entries += task.bolt->StateEntries();
+    }
+    cs.imbalance =
+        total > 0 ? max_load - 1.0 / static_cast<double>(comp.parallelism) : 0.0;
+    stats.components.push_back(std::move(cs));
+  }
+  return stats;
+}
+
+}  // namespace slb

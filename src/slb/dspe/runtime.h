@@ -1,0 +1,64 @@
+// Threaded topology executor — the real (measured, not simulated) engine.
+//
+// ExecuteTopology in topology.h replays Storm's scheduling semantics inside
+// a discrete-event loop; every throughput/latency number it produces is
+// *modeled*. This runtime executes the same declarative topology on real
+// threads so bench_fig13/fig14 can report hardware-measured msgs/sec and
+// queue-delay percentiles (ROADMAP item 1):
+//
+//   * transport: one bounded lock-free SPSC ring (spsc_queue.h) per
+//     (producer task, consumer task) pair of every edge; a bolt consumes by
+//     polling its per-producer rings round-robin (MPSC fan-in without CAS);
+//   * emit batching: producers buffer up to `batch_size` routed tuples per
+//     destination and publish each batch with a single release store;
+//   * backpressure: spouts hold a credit window of `max_pending_per_spout`
+//     root tuples (TopologyOptions), returned when the tuple tree acks; full
+//     rings additionally stall producers without blocking their thread, so
+//     pressure propagates source-ward exactly like Storm's max-spout-pending;
+//   * scheduling: tasks are assigned round-robin to `num_threads` executor
+//     threads; each thread runs its tasks cooperatively (a task quantum
+//     never blocks, so one thread can host many tasks without deadlock).
+//
+// Determinism: each task's partitioner state is sender-local and fed only by
+// that task's own tuple sequence, so for single-layer topologies the routing
+// decisions — and therefore per-component tuple counts, load vectors, and
+// imbalance — are byte-identical to ExecuteTopology's, independent of thread
+// count and interleaving (locked down by tests/dspe/runtime_test.cc). Timing
+// fields (makespan, throughput, latency percentiles) are measured wall-clock
+// and naturally vary run to run.
+
+#pragma once
+
+#include <cstdint>
+
+#include "slb/common/status.h"
+#include "slb/dspe/topology.h"
+
+namespace slb {
+
+struct TopologyRuntimeOptions {
+  /// Executor threads (0 = hardware concurrency, capped at the task count).
+  uint32_t num_threads = 0;
+  /// Per (producer, consumer) ring capacity in tuples (rounded up to a power
+  /// of two). Small rings surface backpressure earlier.
+  uint32_t queue_capacity = 1024;
+  /// Emit-path batch: tuples buffered per destination before one ring
+  /// publish; also the number of tuples a task processes per quantum.
+  uint32_t batch_size = 64;
+};
+
+/// Runs the topology on real threads until every spout is exhausted and all
+/// in-flight tuple trees have acked. Service-time knobs of TopologyOptions
+/// (spout_service_ms / bolt_service_ms) are ignored — execution cost is
+/// whatever the spout/bolt code actually costs; hash_seed, seed,
+/// max_pending_per_spout, and max_tuples apply as in ExecuteTopology.
+///
+/// Bolt instances are driven by exactly one executor thread each (tasks
+/// never migrate), so Bolt/Spout implementations need no internal locking —
+/// but factories must return distinct instances per task, and any caller-
+/// owned sinks shared across tasks must be thread-safe.
+Result<TopologyStats> ExecuteTopologyThreaded(
+    const TopologyBuilder::Topology& topology, const TopologyOptions& options,
+    const TopologyRuntimeOptions& runtime_options = {});
+
+}  // namespace slb

@@ -3,9 +3,10 @@
 #include <algorithm>
 #include <deque>
 #include <queue>
-#include <unordered_map>
+#include <utility>
 
 #include "slb/common/logging.h"
+#include "slb/dspe/plan.h"
 
 namespace slb {
 
@@ -33,20 +34,7 @@ TopologyBuilder& TopologyBuilder::Input(const std::string& upstream,
 namespace {
 
 // ---------------------------------------------------------------------------
-// Flattened runtime structures.
-
-struct Edge {
-  uint32_t to_component;  // index into components
-  Grouping grouping;
-};
-
-struct Component {
-  std::string name;
-  bool is_spout = false;
-  uint32_t parallelism = 0;
-  uint32_t first_task = 0;  // global task id of instance 0
-  std::vector<Edge> outputs;
-};
+// Flattened runtime structures (the plan supplies components and task ids).
 
 struct InFlight {
   TopologyTuple tuple;
@@ -93,9 +81,6 @@ class Collector final : public OutputCollector {
 
 Result<TopologyStats> ExecuteTopology(const TopologyBuilder::Topology& topology,
                                       const TopologyOptions& options) {
-  if (topology.spouts.empty()) {
-    return Status::InvalidArgument("topology needs at least one spout");
-  }
   if (options.spout_service_ms <= 0 || options.bolt_service_ms <= 0) {
     return Status::InvalidArgument("service times must be positive");
   }
@@ -103,86 +88,27 @@ Result<TopologyStats> ExecuteTopology(const TopologyBuilder::Topology& topology,
     return Status::InvalidArgument("max_pending_per_spout must be >= 1");
   }
 
-  // --- Flatten components and validate the DAG. ---------------------------
-  std::vector<Component> components;
-  std::unordered_map<std::string, uint32_t> by_name;
-  for (const auto& spout : topology.spouts) {
-    if (spout.parallelism < 1) {
-      return Status::InvalidArgument("spout '" + spout.name +
-                                     "' needs parallelism >= 1");
-    }
-    if (!by_name.emplace(spout.name, components.size()).second) {
-      return Status::InvalidArgument("duplicate component name: " + spout.name);
-    }
-    components.push_back(Component{spout.name, true, spout.parallelism, 0, {}});
-  }
-  for (const auto& bolt : topology.bolts) {
-    if (bolt.parallelism < 1) {
-      return Status::InvalidArgument("bolt '" + bolt.name +
-                                     "' needs parallelism >= 1");
-    }
-    if (!by_name.emplace(bolt.name, components.size()).second) {
-      return Status::InvalidArgument("duplicate component name: " + bolt.name);
-    }
-    if (bolt.inputs.empty()) {
-      return Status::InvalidArgument("bolt '" + bolt.name + "' has no inputs");
-    }
-    components.push_back(Component{bolt.name, false, bolt.parallelism, 0, {}});
-  }
-  for (const auto& bolt : topology.bolts) {
-    const uint32_t to = by_name.at(bolt.name);
-    for (const auto& [upstream, grouping] : bolt.inputs) {
-      auto it = by_name.find(upstream);
-      if (it == by_name.end()) {
-        return Status::InvalidArgument("bolt '" + bolt.name +
-                                       "' consumes unknown component '" +
-                                       upstream + "'");
-      }
-      if (it->second == to) {
-        return Status::InvalidArgument("bolt '" + bolt.name +
-                                       "' cannot consume itself");
-      }
-      components[it->second].outputs.push_back(Edge{to, grouping});
-    }
-  }
-  // Cycle check: DFS over the component graph.
-  {
-    enum class Mark : uint8_t { kWhite, kGray, kBlack };
-    std::vector<Mark> marks(components.size(), Mark::kWhite);
-    std::function<bool(uint32_t)> has_cycle = [&](uint32_t c) {
-      marks[c] = Mark::kGray;
-      for (const Edge& e : components[c].outputs) {
-        if (marks[e.to_component] == Mark::kGray) return true;
-        if (marks[e.to_component] == Mark::kWhite && has_cycle(e.to_component)) {
-          return true;
-        }
-      }
-      marks[c] = Mark::kBlack;
-      return false;
-    };
-    for (uint32_t c = 0; c < components.size(); ++c) {
-      if (marks[c] == Mark::kWhite && has_cycle(c)) {
-        return Status::InvalidArgument("topology contains a cycle");
-      }
-    }
-  }
+  auto planned = PlanTopology(topology);
+  if (!planned.ok()) return planned.status();
+  const TopologyPlan& plan = planned.value();
+  const std::vector<PlannedComponent>& components = plan.components;
 
   // --- Instantiate tasks. --------------------------------------------------
   std::vector<Task> tasks;
+  tasks.reserve(plan.num_tasks);
   for (uint32_t c = 0; c < components.size(); ++c) {
-    components[c].first_task = static_cast<uint32_t>(tasks.size());
     for (uint32_t i = 0; i < components[c].parallelism; ++i) {
       Task task;
       task.component = c;
       task.index = i;
       if (components[c].is_spout) {
-        task.spout = topology.spouts[c].factory(i);
+        task.spout = topology.spouts[components[c].decl_index].factory(i);
         task.credits = options.max_pending_per_spout;
         if (task.spout == nullptr) {
           return Status::InvalidArgument("spout factory returned null");
         }
       } else {
-        const auto& decl = topology.bolts[c - topology.spouts.size()];
+        const auto& decl = topology.bolts[components[c].decl_index];
         task.bolt = decl.factory(i);
         if (task.bolt == nullptr) {
           return Status::InvalidArgument("bolt factory returned null");
@@ -195,18 +121,10 @@ Result<TopologyStats> ExecuteTopology(const TopologyBuilder::Topology& topology,
   // Partitioners: one per (task, outgoing edge); hash seed shared per edge so
   // all senders agree on candidate sets (Sec. III).
   for (Task& task : tasks) {
-    const Component& comp = components[task.component];
-    for (size_t e = 0; e < comp.outputs.size(); ++e) {
-      const Edge& edge = comp.outputs[e];
-      PartitionerOptions popt = edge.grouping.options;
-      popt.num_workers = components[edge.to_component].parallelism;
-      popt.hash_seed =
-          options.hash_seed ^ (0x9e3779b97f4a7c15ULL * (task.component + 1)) ^
-          (0x517cc1b727220a95ULL * (e + 1));
-      auto partitioner = CreatePartitioner(edge.grouping.algorithm, popt);
-      if (!partitioner.ok()) return partitioner.status();
-      task.partitioners.push_back(std::move(partitioner.value()));
-    }
+    auto partitioners =
+        MakeEdgePartitioners(plan, task.component, options.hash_seed);
+    if (!partitioners.ok()) return partitioners.status();
+    task.partitioners = std::move(partitioners.value());
   }
 
   // --- Event loop. ----------------------------------------------------------
@@ -222,10 +140,10 @@ Result<TopologyStats> ExecuteTopology(const TopologyBuilder::Topology& topology,
   // Routes `tuple` along every outgoing edge of `task`; returns copies made.
   auto route_downstream = [&](Task& task, const TopologyTuple& tuple,
                               uint64_t root) {
-    const Component& comp = components[task.component];
+    const PlannedComponent& comp = components[task.component];
     uint64_t copies = 0;
     for (size_t e = 0; e < comp.outputs.size(); ++e) {
-      const Edge& edge = comp.outputs[e];
+      const PlannedEdge& edge = comp.outputs[e];
       const uint32_t idx = task.partitioners[e]->Route(tuple.key);
       const uint32_t target = components[edge.to_component].first_task + idx;
       tasks[target].queue.push_back(InFlight{tuple, root});
@@ -319,8 +237,9 @@ Result<TopologyStats> ExecuteTopology(const TopologyBuilder::Topology& topology,
   stats.latency_p50_ms = latency_ms.p50();
   stats.latency_p95_ms = latency_ms.p95();
   stats.latency_p99_ms = latency_ms.p99();
+  stats.latency_max_ms = latency_ms.max();
 
-  for (const Component& comp : components) {
+  for (const PlannedComponent& comp : components) {
     ComponentStats cs;
     cs.name = comp.name;
     uint64_t total = 0;

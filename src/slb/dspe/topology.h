@@ -155,6 +155,7 @@ struct TopologyStats {
   double latency_p50_ms = 0.0;
   double latency_p95_ms = 0.0;
   double latency_p99_ms = 0.0;
+  double latency_max_ms = 0.0;
   std::vector<ComponentStats> components;
 };
 

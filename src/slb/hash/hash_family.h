@@ -33,6 +33,17 @@ class HashFamily {
     for (uint32_t i = 0; i < d; ++i) out[i] = Worker(key, i);
   }
 
+  /// Both two-choices candidates in one call (requires max_functions >= 2).
+  /// The two hash chains share no data, so they pipeline back to back
+  /// instead of serializing through the Worker() call boundary — the routing
+  /// hot path of PKG and of every head-aware scheme's tail step.
+  void Worker2(uint64_t key, uint32_t* w0, uint32_t* w1) const {
+    const uint64_t h0 = SeededHash64(key, seeds_[0]);
+    const uint64_t h1 = SeededHash64(key, seeds_[1]);
+    *w0 = HashToRange(h0, num_workers_);
+    *w1 = HashToRange(h1, num_workers_);
+  }
+
   uint32_t max_functions() const { return max_functions_; }
   uint32_t num_workers() const { return num_workers_; }
   uint64_t seed() const { return seed_; }

@@ -1,6 +1,7 @@
 #include "slb/sketch/space_saving.h"
 
 #include <algorithm>
+#include <unordered_map>
 
 #include "slb/common/logging.h"
 
@@ -9,7 +10,7 @@ namespace slb {
 SpaceSaving::SpaceSaving(size_t capacity) : capacity_(capacity) {
   SLB_CHECK(capacity >= 1) << "SpaceSaving capacity must be positive";
   counters_.reserve(capacity_);
-  map_.reserve(capacity_ * 2);
+  map_.Reserve(capacity_);
 }
 
 void SpaceSaving::Reset() {
@@ -18,7 +19,7 @@ void SpaceSaving::Reset() {
   buckets_.clear();
   free_buckets_.clear();
   min_bucket_ = kNil;
-  map_.clear();
+  map_.Clear();
 }
 
 int32_t SpaceSaving::AllocBucket(uint64_t count) {
@@ -90,10 +91,10 @@ void SpaceSaving::IncrementCounter(int32_t c) {
 
 uint64_t SpaceSaving::UpdateAndEstimate(uint64_t key) {
   ++total_;
-  auto it = map_.find(key);
-  if (it != map_.end()) {
-    IncrementCounter(it->second);
-    return counters_[it->second].count;
+  const int32_t found = map_.Get(key);
+  if (found != FlatIndexMap::kAbsent) {
+    IncrementCounter(found);
+    return counters_[found].count;
   }
 
   if (counters_.size() < capacity_) {
@@ -110,7 +111,7 @@ uint64_t SpaceSaving::UpdateAndEstimate(uint64_t key) {
       min_bucket_ = b;
     }
     AttachCounter(c, b);
-    map_.emplace(key, c);
+    map_.Set(key, c);
     return 1;
   }
 
@@ -118,17 +119,17 @@ uint64_t SpaceSaving::UpdateAndEstimate(uint64_t key) {
   // charging the evicted count as error (SpaceSaving replacement rule).
   const int32_t c = buckets_[min_bucket_].head;
   Counter& counter = counters_[c];
-  map_.erase(counter.key);
+  map_.Erase(counter.key);
   counter.error = counter.count;
   counter.key = key;
-  map_.emplace(key, c);
+  map_.Set(key, c);
   IncrementCounter(c);
   return counters_[c].count;
 }
 
 uint64_t SpaceSaving::Estimate(uint64_t key) const {
-  auto it = map_.find(key);
-  if (it != map_.end()) return counters_[it->second].count;
+  const int32_t c = map_.Get(key);
+  if (c != FlatIndexMap::kAbsent) return counters_[c].count;
   // Any unmonitored key occurred at most min_count() times.
   return counters_.size() < capacity_ ? 0 : min_count();
 }
@@ -139,9 +140,9 @@ uint64_t SpaceSaving::min_count() const {
 }
 
 uint64_t SpaceSaving::GuaranteedCount(uint64_t key) const {
-  auto it = map_.find(key);
-  if (it == map_.end()) return 0;
-  const Counter& c = counters_[it->second];
+  const int32_t idx = map_.Get(key);
+  if (idx == FlatIndexMap::kAbsent) return 0;
+  const Counter& c = counters_[idx];
   return c.count - c.error;
 }
 
@@ -193,7 +194,7 @@ void SpaceSaving::Merge(const SpaceSaving& other) {
     }
   }
   for (auto& [key, hk] : merged) {
-    if (other.map_.find(key) == other.map_.end() && other_min > 0) {
+    if (!other.map_.Contains(key) && other_min > 0) {
       hk.count += other_min;
       hk.error += other_min;
     }
@@ -239,7 +240,7 @@ void SpaceSaving::RebuildFrom(const std::vector<HeavyKey>& sorted_desc,
       if (b != kNil) buckets_[b].prev = nb;
       AttachCounter(c, nb);
     }
-    map_.emplace(it->key, c);
+    map_.Set(it->key, c);
   }
 }
 

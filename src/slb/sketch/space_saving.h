@@ -14,9 +14,9 @@
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
+#include "slb/common/flat_hash.h"
 #include "slb/sketch/frequency_estimator.h"
 
 namespace slb {
@@ -103,7 +103,7 @@ class SpaceSaving final : public FrequencyEstimator {
   std::vector<Bucket> buckets_;
   std::vector<int32_t> free_buckets_;
   int32_t min_bucket_ = kNil;  // bucket with the smallest count
-  std::unordered_map<uint64_t, int32_t> map_;  // key -> counter index
+  FlatIndexMap map_;  // key -> counter index (flat: one probe, no node chase)
 };
 
 }  // namespace slb

@@ -1,0 +1,94 @@
+#include "slb/common/flat_hash.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "slb/common/rng.h"
+
+namespace slb {
+namespace {
+
+TEST(FlatIndexMapTest, EmptyMapFindsNothing) {
+  FlatIndexMap map;
+  EXPECT_EQ(map.size(), 0u);
+  EXPECT_TRUE(map.empty());
+  EXPECT_EQ(map.Get(0), FlatIndexMap::kAbsent);
+  EXPECT_EQ(map.Get(42), FlatIndexMap::kAbsent);
+  EXPECT_FALSE(map.Erase(42));
+}
+
+TEST(FlatIndexMapTest, SetGetOverwriteErase) {
+  FlatIndexMap map;
+  map.Set(7, 100);
+  map.Set(0, 3);  // key 0 must be a legal key (no key sentinel)
+  EXPECT_EQ(map.Get(7), 100);
+  EXPECT_EQ(map.Get(0), 3);
+  EXPECT_EQ(map.size(), 2u);
+
+  map.Set(7, 200);  // overwrite keeps size
+  EXPECT_EQ(map.Get(7), 200);
+  EXPECT_EQ(map.size(), 2u);
+
+  EXPECT_TRUE(map.Erase(7));
+  EXPECT_EQ(map.Get(7), FlatIndexMap::kAbsent);
+  EXPECT_FALSE(map.Erase(7));
+  EXPECT_EQ(map.Get(0), 3);
+  EXPECT_EQ(map.size(), 1u);
+}
+
+TEST(FlatIndexMapTest, GrowsPastInitialCapacity) {
+  FlatIndexMap map(4);
+  for (uint64_t k = 0; k < 10000; ++k) {
+    map.Set(k * 0x9e3779b97f4a7c15ULL, static_cast<int32_t>(k));
+  }
+  EXPECT_EQ(map.size(), 10000u);
+  for (uint64_t k = 0; k < 10000; ++k) {
+    ASSERT_EQ(map.Get(k * 0x9e3779b97f4a7c15ULL), static_cast<int32_t>(k));
+  }
+}
+
+TEST(FlatIndexMapTest, ClearEmptiesButKeepsWorking) {
+  FlatIndexMap map;
+  for (uint64_t k = 0; k < 100; ++k) map.Set(k, static_cast<int32_t>(k));
+  map.Clear();
+  EXPECT_EQ(map.size(), 0u);
+  EXPECT_EQ(map.Get(5), FlatIndexMap::kAbsent);
+  map.Set(5, 55);
+  EXPECT_EQ(map.Get(5), 55);
+}
+
+// The SpaceSaving workload: endless interleaved insert/erase churn at
+// constant size. Backward-shift deletion must keep probe chains exact —
+// a reference unordered_map catches any divergence.
+TEST(FlatIndexMapTest, ChurnMatchesReferenceMap) {
+  FlatIndexMap map;
+  std::unordered_map<uint64_t, int32_t> reference;
+  Rng rng(123);
+  for (int step = 0; step < 200000; ++step) {
+    const uint64_t key = rng.NextBounded(512);  // dense keyspace -> collisions
+    const uint32_t op = static_cast<uint32_t>(rng.NextBounded(3));
+    if (op < 2) {
+      const int32_t value = static_cast<int32_t>(step);
+      map.Set(key, value);
+      reference[key] = value;
+    } else {
+      const bool erased = map.Erase(key);
+      EXPECT_EQ(erased, reference.erase(key) == 1) << "step " << step;
+    }
+    const auto it = reference.find(key);
+    ASSERT_EQ(map.Get(key), it == reference.end() ? FlatIndexMap::kAbsent
+                                                  : it->second)
+        << "step " << step;
+    ASSERT_EQ(map.size(), reference.size());
+  }
+  // Full cross-check at the end.
+  for (const auto& [key, value] : reference) {
+    ASSERT_EQ(map.Get(key), value);
+  }
+}
+
+}  // namespace
+}  // namespace slb

@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <thread>
+#include <vector>
 
 #include "slb/common/rng.h"
 
@@ -104,6 +106,87 @@ TEST(HistogramTest, UnboundedModeNeverSubsamples) {
   for (int i = 0; i < 5000; ++i) h.Add(i);
   EXPECT_FALSE(h.subsampled());
   EXPECT_EQ(h.sample_count(), 5000u);
+}
+
+// Regression: Quantile() used to sort through a const_cast with no guard —
+// two threads reading percentiles concurrently raced on the sample vector.
+// Run this under TSan (the CI tsan job does) to lock the fix down.
+TEST(HistogramTest, ConcurrentQuantileReadersAreSafe) {
+  Histogram h(1 << 12, 5);
+  Rng rng(9);
+  for (int i = 0; i < 20000; ++i) h.Add(rng.NextDouble() * 100.0);
+
+  const double expected_p50 = [&] {
+    Histogram reference(1 << 12, 5);
+    Rng r2(9);
+    for (int i = 0; i < 20000; ++i) reference.Add(r2.NextDouble() * 100.0);
+    return reference.p50();
+  }();
+
+  std::vector<std::thread> readers;
+  std::vector<double> results(8, -1.0);
+  for (size_t t = 0; t < results.size(); ++t) {
+    readers.emplace_back([&, t] {
+      // Every reader hits the lazy sort path; all must agree.
+      results[t] = t % 2 == 0 ? h.p50() : h.Quantile(0.5);
+    });
+  }
+  for (auto& thread : readers) thread.join();
+  for (double r : results) EXPECT_DOUBLE_EQ(r, expected_p50);
+}
+
+// Regression: the interpolation reads samples_[ceil(rank)]; q = 1.0 with a
+// single sample (rank 0) and a subsampled reservoir at q = 1.0 must both
+// stay inside the sample vector.
+TEST(HistogramTest, QuantileUpperEdgeCases) {
+  Histogram single;
+  single.Add(42.0);
+  EXPECT_DOUBLE_EQ(single.Quantile(1.0), 42.0);
+  EXPECT_DOUBLE_EQ(single.Quantile(0.0), 42.0);
+  // Clamp: out-of-range q must not index past the end.
+  EXPECT_DOUBLE_EQ(single.Quantile(2.0), 42.0);
+  EXPECT_DOUBLE_EQ(single.Quantile(-1.0), 42.0);
+
+  const size_t cap = 64;
+  Histogram subsampled(cap, 3);
+  for (int i = 0; i < 10000; ++i) subsampled.Add(static_cast<double>(i));
+  ASSERT_TRUE(subsampled.subsampled());
+  ASSERT_EQ(subsampled.sample_count(), cap);
+  const double top = subsampled.Quantile(1.0);
+  EXPECT_GE(top, 0.0);
+  EXPECT_LT(top, 10000.0);
+  EXPECT_GE(subsampled.Quantile(1.0), subsampled.Quantile(0.999));
+}
+
+TEST(HistogramTest, MergeCombinesExactStatsAndSamples) {
+  Histogram a(0, 1);
+  Histogram b(0, 2);
+  for (int i = 1; i <= 50; ++i) a.Add(static_cast<double>(i));
+  for (int i = 51; i <= 100; ++i) b.Add(static_cast<double>(i));
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 100);
+  EXPECT_DOUBLE_EQ(a.mean(), 50.5);
+  EXPECT_DOUBLE_EQ(a.min(), 1.0);
+  EXPECT_DOUBLE_EQ(a.max(), 100.0);
+  EXPECT_EQ(a.sample_count(), 100u);
+  EXPECT_DOUBLE_EQ(a.Quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(a.Quantile(1.0), 100.0);
+  EXPECT_NEAR(a.p50(), 50.5, 1.0);
+}
+
+TEST(HistogramTest, MergeOverflowingCapacityDownsamples) {
+  const size_t cap = 100;
+  Histogram a(cap, 1);
+  Histogram b(cap, 2);
+  for (int i = 0; i < 80; ++i) a.Add(0.25);
+  for (int i = 0; i < 80; ++i) b.Add(0.75);
+  a.Merge(b);
+  EXPECT_TRUE(a.subsampled());
+  EXPECT_EQ(a.sample_count(), cap);
+  EXPECT_EQ(a.count(), 160);        // exact despite subsampling
+  EXPECT_DOUBLE_EQ(a.mean(), 0.5);  // exact despite subsampling
+  const double p50 = a.p50();
+  EXPECT_TRUE(p50 >= 0.25 && p50 <= 0.75);
 }
 
 }  // namespace

@@ -3,7 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstddef>
+#include <limits>
 #include <numeric>
+#include <stdexcept>
 #include <vector>
 
 namespace slb {
@@ -43,6 +46,55 @@ TEST(ParallelForTest, MoreThreadsThanWork) {
   std::atomic<int> sum{0};
   ParallelFor(3, [&](size_t i) { sum.fetch_add(static_cast<int>(i)); }, 16);
   EXPECT_EQ(sum.load(), 3);
+}
+
+// Regression: an exception escaping fn on a worker thread used to hit the
+// thread boundary and call std::terminate. It must propagate to the caller.
+TEST(ParallelForTest, WorkerExceptionIsRethrownOnCaller) {
+  EXPECT_THROW(
+      ParallelFor(
+          1000,
+          [](size_t i) {
+            if (i == 137) throw std::runtime_error("boom");
+          },
+          4),
+      std::runtime_error);
+}
+
+TEST(ParallelForTest, ExceptionStopsRemainingWork) {
+  std::atomic<size_t> executed{0};
+  try {
+    ParallelFor(
+        1 << 20,
+        [&](size_t i) {
+          if (i == 0) throw std::runtime_error("early");
+          executed.fetch_add(1);
+        },
+        4);
+    FAIL() << "expected rethrow";
+  } catch (const std::runtime_error&) {
+  }
+  // Workers drain quickly after the failure flag is set; far fewer than the
+  // full million indices may run.
+  EXPECT_LT(executed.load(), size_t{1} << 20);
+}
+
+TEST(ParallelForTest, SerialPathPropagatesException) {
+  EXPECT_THROW(ParallelFor(
+                   4, [](size_t) { throw std::logic_error("serial"); },
+                   /*num_threads=*/1),
+               std::logic_error);
+}
+
+// Regression: with count near SIZE_MAX the old fetch_add claim could push
+// the shared counter past count and wrap to zero, looping forever. The
+// CAS-claim never advances past count: a failure at index 0 must terminate
+// the whole call promptly instead of hanging.
+TEST(ParallelForTest, HugeCountDoesNotWrapCounter) {
+  EXPECT_THROW(ParallelFor(
+                   std::numeric_limits<size_t>::max(),
+                   [](size_t) { throw std::runtime_error("stop"); }, 8),
+               std::runtime_error);
 }
 
 }  // namespace

@@ -1,0 +1,390 @@
+// Tests for the threaded topology runtime and its SPSC transport.
+//
+// The concurrency tests (ordering, fan-in, backpressure, shutdown drain) are
+// written to be meaningful under ThreadSanitizer: they exercise real
+// producer/consumer threads, not mocked interleavings. The determinism test
+// locks down the contract in runtime.h: single-layer topologies route
+// identically under both engines and any thread count.
+
+#include "slb/dspe/runtime.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "slb/common/rng.h"
+#include "slb/dspe/spsc_queue.h"
+#include "slb/dspe/topology.h"
+#include "slb/workload/zipf.h"
+
+namespace slb {
+namespace {
+
+// ---------------------------------------------------------------------------
+// SpscRing
+
+TEST(SpscRingTest, CapacityRoundsUpToPowerOfTwo) {
+  EXPECT_EQ(SpscRing<int>(1).capacity(), 2u);
+  EXPECT_EQ(SpscRing<int>(2).capacity(), 2u);
+  EXPECT_EQ(SpscRing<int>(3).capacity(), 4u);
+  EXPECT_EQ(SpscRing<int>(1000).capacity(), 1024u);
+}
+
+TEST(SpscRingTest, PushFailsWhenFullPopFailsWhenEmpty) {
+  SpscRing<int> ring(4);
+  int out = 0;
+  EXPECT_FALSE(ring.TryPop(&out));
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(ring.TryPush(i));
+  EXPECT_FALSE(ring.TryPush(99));  // full: backpressure signal
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(ring.TryPop(&out));
+    EXPECT_EQ(out, i);
+  }
+  EXPECT_FALSE(ring.TryPop(&out));
+}
+
+TEST(SpscRingTest, BatchPushAcceptsPartialPrefixWhenNearlyFull) {
+  SpscRing<int> ring(4);
+  const int items[6] = {0, 1, 2, 3, 4, 5};
+  EXPECT_EQ(ring.TryPushBatch(items, 3), 3u);
+  // Only one slot left: a 3-item batch lands a 1-item prefix.
+  EXPECT_EQ(ring.TryPushBatch(items + 3, 3), 1u);
+  int out[8];
+  EXPECT_EQ(ring.TryPopBatch(out, 8), 4u);
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(out[i], i);
+}
+
+TEST(SpscRingTest, ConcurrentProducerConsumerPreservesFifoOrder) {
+  constexpr uint64_t kCount = 50000;
+  SpscRing<uint64_t> ring(256);
+  std::thread producer([&] {
+    for (uint64_t i = 0; i < kCount;) {
+      if (ring.TryPush(i)) {
+        ++i;
+      } else {
+        std::this_thread::yield();  // single-core machines: let consumer run
+      }
+    }
+  });
+  uint64_t expected = 0;
+  while (expected < kCount) {
+    uint64_t value = 0;
+    if (!ring.TryPop(&value)) {
+      std::this_thread::yield();
+      continue;
+    }
+    ASSERT_EQ(value, expected);  // FIFO, no loss, no duplication
+    ++expected;
+  }
+  producer.join();
+  EXPECT_TRUE(ring.EmptyApprox());
+}
+
+TEST(SpscRingTest, ConcurrentBatchTransferDeliversEverySampleOnce) {
+  constexpr uint64_t kCount = 50000;
+  SpscRing<uint64_t> ring(128);
+  std::thread producer([&] {
+    uint64_t batch[32];
+    uint64_t next = 0;
+    while (next < kCount) {
+      uint64_t n = 0;
+      while (n < 32 && next + n < kCount) {
+        batch[n] = next + n;
+        ++n;
+      }
+      const size_t pushed = ring.TryPushBatch(batch, n);
+      next += pushed;
+      if (pushed < n) std::this_thread::yield();
+    }
+  });
+  uint64_t out[48];
+  uint64_t expected = 0;
+  while (expected < kCount) {
+    const size_t popped = ring.TryPopBatch(out, 48);
+    for (size_t i = 0; i < popped; ++i) {
+      ASSERT_EQ(out[i], expected);
+      ++expected;
+    }
+    if (popped == 0) std::this_thread::yield();
+  }
+  producer.join();
+}
+
+// MPSC fan-in as the runtime uses it: N producer threads, each with its own
+// ring, one consumer polling round-robin. Every tuple must arrive exactly
+// once and per-producer order must hold.
+TEST(SpscRingTest, PolledFanInDeliversAllProducersInOrder) {
+  constexpr int kProducers = 4;
+  constexpr uint64_t kPerProducer = 10000;
+  std::vector<std::unique_ptr<SpscRing<uint64_t>>> rings;
+  for (int p = 0; p < kProducers; ++p) {
+    rings.push_back(std::make_unique<SpscRing<uint64_t>>(64));
+  }
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (uint64_t i = 0; i < kPerProducer;) {
+        // Tag each value with its producer so the consumer can check order.
+        if (rings[p]->TryPush(static_cast<uint64_t>(p) << 32 | i)) {
+          ++i;
+        } else {
+          std::this_thread::yield();
+        }
+      }
+    });
+  }
+  std::vector<uint64_t> next_expected(kProducers, 0);
+  uint64_t received = 0;
+  while (received < kProducers * kPerProducer) {
+    std::this_thread::yield();
+    for (int p = 0; p < kProducers; ++p) {
+      uint64_t value = 0;
+      while (rings[p]->TryPop(&value)) {
+        ASSERT_EQ(value >> 32, static_cast<uint64_t>(p));
+        ASSERT_EQ(value & 0xffffffffu, next_expected[p]);
+        ++next_expected[p];
+        ++received;
+      }
+    }
+  }
+  for (auto& t : producers) t.join();
+  for (const auto& ring : rings) EXPECT_TRUE(ring->EmptyApprox());
+}
+
+// Producer stops mid-stream; the consumer must still be able to drain every
+// tuple published before the stop (the runtime's shutdown path relies on
+// rings draining after spouts exhaust).
+TEST(SpscRingTest, ConsumerDrainsAfterProducerStops) {
+  SpscRing<int> ring(64);
+  std::thread producer([&] {
+    for (int i = 0; i < 40; ++i) {
+      while (!ring.TryPush(i)) {
+      }
+    }
+  });
+  producer.join();
+  int out = 0;
+  for (int i = 0; i < 40; ++i) {
+    ASSERT_TRUE(ring.TryPop(&out));
+    EXPECT_EQ(out, i);
+  }
+  EXPECT_FALSE(ring.TryPop(&out));
+}
+
+// ---------------------------------------------------------------------------
+// ExecuteTopologyThreaded
+
+class ZipfSpout final : public Spout {
+ public:
+  ZipfSpout(double z, uint64_t keys, uint64_t count, uint64_t seed)
+      : zipf_(z, keys), remaining_(count), rng_(seed) {}
+
+  bool NextTuple(TopologyTuple* out) override {
+    if (remaining_ == 0) return false;
+    --remaining_;
+    out->key = zipf_.Sample(&rng_);
+    out->value = 1;
+    return true;
+  }
+
+ private:
+  ZipfDistribution zipf_;
+  uint64_t remaining_;
+  Rng rng_;
+};
+
+class CountBolt final : public Bolt {
+ public:
+  void Execute(const TopologyTuple& tuple, OutputCollector*) override {
+    total_ += tuple.value;
+  }
+  size_t StateEntries() const override { return 1; }
+
+ private:
+  uint64_t total_ = 0;
+};
+
+class FanoutBolt final : public Bolt {
+ public:
+  explicit FanoutBolt(int fanout) : fanout_(fanout) {}
+  void Execute(const TopologyTuple& tuple, OutputCollector* out) override {
+    for (int i = 0; i < fanout_; ++i) {
+      out->Emit(TopologyTuple{tuple.key * 10 + static_cast<uint64_t>(i), 1});
+    }
+  }
+
+ private:
+  int fanout_;
+};
+
+class ThrowingBolt final : public Bolt {
+ public:
+  void Execute(const TopologyTuple&, OutputCollector*) override {
+    if (++seen_ == 100) throw std::runtime_error("bolt exploded");
+  }
+
+ private:
+  uint64_t seen_ = 0;
+};
+
+TopologyBuilder::Topology PkgWordCount(uint64_t messages_per_spout) {
+  TopologyBuilder builder;
+  builder.AddSpout("words", [messages_per_spout](uint32_t task) {
+    return std::make_unique<ZipfSpout>(1.2, 1000, messages_per_spout,
+                                       1000 + task);
+  }, 4);
+  builder.AddBolt("count", [](uint32_t) { return std::make_unique<CountBolt>(); },
+                  8)
+      .Input("words", Grouping::Pkg());
+  return builder.Build();
+}
+
+TEST(RuntimeTest, ProcessesEveryTupleSingleThread) {
+  TopologyOptions options;
+  options.max_pending_per_spout = 16;
+  TopologyRuntimeOptions rt;
+  rt.num_threads = 1;
+  auto result = ExecuteTopologyThreaded(PkgWordCount(5000), options, rt);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const TopologyStats& stats = result.value();
+  EXPECT_EQ(stats.roots_acked, 4u * 5000u);
+  EXPECT_EQ(stats.tuples_processed, 2u * 4u * 5000u);  // spout emit + bolt
+  EXPECT_GT(stats.throughput_per_s, 0.0);
+  EXPECT_GT(stats.makespan_s, 0.0);
+  ASSERT_EQ(stats.components.size(), 2u);
+  EXPECT_EQ(stats.components[0].tuples_processed, 4u * 5000u);
+  EXPECT_EQ(stats.components[1].tuples_processed, 4u * 5000u);
+}
+
+TEST(RuntimeTest, ProcessesEveryTupleManyThreads) {
+  TopologyOptions options;
+  options.max_pending_per_spout = 64;
+  TopologyRuntimeOptions rt;
+  rt.num_threads = 8;
+  auto result = ExecuteTopologyThreaded(PkgWordCount(20000), options, rt);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result.value().roots_acked, 4u * 20000u);
+  EXPECT_EQ(result.value().latency_p50_ms,
+            result.value().latency_p50_ms);  // not NaN
+  EXPECT_GE(result.value().latency_p99_ms, result.value().latency_p50_ms);
+}
+
+// Tiny rings + tiny credit window: progress must still be made (the
+// cooperative scheduler may never block a thread on a full ring).
+TEST(RuntimeTest, SurvivesSevereBackpressure) {
+  TopologyOptions options;
+  options.max_pending_per_spout = 1;
+  TopologyRuntimeOptions rt;
+  rt.num_threads = 2;
+  rt.queue_capacity = 2;
+  rt.batch_size = 1;
+  auto result = ExecuteTopologyThreaded(PkgWordCount(2000), options, rt);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result.value().roots_acked, 4u * 2000u);
+}
+
+TEST(RuntimeTest, MultiLayerTupleTreesFullyAck) {
+  TopologyBuilder builder;
+  builder.AddSpout("src", [](uint32_t task) {
+    return std::make_unique<ZipfSpout>(1.1, 500, 3000, 7 + task);
+  }, 2);
+  builder.AddBolt("fan", [](uint32_t) { return std::make_unique<FanoutBolt>(3); },
+                  4)
+      .Input("src", Grouping::Shuffle());
+  builder.AddBolt("count",
+                  [](uint32_t) { return std::make_unique<CountBolt>(); }, 6)
+      .Input("fan", Grouping::Key());
+  TopologyOptions options;
+  options.max_pending_per_spout = 32;
+  TopologyRuntimeOptions rt;
+  rt.num_threads = 4;
+  auto result = ExecuteTopologyThreaded(builder.Build(), options, rt);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const TopologyStats& stats = result.value();
+  EXPECT_EQ(stats.roots_acked, 2u * 3000u);
+  // spout roots + fanout bolt inputs + 3x fanned-out counts.
+  EXPECT_EQ(stats.tuples_processed, 2u * 3000u * (1 + 1 + 3));
+  EXPECT_EQ(stats.components[2].tuples_processed, 2u * 3000u * 3u);
+}
+
+TEST(RuntimeTest, BoltExceptionSurfacesAsStatus) {
+  TopologyBuilder builder;
+  builder.AddSpout("src", [](uint32_t) {
+    return std::make_unique<ZipfSpout>(1.0, 100, 10000, 3);
+  }, 1);
+  builder.AddBolt("boom",
+                  [](uint32_t) { return std::make_unique<ThrowingBolt>(); }, 2)
+      .Input("src", Grouping::Shuffle());
+  TopologyOptions options;
+  options.max_pending_per_spout = 8;
+  TopologyRuntimeOptions rt;
+  rt.num_threads = 2;
+  auto result = ExecuteTopologyThreaded(builder.Build(), options, rt);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().ToString().find("bolt exploded"), std::string::npos);
+}
+
+TEST(RuntimeTest, RejectsInvalidOptions) {
+  TopologyOptions options;
+  options.max_pending_per_spout = 0;
+  EXPECT_FALSE(ExecuteTopologyThreaded(PkgWordCount(10), options, {}).ok());
+
+  options.max_pending_per_spout = 4;
+  TopologyRuntimeOptions rt;
+  rt.queue_capacity = 1;
+  EXPECT_FALSE(ExecuteTopologyThreaded(PkgWordCount(10), options, rt).ok());
+  rt.queue_capacity = 64;
+  rt.batch_size = 0;
+  EXPECT_FALSE(ExecuteTopologyThreaded(PkgWordCount(10), options, rt).ok());
+}
+
+TEST(RuntimeTest, MaxTuplesBudgetAborts) {
+  TopologyOptions options;
+  options.max_pending_per_spout = 8;
+  options.max_tuples = 100;
+  auto result = ExecuteTopologyThreaded(PkgWordCount(5000), options, {});
+  EXPECT_FALSE(result.ok());
+}
+
+// The determinism contract: routing state is sender-local, so per-component
+// tuple counts, load vectors, and imbalance must be byte-identical between
+// the discrete-event engine and the threaded runtime at any thread count.
+TEST(RuntimeTest, RoutingMatchesSimulatorExactly) {
+  TopologyOptions options;
+  options.hash_seed = 99;
+  options.seed = 5;
+  options.max_pending_per_spout = 40;
+
+  auto sim = ExecuteTopology(PkgWordCount(10000), options);
+  ASSERT_TRUE(sim.ok()) << sim.status().ToString();
+
+  for (uint32_t threads : {1u, 4u}) {
+    TopologyRuntimeOptions rt;
+    rt.num_threads = threads;
+    auto threaded = ExecuteTopologyThreaded(PkgWordCount(10000), options, rt);
+    ASSERT_TRUE(threaded.ok()) << threaded.status().ToString();
+    ASSERT_EQ(threaded.value().components.size(),
+              sim.value().components.size());
+    for (size_t c = 0; c < sim.value().components.size(); ++c) {
+      const ComponentStats& a = sim.value().components[c];
+      const ComponentStats& b = threaded.value().components[c];
+      EXPECT_EQ(a.name, b.name);
+      EXPECT_EQ(a.tuples_processed, b.tuples_processed);
+      ASSERT_EQ(a.task_loads.size(), b.task_loads.size());
+      for (size_t i = 0; i < a.task_loads.size(); ++i) {
+        EXPECT_DOUBLE_EQ(a.task_loads[i], b.task_loads[i])
+            << "component " << a.name << " task " << i << " @" << threads
+            << " threads";
+      }
+      EXPECT_DOUBLE_EQ(a.imbalance, b.imbalance);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace slb
