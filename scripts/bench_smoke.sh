@@ -141,6 +141,49 @@ else
   threaded_failures=1
 fi
 
+# Elastic-rescale guard: bench_elastic_rescale's derived "# rescale:" table
+# must be non-empty, and every scale-out row (the out+8 schedule) must report
+# a strictly positive keys_migrated count. Catches migration-accounting rot
+# (tracker never wired -> zeros everywhere) that the generic empty-table
+# check above cannot see. Columns are resolved by name from the table header
+# so reordering can't silently blind the guard.
+RESCALE_TSV="$OUT_DIR/bench_elastic_rescale.tsv"
+rescale_failures=0
+if [ -f "$RESCALE_TSV" ]; then
+  rescale_rows="$(sed -n '/^# rescale:/,$p' "$RESCALE_TSV" \
+                    | grep -v '^#' | grep -c '[^[:space:]]' || true)"
+  if [ "${rescale_rows:-0}" -eq 0 ]; then
+    echo "FAIL  bench_elastic_rescale: empty rescale table" >&2
+    rescale_failures=$((rescale_failures + 1))
+  else
+    bad_rescale="$(sed -n '/^# rescale:/,$p' "$RESCALE_TSV" | awk -F'\t' '
+      /^# scenario\t/ {
+        for (i = 1; i <= NF; i++) {
+          if ($i == "schedule") sched = i
+          if ($i == "keys_migrated") col = i
+        }
+        next
+      }
+      /^#/ || /^[[:space:]]*$/ { next }
+      {
+        if (!col || !sched) { print "no-keys_migrated-column"; exit }
+        if ($sched ~ /^out/ && $col + 0 <= 0) print $1 "/" $sched "/" $3 "=" $col
+      }')"
+    if [ -n "$bad_rescale" ]; then
+      echo "FAIL  bench_elastic_rescale: zero migrated keys in scale-out" \
+           "cells: $bad_rescale" >&2
+      rescale_failures=$((rescale_failures + 1))
+    else
+      echo "OK    bench_elastic_rescale rescale table" \
+           "(${rescale_rows} rows, scale-out cells all migrate keys)"
+    fi
+  fi
+else
+  echo "FAIL  bench_elastic_rescale: no result table at $RESCALE_TSV" \
+       "(binary missing from the build?)" >&2
+  rescale_failures=1
+fi
+
 echo "---"
 echo "$((count - failures))/$count bench binaries passed"
 if [ "$headroom_failures" -gt 0 ]; then
@@ -149,4 +192,7 @@ fi
 if [ "$threaded_failures" -gt 0 ]; then
   echo "threaded-engine perf guard FAILED ($threaded_failures problems)" >&2
 fi
-exit "$(((failures + headroom_failures + threaded_failures) > 0 ? 1 : 0))"
+if [ "$rescale_failures" -gt 0 ]; then
+  echo "elastic-rescale migration guard FAILED ($rescale_failures problems)" >&2
+fi
+exit "$(((failures + headroom_failures + threaded_failures + rescale_failures) > 0 ? 1 : 0))"

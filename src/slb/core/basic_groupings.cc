@@ -14,6 +14,14 @@ uint32_t KeyGrouping::Route(uint64_t key) {
   return family_.Worker(key, 0);
 }
 
+Status KeyGrouping::Rescale(uint32_t new_num_workers) {
+  if (new_num_workers < 1) {
+    return Status::InvalidArgument("rescale needs at least one worker");
+  }
+  family_ = HashFamily(1, new_num_workers, family_.seed());
+  return Status::OK();
+}
+
 ShuffleGrouping::ShuffleGrouping(const PartitionerOptions& options)
     : num_workers_(options.num_workers) {
   SLB_CHECK(num_workers_ >= 1);
@@ -26,13 +34,33 @@ uint32_t ShuffleGrouping::Route(uint64_t /*key*/) {
   return worker;
 }
 
+Status ShuffleGrouping::Rescale(uint32_t new_num_workers) {
+  if (new_num_workers < 1) {
+    return Status::InvalidArgument("rescale needs at least one worker");
+  }
+  num_workers_ = new_num_workers;
+  next_ %= num_workers_;
+  return Status::OK();
+}
+
 GreedyD::GreedyD(const PartitionerOptions& options, uint32_t d, std::string name)
     : family_(std::clamp(d, 1u, options.num_workers), options.num_workers,
               options.hash_seed),
+      requested_d_(d),
       d_(std::clamp(d, 1u, options.num_workers)),
       name_(std::move(name)),
       loads_(options.num_workers, 0) {
   SLB_CHECK(options.num_workers >= 1);
+}
+
+Status GreedyD::Rescale(uint32_t new_num_workers) {
+  if (new_num_workers < 1) {
+    return Status::InvalidArgument("rescale needs at least one worker");
+  }
+  d_ = std::clamp(requested_d_, 1u, new_num_workers);
+  family_ = HashFamily(d_, new_num_workers, family_.seed());
+  loads_.resize(new_num_workers, 0);
+  return Status::OK();
 }
 
 uint32_t GreedyD::Route(uint64_t key) {

@@ -23,6 +23,11 @@ class KeyGrouping final : public StreamPartitioner {
   std::string name() const override { return "KG"; }
   uint64_t messages_routed() const override { return messages_; }
 
+  /// Mod-range hashing rebinds EVERY key on rescale — the full-reshuffle
+  /// worst case the consistent-hash ring exists to avoid.
+  bool SupportsRescale() const override { return true; }
+  Status Rescale(uint32_t new_num_workers) override;
+
  private:
   HashFamily family_;
   uint64_t messages_ = 0;
@@ -38,6 +43,9 @@ class ShuffleGrouping final : public StreamPartitioner {
   uint32_t num_workers() const override { return num_workers_; }
   std::string name() const override { return "SG"; }
   uint64_t messages_routed() const override { return messages_; }
+
+  bool SupportsRescale() const override { return true; }
+  Status Rescale(uint32_t new_num_workers) override;
 
  private:
   uint32_t num_workers_;
@@ -60,8 +68,15 @@ class GreedyD final : public StreamPartitioner {
   uint64_t messages_routed() const override { return messages_; }
   uint32_t head_choices() const override { return d_; }
 
+  /// Rebuilds the hash family at the new n (both candidates of ~every key
+  /// change — mod-range hashing has no minimal-movement property) and keeps
+  /// surviving workers' local load estimates; new workers start at zero.
+  bool SupportsRescale() const override { return true; }
+  Status Rescale(uint32_t new_num_workers) override;
+
  private:
   HashFamily family_;
+  uint32_t requested_d_;  // caller's d before clamping to [1, n]
   uint32_t d_;
   std::string name_;
   std::vector<uint64_t> loads_;  // sender-local load estimate
@@ -81,6 +96,11 @@ class PartialKeyGrouping final : public StreamPartitioner {
   uint32_t num_workers() const override { return inner_.num_workers(); }
   std::string name() const override { return "PKG"; }
   uint64_t messages_routed() const override { return inner_.messages_routed(); }
+
+  bool SupportsRescale() const override { return true; }
+  Status Rescale(uint32_t new_num_workers) override {
+    return inner_.Rescale(new_num_workers);
+  }
 
  private:
   GreedyD inner_;

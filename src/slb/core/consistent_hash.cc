@@ -9,25 +9,43 @@ namespace slb {
 
 ConsistentHashRing::ConsistentHashRing(uint32_t num_workers,
                                        uint32_t virtual_nodes, uint64_t seed)
-    : num_workers_(0), virtual_nodes_(virtual_nodes), seed_(seed) {
+    : num_workers_(num_workers), virtual_nodes_(virtual_nodes), seed_(seed) {
   SLB_CHECK(num_workers >= 1);
   SLB_CHECK(virtual_nodes >= 1);
+  // Bulk construction: append every worker's points, then sort ONCE. Sorting
+  // inside a per-worker add loop would make the ctor O(W^2 * V * log) — at
+  // production vnode counts that dominated ring construction.
   ring_.reserve(static_cast<size_t>(num_workers) * virtual_nodes);
-  for (uint32_t w = 0; w < num_workers; ++w) AddWorker();
+  generation_.reserve(num_workers);
+  for (uint32_t w = 0; w < num_workers; ++w) {
+    generation_.push_back(next_generation_++);
+    InsertWorkerPoints(w);
+  }
+  std::sort(ring_.begin(), ring_.end());
 }
 
 void ConsistentHashRing::InsertWorkerPoints(uint32_t worker) {
+  // Positions are hashed from the worker's generation token; generations are
+  // never reused, so a worker added after a removal lands on fresh positions
+  // even though its dense id is recycled.
+  const uint64_t generation = generation_[worker];
+  SLB_CHECK(generation >> 32 == 0) << "generation tokens exhausted";
   for (uint32_t v = 0; v < virtual_nodes_; ++v) {
     const uint64_t position =
-        SeededHash64((static_cast<uint64_t>(worker) << 32) | v, seed_);
+        SeededHash64((generation << 32) | v, seed_);
     ring_.push_back(Point{position, worker});
   }
 }
 
 void ConsistentHashRing::AddWorker() {
+  generation_.push_back(next_generation_++);
   InsertWorkerPoints(num_workers_);
   ++num_workers_;
-  std::sort(ring_.begin(), ring_.end());
+  // Sort the appended tail, then merge — O(V log V + R) instead of the
+  // full-ring O(R log R) re-sort.
+  auto tail = ring_.end() - virtual_nodes_;
+  std::sort(tail, ring_.end());
+  std::inplace_merge(ring_.begin(), tail, ring_.end());
 }
 
 void ConsistentHashRing::RemoveWorker(uint32_t worker) {
@@ -35,7 +53,9 @@ void ConsistentHashRing::RemoveWorker(uint32_t worker) {
   SLB_CHECK(num_workers_ > 1) << "cannot remove the last worker";
   // Drop the worker's points; re-label the last worker id to keep ids dense
   // (the ring identifies workers by index, as the partitioner interface
-  // expects a contiguous [0, n)).
+  // expects a contiguous [0, n)). The relabeled worker keeps its generation
+  // token, so its point positions remain valid — and the removed worker's
+  // generation retires with it, never to be re-hashed.
   const uint32_t last = num_workers_ - 1;
   ring_.erase(std::remove_if(ring_.begin(), ring_.end(),
                              [worker](const Point& p) {
@@ -46,9 +66,12 @@ void ConsistentHashRing::RemoveWorker(uint32_t worker) {
     for (Point& p : ring_) {
       if (p.worker == last) p.worker = worker;
     }
+    generation_[worker] = generation_[last];
   }
+  generation_.pop_back();
   --num_workers_;
-  std::sort(ring_.begin(), ring_.end());
+  // Erase/relabel preserve position order, so no re-sort is needed:
+  // positions are distinct hashes of distinct (generation, vnode) inputs.
 }
 
 uint32_t ConsistentHashRing::Owner(uint64_t key) const {
@@ -61,8 +84,28 @@ uint32_t ConsistentHashRing::Owner(uint64_t key) const {
   return it->worker;
 }
 
+std::vector<std::pair<uint64_t, uint32_t>> ConsistentHashRing::Points() const {
+  std::vector<std::pair<uint64_t, uint32_t>> points;
+  points.reserve(ring_.size());
+  for (const Point& p : ring_) points.emplace_back(p.position, p.worker);
+  return points;
+}
+
 ConsistentHashGrouping::ConsistentHashGrouping(const PartitionerOptions& options,
                                                uint32_t virtual_nodes)
     : ring_(options.num_workers, virtual_nodes, options.hash_seed) {}
+
+Status ConsistentHashGrouping::Rescale(uint32_t new_num_workers) {
+  if (new_num_workers < 1) {
+    return Status::InvalidArgument("rescale needs at least one worker");
+  }
+  while (ring_.num_workers() < new_num_workers) ring_.AddWorker();
+  // Scale-in removes the highest ids (the sim-layer convention), which also
+  // avoids relabel churn: removing the last id never renames a survivor.
+  while (ring_.num_workers() > new_num_workers) {
+    ring_.RemoveWorker(ring_.num_workers() - 1);
+  }
+  return Status::OK();
+}
 
 }  // namespace slb

@@ -6,11 +6,21 @@
 // like KG (one owner per key — skew hits one worker in full), but worker
 // additions/removals move only ~1/n of the key space, which is the property
 // migration-based balancers build on. Included both as a baseline and as
-// the substrate a routing-table approach would need.
+// the substrate the elastic-rescale protocol (slb/sim/migration_tracker.h)
+// builds on.
+//
+// Point positions are hashed from a per-worker GENERATION token, not from
+// the dense worker id. Dense ids are reused — RemoveWorker relabels the last
+// worker into the freed id to keep ids contiguous — so hashing from the id
+// would make a later AddWorker reproduce the removed worker's exact point
+// positions, leaving duplicate ring points whose ownership depends on a
+// tie-break. Generations are handed out monotonically and retire with the
+// worker, so every insertion lands on fresh positions.
 
 #pragma once
 
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "slb/core/partitioner.h"
@@ -25,14 +35,22 @@ class ConsistentHashRing {
   /// Owner of `key`: the worker whose ring point follows hash(key).
   uint32_t Owner(uint64_t key) const;
 
-  /// Adds one worker (id = current worker count). O(v log R) rebuild.
+  /// Adds one worker (id = current worker count) on fresh ring positions.
   void AddWorker();
 
-  /// Removes the given worker; its ranges fall to clockwise successors.
+  /// Removes the given worker; its ranges fall to clockwise successors. The
+  /// last worker id is relabeled into the freed id (dense [0, n) ids), its
+  /// ring points — and generation token — traveling with the relabel.
   void RemoveWorker(uint32_t worker);
 
   uint32_t num_workers() const { return num_workers_; }
   size_t ring_size() const { return ring_.size(); }
+
+  /// The ring's (position, worker) points in ring order. Positions are
+  /// strictly increasing in a healthy ring — duplicate positions would make
+  /// ownership depend on the sort tie-break (the churn-corruption bug this
+  /// accessor exists to regression-test).
+  std::vector<std::pair<uint64_t, uint32_t>> Points() const;
 
  private:
   struct Point {
@@ -44,12 +62,15 @@ class ConsistentHashRing {
     }
   };
 
+  /// Appends (unsorted) the points for `worker`'s current generation token.
   void InsertWorkerPoints(uint32_t worker);
 
   uint32_t num_workers_;
   uint32_t virtual_nodes_;
   uint64_t seed_;
-  std::vector<Point> ring_;  // sorted by position
+  uint64_t next_generation_ = 0;
+  std::vector<uint64_t> generation_;  // per dense worker id
+  std::vector<Point> ring_;           // sorted by position
 };
 
 /// StreamPartitioner adapter so the ring plugs into simulators and benches.
@@ -66,6 +87,11 @@ class ConsistentHashGrouping final : public StreamPartitioner {
   uint32_t num_workers() const override { return ring_.num_workers(); }
   std::string name() const override { return "CH"; }
   uint64_t messages_routed() const override { return messages_; }
+
+  /// Minimal-movement rescale: workers are added on fresh ring positions /
+  /// removed highest-id-first, so only ~|delta|/n of the key space moves.
+  bool SupportsRescale() const override { return true; }
+  Status Rescale(uint32_t new_num_workers) override;
 
   const ConsistentHashRing& ring() const { return ring_; }
 

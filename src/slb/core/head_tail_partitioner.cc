@@ -69,6 +69,19 @@ HeadTailPartitioner::HeadTailPartitioner(const PartitionerOptions& options)
   SLB_CHECK(sketch_ != nullptr);
 }
 
+Status HeadTailPartitioner::Rescale(uint32_t new_num_workers) {
+  if (new_num_workers < 1) {
+    return Status::InvalidArgument("rescale needs at least one worker");
+  }
+  options_.num_workers = new_num_workers;
+  family_ = HashFamily(new_num_workers, new_num_workers, options_.hash_seed);
+  loads_.resize(new_num_workers, 0);
+  // Force Reoptimize() on the next Route(): derived head policy (D-Choices'
+  // d, the theta threshold's 1/n factor) must see the new n before routing.
+  next_reoptimize_ = messages_;
+  return Status::OK();
+}
+
 uint32_t HeadTailPartitioner::LeastLoadedOfChoices(uint64_t key, uint32_t d) const {
   // The family holds one function per worker, so the two-choices tail step
   // must degrade to one choice when n == 1 (d > n never helps anyway: the

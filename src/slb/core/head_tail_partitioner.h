@@ -29,6 +29,14 @@ class HeadTailPartitioner : public StreamPartitioner {
   uint64_t messages_routed() const final { return messages_; }
   bool last_was_head() const final { return last_was_head_; }
 
+  /// Rebuilds the hash family at the new n and keeps the sketch — head
+  /// frequency estimates survive the rescale (the head doesn't change just
+  /// because the worker set did). Surviving workers keep their local load
+  /// estimates; a re-optimize is forced before the next message so derived
+  /// head policy (e.g. D-Choices' d) reflects the new n immediately.
+  bool SupportsRescale() const override { return true; }
+  Status Rescale(uint32_t new_num_workers) override;
+
   const FrequencyEstimator& sketch() const { return *sketch_; }
   const PartitionerOptions& options() const { return options_; }
 
@@ -89,6 +97,9 @@ class RoundRobinHead final : public HeadTailPartitioner {
 
  protected:
   uint32_t RouteHead(uint64_t /*key*/) override {
+    // A scale-in can leave the cursor past the new worker set; wrap before
+    // use, not just after advancing.
+    if (next_ >= num_workers()) next_ = 0;
     const uint32_t worker = next_;
     next_ = (next_ + 1) % num_workers();
     return worker;
@@ -108,6 +119,12 @@ class FixedDChoices final : public HeadTailPartitioner {
 
   std::string name() const override { return "Fixed-D"; }
   uint32_t head_choices() const override { return d_; }
+
+  Status Rescale(uint32_t new_num_workers) override {
+    Status status = HeadTailPartitioner::Rescale(new_num_workers);
+    if (status.ok()) d_ = std::min(options().fixed_d, new_num_workers);
+    return status;
+  }
 
  protected:
   uint32_t RouteHead(uint64_t key) override {

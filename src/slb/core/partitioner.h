@@ -29,6 +29,7 @@ enum class AlgorithmKind {
   kRoundRobinHead,  // RR : head keys round-robin, tail PKG (baseline)
   kFixedDChoices,   // head keys get a caller-fixed d (used by Fig. 9 search)
   kGreedyD,         // every key gets d choices (power-of-d ablation)
+  kConsistentHash,  // CH : ring with virtual nodes; minimal-movement rescale
 };
 
 /// Every AlgorithmKind, for tests/benches that iterate all algorithms.
@@ -39,9 +40,11 @@ inline constexpr AlgorithmKind kAllAlgorithmKinds[] = {
     AlgorithmKind::kPkg,            AlgorithmKind::kDChoices,
     AlgorithmKind::kWChoices,       AlgorithmKind::kRoundRobinHead,
     AlgorithmKind::kFixedDChoices,  AlgorithmKind::kGreedyD,
+    AlgorithmKind::kConsistentHash,
 };
 
-/// Parses "kg", "sg", "pkg", "dc"/"d-c", "wc"/"w-c", "rr" (case-insensitive).
+/// Parses "kg", "sg", "pkg", "dc"/"d-c", "wc"/"w-c", "rr", "ch"
+/// (case-insensitive).
 Result<AlgorithmKind> ParseAlgorithmKind(const std::string& text);
 std::string AlgorithmKindName(AlgorithmKind kind);
 
@@ -121,6 +124,24 @@ class StreamPartitioner {
 
   /// Messages this sender has routed.
   virtual uint64_t messages_routed() const = 0;
+
+  /// Elastic rescaling (ROADMAP item 1) --------------------------------------
+
+  /// True when this partitioner can re-target to a different worker count
+  /// mid-stream via Rescale().
+  virtual bool SupportsRescale() const { return false; }
+
+  /// Re-targets the partitioner to `new_num_workers` downstream workers
+  /// (dense ids [0, new_num_workers)); scale-in drops the highest ids. All
+  /// senders of one stream must rescale at the same stream position — they
+  /// share hash seeds, so the post-rescale candidate sets stay identical
+  /// across senders. After a successful rescale every Route() result is in
+  /// [0, new_num_workers). State migration is the *receiver's* problem; the
+  /// sim layer accounts for it (slb/sim/migration_tracker.h).
+  virtual Status Rescale(uint32_t new_num_workers) {
+    (void)new_num_workers;
+    return Status::Unimplemented(name() + " does not support rescaling");
+  }
 
   /// Diagnostics for the evaluation harness -------------------------------
 

@@ -2,6 +2,7 @@
 #include <cctype>
 
 #include "slb/core/basic_groupings.h"
+#include "slb/core/consistent_hash.h"
 #include "slb/core/d_choices.h"
 #include "slb/core/head_tail_partitioner.h"
 #include "slb/core/partitioner.h"
@@ -40,6 +41,9 @@ Result<AlgorithmKind> ParseAlgorithmKind(const std::string& text) {
     return AlgorithmKind::kFixedDChoices;
   }
   if (t == "greedyd" || t == "greedy-d") return AlgorithmKind::kGreedyD;
+  if (t == "ch" || t == "consistent" || t == "consistent-hash") {
+    return AlgorithmKind::kConsistentHash;
+  }
   return Status::InvalidArgument("unknown algorithm: " + text);
 }
 
@@ -61,6 +65,8 @@ std::string AlgorithmKindName(AlgorithmKind kind) {
       return "Fixed-D";
     case AlgorithmKind::kGreedyD:
       return "Greedy-D";
+    case AlgorithmKind::kConsistentHash:
+      return "CH";
   }
   return "?";
 }
@@ -91,6 +97,9 @@ Result<std::unique_ptr<StreamPartitioner>> CreatePartitioner(
     case AlgorithmKind::kGreedyD:
       return std::unique_ptr<StreamPartitioner>(
           new GreedyD(options, options.fixed_d, "Greedy-D"));
+    case AlgorithmKind::kConsistentHash:
+      return std::unique_ptr<StreamPartitioner>(
+          new ConsistentHashGrouping(options));
   }
   return Status::InvalidArgument("unhandled algorithm kind");
 }

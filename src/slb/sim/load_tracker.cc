@@ -22,8 +22,23 @@ void LoadTracker::Record(uint32_t worker, uint64_t key, bool is_head) {
     ++head_messages_;
   }
   if (track_memory_) {
-    key_worker_pairs_.insert(key * counts_.size() + worker);
+    // The pair encoding must not depend on the current worker count — under
+    // elastic rescale `counts_.size()` changes mid-stream, and a count-
+    // dependent encoding (key * n + worker) would alias pairs recorded at
+    // different worker counts.
+    SLB_CHECK(worker < (1u << 16)) << "memory tracking supports < 65536 workers";
+    key_worker_pairs_.insert((key << 16) | worker);
   }
+}
+
+void LoadTracker::Rescale(uint32_t new_num_workers) {
+  SLB_CHECK(new_num_workers >= 1);
+  for (size_t w = new_num_workers; w < counts_.size(); ++w) {
+    total_ -= counts_[w];
+    head_messages_ -= head_counts_[w];
+  }
+  counts_.resize(new_num_workers, 0);
+  head_counts_.resize(new_num_workers, 0);
 }
 
 double LoadTracker::Imbalance() const {

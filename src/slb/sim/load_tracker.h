@@ -26,6 +26,13 @@ class LoadTracker {
   /// classification of the key (for the head/tail breakdown).
   void Record(uint32_t worker, uint64_t key, bool is_head);
 
+  /// Re-targets the tracker to a new worker count (elastic rescale). Added
+  /// workers start at zero load. Removed workers' counts leave the totals —
+  /// the tracker reports the load carried by the *current* worker set, so
+  /// post-rescale imbalance compares like-for-like. Memory entries persist
+  /// (distinct (key,worker) state replicas were created regardless).
+  void Rescale(uint32_t new_num_workers);
+
   uint32_t num_workers() const { return static_cast<uint32_t>(counts_.size()); }
   uint64_t total() const { return total_; }
 
@@ -55,7 +62,7 @@ class LoadTracker {
   uint64_t total_ = 0;
   uint64_t head_messages_ = 0;
   bool track_memory_;
-  std::unordered_set<uint64_t> key_worker_pairs_;  // key * n + worker
+  std::unordered_set<uint64_t> key_worker_pairs_;  // (key << 16) | worker
 };
 
 }  // namespace slb

@@ -1,0 +1,88 @@
+#include "slb/sim/migration_tracker.h"
+
+#include <algorithm>
+
+#include "slb/common/logging.h"
+
+namespace slb {
+
+MigrationTracker::MigrationTracker(const RescaleCostModel& cost) : cost_(cost) {
+  SLB_CHECK(cost_.migration_keys_per_message >= 1);
+}
+
+uint64_t MigrationTracker::EnqueueHandoff(uint64_t seq) {
+  // The channel transfers `rate` keys per message, so slot s completes by
+  // message ceil((s + 1) / rate). A handoff enqueued at message `seq` cannot
+  // start before slot seq * rate (the channel capacity up to that point is
+  // already spent), and queued handoffs occupy consecutive slots.
+  const uint64_t rate = cost_.migration_keys_per_message;
+  const uint64_t slot = std::max(next_free_slot_, seq * rate);
+  next_free_slot_ = slot + 1;
+  state_bytes_migrated_ += cost_.state_bytes_per_key;
+  ++keys_migrated_;
+  return (slot + rate) / rate;  // == ceil((slot + 1) / rate)
+}
+
+void MigrationTracker::OnMessage(uint64_t seq, uint64_t key, uint32_t worker) {
+  KeyState& state = keys_[key];
+  if (seq < state.available_at) ++stalled_messages_;
+
+  if (state.checked_epoch < epoch_ && !state.replicas.empty()) {
+    // First routing of a pre-existing key since the last scale-out: the lazy
+    // placement recheck. If its new home lacks the state, pull it over.
+    state.checked_epoch = epoch_;
+    ++keys_checked_;
+    const bool has_state =
+        std::find(state.replicas.begin(), state.replicas.end(), worker) !=
+        state.replicas.end();
+    if (!has_state) {
+      state.available_at = std::max(state.available_at, EnqueueHandoff(seq));
+    }
+  } else {
+    state.checked_epoch = epoch_;
+  }
+
+  if (std::find(state.replicas.begin(), state.replicas.end(), worker) ==
+      state.replicas.end()) {
+    state.replicas.push_back(worker);
+  }
+}
+
+void MigrationTracker::OnRescale(uint64_t seq, uint32_t old_num_workers,
+                                 uint32_t new_num_workers) {
+  ++rescale_events_;
+  if (new_num_workers < old_num_workers) {
+    // Eager scale-in: every key with state on a removed worker (dense ids
+    // >= new_n) hands off now. Keys are processed in sorted order so the
+    // FIFO completion sequence — and hence the stall counts — do not depend
+    // on unordered_map iteration order.
+    std::vector<uint64_t> affected;
+    for (auto& [key, state] : keys_) {
+      if (state.replicas.empty()) continue;
+      ++keys_checked_;
+      const bool on_removed =
+          std::any_of(state.replicas.begin(), state.replicas.end(),
+                      [new_num_workers](uint32_t w) {
+                        return w >= new_num_workers;
+                      });
+      if (on_removed) affected.push_back(key);
+    }
+    std::sort(affected.begin(), affected.end());
+    for (uint64_t key : affected) {
+      KeyState& state = keys_[key];
+      state.replicas.erase(
+          std::remove_if(state.replicas.begin(), state.replicas.end(),
+                         [new_num_workers](uint32_t w) {
+                           return w >= new_num_workers;
+                         }),
+          state.replicas.end());
+      state.available_at = std::max(state.available_at, EnqueueHandoff(seq));
+    }
+  } else if (new_num_workers > old_num_workers) {
+    // Lazy scale-out: open a recheck epoch; OnMessage migrates on first
+    // contact with each pre-existing key.
+    ++epoch_;
+  }
+}
+
+}  // namespace slb

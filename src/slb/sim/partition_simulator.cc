@@ -1,10 +1,38 @@
 #include "slb/sim/partition_simulator.h"
 
 #include <algorithm>
+#include <optional>
 
 #include "slb/common/logging.h"
 
 namespace slb {
+
+namespace {
+
+Status ValidateSchedule(const RescaleSchedule& schedule) {
+  double prev_fraction = 0.0;
+  for (const RescaleEvent& event : schedule.events) {
+    if (event.at_fraction <= 0.0 || event.at_fraction >= 1.0) {
+      return Status::InvalidArgument(
+          "rescale event fraction must be in (0, 1)");
+    }
+    if (event.at_fraction <= prev_fraction) {
+      return Status::InvalidArgument(
+          "rescale events must have strictly increasing fractions");
+    }
+    if (event.num_workers < 1) {
+      return Status::InvalidArgument("rescale target must be >= 1 workers");
+    }
+    prev_fraction = event.at_fraction;
+  }
+  if (schedule.cost.migration_keys_per_message < 1) {
+    return Status::InvalidArgument(
+        "migration_keys_per_message must be >= 1");
+  }
+  return Status::OK();
+}
+
+}  // namespace
 
 Result<PartitionSimResult> RunPartitionSimulation(const PartitionSimConfig& config,
                                                   StreamGenerator* stream) {
@@ -13,6 +41,9 @@ Result<PartitionSimResult> RunPartitionSimulation(const PartitionSimConfig& conf
   }
   if (config.num_sources < 1) {
     return Status::InvalidArgument("need at least one source");
+  }
+  if (Status status = ValidateSchedule(config.rescale); !status.ok()) {
+    return status;
   }
 
   // One sender-local partitioner per source, identical configuration
@@ -25,15 +56,53 @@ Result<PartitionSimResult> RunPartitionSimulation(const PartitionSimConfig& conf
     senders.push_back(std::move(sender.value()));
   }
 
+  if (!config.rescale.empty() && !senders.front()->SupportsRescale()) {
+    return Status::InvalidArgument(senders.front()->name() +
+                                   " does not support rescaling");
+  }
+
   stream->Reset();
   const uint64_t m = stream->num_messages();
   LoadTracker tracker(config.partitioner.num_workers, config.track_memory);
+
+  // Rescale events, converted from stream fractions to message positions.
+  // The migration tracker exists only for elastic runs — it keeps per-key
+  // replica state, which static sweeps should not pay for.
+  struct PendingEvent {
+    uint64_t at_message;
+    uint32_t num_workers;
+  };
+  std::vector<PendingEvent> events;
+  for (const RescaleEvent& event : config.rescale.events) {
+    events.push_back(PendingEvent{
+        static_cast<uint64_t>(event.at_fraction * static_cast<double>(m)),
+        event.num_workers});
+  }
+  std::optional<MigrationTracker> migration;
+  if (!events.empty()) migration.emplace(config.rescale.cost);
+  size_t next_event = 0;
 
   PartitionSimResult result;
   const uint32_t samples = std::max<uint32_t>(1, config.num_samples);
   const uint64_t sample_every = std::max<uint64_t>(1, m / samples);
 
   for (uint64_t i = 0; i < m; ++i) {
+    while (next_event < events.size() && i >= events[next_event].at_message) {
+      const uint32_t target = events[next_event].num_workers;
+      const uint32_t before = senders.front()->num_workers();
+      if (target != before) {
+        // All senders rescale in lockstep at the same stream position.
+        for (auto& sender : senders) {
+          if (Status status = sender->Rescale(target); !status.ok()) {
+            return status;
+          }
+        }
+        migration->OnRescale(i, before, target);
+        tracker.Rescale(target);
+      }
+      ++next_event;
+    }
+
     const uint64_t key = stream->NextKey();
     // The input stream reaches the sources via shuffle grouping (Sec. V-A):
     // round-robin across sources.
@@ -43,6 +112,7 @@ Result<PartitionSimResult> RunPartitionSimulation(const PartitionSimConfig& conf
                              ? key < config.oracle_head_size
                              : sender.last_was_head();
     tracker.Record(worker, key, is_head);
+    if (migration) migration->OnMessage(i, key, worker);
 
     if ((i + 1) % sample_every == 0 || i + 1 == m) {
       result.imbalance_series.push_back(tracker.Imbalance());
@@ -69,6 +139,14 @@ Result<PartitionSimResult> RunPartitionSimulation(const PartitionSimConfig& conf
   result.reoptimizations = senders.front()->reoptimize_count();
   result.head_messages = tracker.head_messages();
   result.total_messages = tracker.total();
+  result.final_num_workers = senders.front()->num_workers();
+  if (migration) {
+    result.rescale_events = migration->rescale_events();
+    result.keys_migrated = migration->keys_migrated();
+    result.state_bytes_migrated = migration->state_bytes_migrated();
+    result.stalled_messages = migration->stalled_messages();
+    result.moved_key_fraction = migration->moved_key_fraction();
+  }
   return result;
 }
 

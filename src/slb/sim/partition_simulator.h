@@ -14,6 +14,7 @@
 #include "slb/common/status.h"
 #include "slb/core/partitioner.h"
 #include "slb/sim/load_tracker.h"
+#include "slb/sim/migration_tracker.h"
 #include "slb/workload/stream_generator.h"
 
 namespace slb {
@@ -37,6 +38,14 @@ struct PartitionSimConfig {
   /// keys equal ranks in the non-drifting ZF streams, so the oracle test is
   /// rank < |H|).
   uint64_t oracle_head_size = 0;
+
+  /// Elastic rescale schedule (ROADMAP item 1). When non-empty, every sender
+  /// is rescaled in lockstep at each event's stream position (all senders
+  /// share hash seeds, so their post-rescale candidate sets stay identical)
+  /// and key-state migration costs are tracked. Events must have strictly
+  /// increasing at_fraction in (0, 1) and target >= 1 workers; the algorithm
+  /// must support rescaling. partitioner.num_workers is the INITIAL count.
+  RescaleSchedule rescale;
 };
 
 struct PartitionSimResult {
@@ -67,6 +76,18 @@ struct PartitionSimResult {
 
   uint64_t head_messages = 0;
   uint64_t total_messages = 0;
+
+  /// Elastic rescale outcome. final_num_workers is always set (it equals the
+  /// configured count when no rescale ran); the migration counters are zeros
+  /// when config.rescale was empty. worker_loads and the imbalance series
+  /// reflect the worker set current at each point — final arrays have
+  /// final_num_workers entries.
+  uint32_t final_num_workers = 0;
+  uint32_t rescale_events = 0;
+  uint64_t keys_migrated = 0;
+  uint64_t state_bytes_migrated = 0;
+  uint64_t stalled_messages = 0;
+  double moved_key_fraction = 0.0;
 };
 
 /// Runs the full stream through `config.num_sources` independent senders.

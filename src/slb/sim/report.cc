@@ -87,6 +87,10 @@ constexpr const char* kLatencyColumns[] = {
 constexpr const char* kThroughputColumns[] = {"throughput_per_s", "makespan_s",
                                               "completed"};
 
+constexpr const char* kMigrationColumns[] = {
+    "final_workers",  "rescale_events",   "keys_migrated",
+    "state_bytes_migrated", "stalled_messages", "moved_key_fraction"};
+
 // Which payload columns this table renders. Derived by scanning the cells
 // in stable row order, so it is a pure function of the table — identical
 // across thread counts, and identical for every row (cells missing a
@@ -95,6 +99,7 @@ struct PayloadColumns {
   bool memory = false;
   bool latency = false;
   bool throughput = false;
+  bool migration = false;
   /// Union of metric names in first-seen (cell-order, then payload-order)
   /// appearance; `integral` is taken from the first definition.
   std::vector<PayloadMetric> metrics;
@@ -106,6 +111,7 @@ PayloadColumns ScanPayloadColumns(const SweepResultTable& table) {
     if (cell.payload.memory.has_value()) columns.memory = true;
     if (cell.payload.latency.has_value()) columns.latency = true;
     if (cell.payload.throughput.has_value()) columns.throughput = true;
+    if (cell.payload.migration.has_value()) columns.migration = true;
     for (const PayloadMetric& metric : cell.payload.metrics) {
       if (FindMetric(columns.metrics, metric.name) == nullptr) {
         columns.metrics.push_back(PayloadMetric{metric.name, 0.0, metric.integral});
@@ -131,6 +137,9 @@ void AppendHeader(std::string* out, const PayloadColumns& columns, char sep) {
   }
   if (columns.throughput) {
     for (const char* text : kThroughputColumns) name(text);
+  }
+  if (columns.migration) {
+    for (const char* text : kMigrationColumns) name(text);
   }
   for (const PayloadMetric& metric : columns.metrics) name(metric.name.c_str());
   *out += '\n';
@@ -181,6 +190,16 @@ void AppendRow(std::string* out, const SweepCellResult& cell,
     field(Num(thr.throughput_per_s));
     field(Num(thr.makespan_s));
     field(Count(thr.completed));
+  }
+  if (columns.migration) {
+    const MigrationCounters mig =
+        payload.migration.value_or(MigrationCounters{});
+    field(Count(mig.final_num_workers));
+    field(Count(mig.rescale_events));
+    field(Count(mig.keys_migrated));
+    field(Count(mig.state_bytes_migrated));
+    field(Count(mig.stalled_messages));
+    field(Num(mig.moved_key_fraction));
   }
   for (const PayloadMetric& column : columns.metrics) {
     const PayloadMetric* metric = FindMetric(payload.metrics, column.name);
@@ -259,6 +278,16 @@ std::string SweepToJson(const SweepResultTable& table) {
       out += ",\"throughput\":{\"per_s\":" + Num(thr.throughput_per_s);
       out += ",\"makespan_s\":" + Num(thr.makespan_s);
       out += ",\"completed\":" + Count(thr.completed);
+      out += "}";
+    }
+    if (payload.migration.has_value()) {
+      const MigrationCounters& mig = *payload.migration;
+      out += ",\"migration\":{\"final_workers\":" + Count(mig.final_num_workers);
+      out += ",\"rescale_events\":" + Count(mig.rescale_events);
+      out += ",\"keys_migrated\":" + Count(mig.keys_migrated);
+      out += ",\"state_bytes_migrated\":" + Count(mig.state_bytes_migrated);
+      out += ",\"stalled_messages\":" + Count(mig.stalled_messages);
+      out += ",\"moved_key_fraction\":" + Num(mig.moved_key_fraction);
       out += "}";
     }
     if (!payload.metrics.empty()) {

@@ -119,6 +119,7 @@ PartitionSimConfig SweepCellContext::MakeSimConfig() const {
       scenario->num_samples > 0 ? scenario->num_samples : grid->num_samples;
   config.track_memory = grid->track_memory;
   config.oracle_head_size = grid->oracle_head_size;
+  config.rescale = variant->rescale.empty() ? grid->rescale : variant->rescale;
   return config;
 }
 
@@ -129,10 +130,21 @@ Result<std::unique_ptr<StreamGenerator>> SweepCellContext::MakeStream() const {
 Result<CellPayload> SweepCellContext::RunDefault() const {
   auto gen = MakeStream();
   if (!gen.ok()) return gen.status();
-  auto result = RunPartitionSimulation(MakeSimConfig(), gen->get());
+  const PartitionSimConfig config = MakeSimConfig();
+  auto result = RunPartitionSimulation(config, gen->get());
   if (!result.ok()) return result.status();
   CellPayload payload;
   payload.sim = std::move(result.value());
+  if (!config.rescale.empty()) {
+    MigrationCounters counters;
+    counters.final_num_workers = payload.sim.final_num_workers;
+    counters.rescale_events = payload.sim.rescale_events;
+    counters.keys_migrated = payload.sim.keys_migrated;
+    counters.state_bytes_migrated = payload.sim.state_bytes_migrated;
+    counters.stalled_messages = payload.sim.stalled_messages;
+    counters.moved_key_fraction = payload.sim.moved_key_fraction;
+    payload.migration = counters;
+  }
   return payload;
 }
 

@@ -70,6 +70,9 @@ struct SweepVariant {
   /// Source-count override for this variant (0 = grid default). Makes the
   /// deployment's source count sweepable (the sender-local-state ablation).
   uint32_t num_sources = 0;
+  /// Rescale-schedule override for this variant (empty = grid default).
+  /// Makes the elastic schedule itself a sweep axis (bench_elastic_rescale).
+  RescaleSchedule rescale;
 };
 
 // ---------------------------------------------------------------------------
@@ -108,6 +111,17 @@ struct ThroughputCounters {
   uint64_t completed = 0;
 };
 
+/// Key-state migration costs from an elastic (rescaling) cell run — the
+/// simulator's MigrationTracker counters (slb/sim/migration_tracker.h).
+struct MigrationCounters {
+  uint32_t final_num_workers = 0;
+  uint32_t rescale_events = 0;
+  uint64_t keys_migrated = 0;
+  uint64_t state_bytes_migrated = 0;
+  uint64_t stalled_messages = 0;
+  double moved_key_fraction = 0.0;
+};
+
 /// An extra named column attached by a custom cell runner. All cells of one
 /// grid should attach the same metric names; the report renders the union
 /// in first-seen cell order, filling absences with zero.
@@ -131,6 +145,7 @@ struct CellPayload {
   std::optional<MemoryModelTable> memory;
   std::optional<LatencySnapshot> latency;
   std::optional<ThroughputCounters> throughput;
+  std::optional<MigrationCounters> migration;
   std::vector<PayloadMetric> metrics;
 
   void AddMetric(std::string name, double value);
@@ -186,6 +201,10 @@ struct SweepGrid {
   /// the simulator classifies key < oracle_head_size as head traffic instead
   /// of trusting the partitioner's own (possibly head-oblivious) flag.
   uint64_t oracle_head_size = 0;
+
+  /// Elastic rescale schedule applied to every cell (variants may override).
+  /// Non-empty schedules make RunDefault() attach MigrationCounters.
+  RescaleSchedule rescale;
 
   /// Custom per-cell experiment; empty = SweepCellContext::RunDefault().
   SweepCellRunner runner;

@@ -323,6 +323,103 @@ void KeySpaceGrowthStreamGenerator::Reset() {
   rng_.Seed(options_.seed);
 }
 
+// --- scale-out-under-flash-crowd ------------------------------------------
+
+ScaleOutFlashCrowdStreamGenerator::ScaleOutFlashCrowdStreamGenerator(
+    const ScenarioOptions& options)
+    : options_(options),
+      zipf_(options.zipf_exponent, options.num_keys),
+      rng_(options.seed) {
+  SLB_CHECK(options_.num_keys >= 2);
+  SLB_CHECK(options_.num_messages >= 1);
+  SLB_CHECK(IsFraction(options_.burst_fraction));
+  SLB_CHECK(IsFraction(options_.burst_begin));
+  SLB_CHECK(options_.burst_group_size >= 1);
+  SLB_CHECK(options_.burst_group_size <= options_.num_keys);
+  burst_first_ = static_cast<uint64_t>(
+      options_.burst_begin * static_cast<double>(options_.num_messages));
+}
+
+double ScaleOutFlashCrowdStreamGenerator::BurstShare(uint64_t position) const {
+  if (position < burst_first_ || options_.num_messages <= burst_first_) {
+    return 0.0;
+  }
+  // Step to fraction/2 at ignition, then ramp linearly to the full fraction
+  // at stream end: the load grows and KEEPS growing (no receding edge).
+  const double progress = static_cast<double>(position - burst_first_) /
+                          static_cast<double>(options_.num_messages - burst_first_);
+  return options_.burst_fraction * 0.5 * (1.0 + progress);
+}
+
+uint64_t ScaleOutFlashCrowdStreamGenerator::NextKey() {
+  const double share = BurstShare(position_);
+  ++position_;
+  if (share > 0.0 && rng_.NextBool(share)) {
+    return group_start() + rng_.NextBounded(options_.burst_group_size);
+  }
+  return zipf_.Sample(&rng_);
+}
+
+void ScaleOutFlashCrowdStreamGenerator::Reset() {
+  position_ = 0;
+  rng_.Seed(options_.seed);
+}
+
+// --- scale-in-during-drift ------------------------------------------------
+
+ScaleInDriftStreamGenerator::ScaleInDriftStreamGenerator(
+    const ScenarioOptions& options)
+    : options_(options),
+      zipf_(options.zipf_exponent, options.num_keys),
+      rng_(options.seed) {
+  SLB_CHECK(options_.num_keys >= 2);
+  SLB_CHECK(options_.num_messages >= 1);
+  SLB_CHECK(options_.num_epochs >= 1);
+  SLB_CHECK(options_.shrink_final_fraction > 0.0);
+  SLB_CHECK(options_.shrink_final_fraction <= 1.0);
+  SLB_CHECK(IsFraction(options_.drift_swap_fraction));
+  epoch_length_ =
+      std::max<uint64_t>(1, options_.num_messages / options_.num_epochs);
+}
+
+uint64_t ScaleInDriftStreamGenerator::LiveKeys(uint64_t epoch) const {
+  const double progress =
+      options_.num_epochs <= 1
+          ? 1.0
+          : static_cast<double>(epoch) /
+                static_cast<double>(options_.num_epochs - 1);
+  const double fraction =
+      1.0 - (1.0 - options_.shrink_final_fraction) * progress;
+  return std::max<uint64_t>(
+      2, static_cast<uint64_t>(fraction *
+                               static_cast<double>(options_.num_keys)));
+}
+
+uint64_t ScaleInDriftStreamGenerator::NextKey() {
+  epoch_ = std::min(position_ / epoch_length_, options_.num_epochs - 1);
+  ++position_;
+  const uint64_t live = LiveKeys(epoch_);
+  // Zipf rank over the live prefix: reject draws past it (the mass sits at
+  // low ranks, so a handful of tries suffice), modulo as the O(1) fallback.
+  uint64_t rank = zipf_.Sample(&rng_);
+  for (int tries = 0; rank >= live && tries < 64; ++tries) {
+    rank = zipf_.Sample(&rng_);
+  }
+  if (rank >= live) rank %= live;
+  // Per-epoch head rotation: identities shift by a drift_swap_fraction slice
+  // of the live space each epoch, so the hot keys keep moving while the key
+  // space contracts.
+  const uint64_t rotation = static_cast<uint64_t>(
+      std::ceil(options_.drift_swap_fraction * static_cast<double>(live)));
+  return (rank + epoch_ * rotation) % live;
+}
+
+void ScaleInDriftStreamGenerator::Reset() {
+  position_ = 0;
+  epoch_ = 0;
+  rng_.Seed(options_.seed);
+}
+
 // --- replay-with-noise ----------------------------------------------------
 
 ReplayWithNoiseStreamGenerator::ReplayWithNoiseStreamGenerator(
@@ -375,7 +472,8 @@ std::vector<std::string> ScenarioNames() {
   return {"zipf",          "drift",           "flash-crowd",
           "hot-set-churn", "multi-tenant",    "single-key-ramp",
           "correlated-burst", "diurnal",      "key-space-growth",
-          "replay-with-noise"};
+          "replay-with-noise", "scale-out-under-flash-crowd",
+          "scale-in-during-drift"};
 }
 
 Result<std::unique_ptr<StreamGenerator>> MakeScenario(
@@ -484,6 +582,34 @@ Result<std::unique_ptr<StreamGenerator>> MakeScenario(
       return Status::InvalidArgument("growth_rate must be in [0,1)");
     }
     return {std::make_unique<KeySpaceGrowthStreamGenerator>(options)};
+  }
+  if (name == "scale-out-under-flash-crowd") {
+    if (!IsFraction(options.burst_fraction)) {
+      return Status::InvalidArgument("burst_fraction must be in [0,1]");
+    }
+    if (!IsFraction(options.burst_begin)) {
+      return Status::InvalidArgument("burst_begin must be in [0,1]");
+    }
+    if (options.burst_group_size < 1 ||
+        options.burst_group_size > options.num_keys) {
+      return Status::InvalidArgument(
+          "burst_group_size must be in [1, num_keys]");
+    }
+    return {std::make_unique<ScaleOutFlashCrowdStreamGenerator>(options)};
+  }
+  if (name == "scale-in-during-drift") {
+    if (options.num_epochs < 1) {
+      return Status::InvalidArgument(
+          "scale-in-during-drift needs num_epochs >= 1");
+    }
+    if (options.shrink_final_fraction <= 0.0 ||
+        options.shrink_final_fraction > 1.0) {
+      return Status::InvalidArgument("shrink_final_fraction must be in (0,1]");
+    }
+    if (!IsFraction(options.drift_swap_fraction)) {
+      return Status::InvalidArgument("drift_swap_fraction must be in [0,1]");
+    }
+    return {std::make_unique<ScaleInDriftStreamGenerator>(options)};
   }
   if (name == "replay-with-noise") {
     if (options.noise_rate < 0.0 || options.noise_rate > 1.0) {

@@ -20,6 +20,10 @@
 //   diurnal           sinusoidal intensity curves over tenant-like key bands
 //   key-space-growth  fresh keys keep arriving; the head is a moving target
 //   replay-with-noise wraps any base scenario with seeded key + order noise
+//   scale-out-under-flash-crowd  load grows past capacity mid-stream (the
+//                     workload that motivates an elastic scale-OUT event)
+//   scale-in-during-drift  the live key space shrinks while identities
+//                     drift (the workload that motivates a scale-IN event)
 //
 // Every generator must pass the catalog-wide property-test harness
 // (tests/workload/scenario_harness.h): golden-seed determinism, Reset
@@ -102,6 +106,10 @@ struct ScenarioOptions {
   /// Per-message probability that a fresh key joins the live set. Must be
   /// in [0, 1): a rate of 1 would make every message a fresh key.
   double growth_rate = 0.05;
+
+  // --- scale-in-during-drift -----------------------------------------------
+  /// Fraction of the key space still live in the final epoch, in (0, 1].
+  double shrink_final_fraction = 0.3;
 
   // --- replay-with-noise ---------------------------------------------------
   /// Catalog name of the base scenario being replayed (any name except
@@ -354,12 +362,79 @@ class ReplayWithNoiseStreamGenerator final : public StreamGenerator {
   uint64_t pulled_ = 0;  // keys drawn from base_ so far this pass
 };
 
+/// Scale-out companion workload: total hot traffic GROWS mid-stream and
+/// stays grown. The coldest `burst_group_size` keys ignite together at
+/// `burst_begin`, taking burst_fraction/2 of traffic instantly, then ramp
+/// linearly to the full `burst_fraction` by stream end. Unlike flash-crowd
+/// the load never recedes — the sustained growth is what justifies adding
+/// workers mid-stream, so this is the canonical stream for scale-out
+/// rescale schedules (bench_elastic_rescale pairs it with a worker-add
+/// event inside the ignition window).
+class ScaleOutFlashCrowdStreamGenerator final : public StreamGenerator {
+ public:
+  explicit ScaleOutFlashCrowdStreamGenerator(const ScenarioOptions& options);
+
+  uint64_t NextKey() override;
+  void Reset() override;
+  uint64_t num_messages() const override { return options_.num_messages; }
+  uint64_t num_keys() const override { return options_.num_keys; }
+  std::string name() const override { return "scale-out-under-flash-crowd"; }
+
+  /// First key of the igniting group (the group is [start, start + size)).
+  uint64_t group_start() const {
+    return options_.num_keys - options_.burst_group_size;
+  }
+  uint64_t group_size() const { return options_.burst_group_size; }
+  /// Group traffic share at message index `position`: 0 before ignition,
+  /// burst_fraction/2 at ignition, burst_fraction at stream end.
+  double BurstShare(uint64_t position) const;
+
+ private:
+  ScenarioOptions options_;
+  ZipfDistribution zipf_;
+  Rng rng_;
+  uint64_t position_ = 0;
+  uint64_t burst_first_;  // first message index with the group ignited
+};
+
+/// Scale-in companion workload: the live key space SHRINKS while identities
+/// drift. The live prefix contracts linearly from the full key space to
+/// `shrink_final_fraction` of it across `num_epochs` epochs, and each epoch
+/// rotates the Zipf head by ceil(drift_swap_fraction * live) identities —
+/// so the stream both needs fewer workers over time (the scale-in trigger)
+/// and keeps moving its hot keys (the hard case for migrating state off
+/// the workers being retired).
+class ScaleInDriftStreamGenerator final : public StreamGenerator {
+ public:
+  explicit ScaleInDriftStreamGenerator(const ScenarioOptions& options);
+
+  uint64_t NextKey() override;
+  void Reset() override;
+  uint64_t num_messages() const override { return options_.num_messages; }
+  uint64_t num_keys() const override { return options_.num_keys; }
+  std::string name() const override { return "scale-in-during-drift"; }
+
+  /// Keys live during `epoch`: linear from num_keys (epoch 0) down to
+  /// shrink_final_fraction * num_keys (last epoch), floored at 2.
+  uint64_t LiveKeys(uint64_t epoch) const;
+  uint64_t current_epoch() const { return epoch_; }
+
+ private:
+  ScenarioOptions options_;
+  ZipfDistribution zipf_;
+  Rng rng_;
+  uint64_t position_ = 0;
+  uint64_t epoch_ = 0;
+  uint64_t epoch_length_;
+};
+
 /// All catalog names accepted by MakeScenario, in stable order.
 std::vector<std::string> ScenarioNames();
 
 /// Builds a catalog scenario by name ("zipf", "drift", "flash-crowd",
 /// "hot-set-churn", "multi-tenant", "single-key-ramp", "correlated-burst",
-/// "diurnal", "key-space-growth", "replay-with-noise"). Returns
+/// "diurnal", "key-space-growth", "replay-with-noise",
+/// "scale-out-under-flash-crowd", "scale-in-during-drift"). Returns
 /// InvalidArgument for unknown names or out-of-range knobs.
 Result<std::unique_ptr<StreamGenerator>> MakeScenario(
     const std::string& name, const ScenarioOptions& options = {});

@@ -3,9 +3,11 @@
 #include <gtest/gtest.h>
 
 #include <map>
+#include <set>
 #include <vector>
 
 #include "slb/common/rng.h"
+#include "slb/hash/hash.h"
 #include "slb/workload/zipf.h"
 
 namespace slb {
@@ -16,6 +18,178 @@ PartitionerOptions Opts(uint32_t n) {
   opt.num_workers = n;
   opt.hash_seed = 5;
   return opt;
+}
+
+/// Brute-force ownership oracle: linear scan over the exported ring points
+/// for the first position >= hash(key), wrapping. Independent of the ring's
+/// binary search, so it catches sort-order corruption.
+uint32_t OracleOwner(const ConsistentHashRing& ring, uint64_t key,
+                     uint64_t seed) {
+  const uint64_t h = Murmur3Fmix64(key ^ seed);
+  const auto points = ring.Points();
+  const std::pair<uint64_t, uint32_t>* best = nullptr;
+  for (const auto& point : points) {
+    if (point.first >= h && (best == nullptr || point.first < best->first)) {
+      best = &point;
+    }
+  }
+  if (best == nullptr) {  // wrap to the smallest position
+    for (const auto& point : points) {
+      if (best == nullptr || point.first < best->first) best = &point;
+    }
+  }
+  return best->second;
+}
+
+/// Asserts the ring invariants the churn bug used to break: exactly
+/// n * vnodes points, strictly increasing positions (no duplicates — pre-fix,
+/// an add after a remove re-hashed the recycled dense id and reproduced the
+/// removed worker's exact positions), and agreement with the oracle.
+void ExpectRingHealthy(const ConsistentHashRing& ring, uint32_t virtual_nodes,
+                       uint64_t seed) {
+  ASSERT_EQ(ring.ring_size(),
+            static_cast<size_t>(ring.num_workers()) * virtual_nodes);
+  const auto points = ring.Points();
+  for (size_t i = 1; i < points.size(); ++i) {
+    ASSERT_LT(points[i - 1].first, points[i].first)
+        << "duplicate or out-of-order ring position at index " << i;
+  }
+  for (uint64_t key = 0; key < 200; ++key) {
+    ASSERT_EQ(ring.Owner(key), OracleOwner(ring, key, seed)) << "key " << key;
+  }
+}
+
+TEST(ConsistentHashChurnTest, RandomizedChurnAgainstOracle) {
+  // The churn-corruption regression: random add/remove sequences must keep
+  // every ring invariant intact at every step. Before the generation-token
+  // fix this failed as soon as an AddWorker followed a RemoveWorker: the
+  // recycled dense id re-hashed to the removed worker's positions, leaving
+  // duplicate points whose ownership depended on the sort tie-break.
+  const uint64_t seed = 17;
+  ConsistentHashRing ring(4, 16, seed);
+  Rng rng(99);
+  for (int step = 0; step < 60; ++step) {
+    if (ring.num_workers() <= 2 ||
+        (ring.num_workers() < 12 && rng.NextBounded(2) == 0)) {
+      ring.AddWorker();
+    } else {
+      ring.RemoveWorker(rng.NextBounded(ring.num_workers()));
+    }
+    ExpectRingHealthy(ring, 16, seed);
+  }
+}
+
+TEST(ConsistentHashChurnTest, AddAfterRemoveDoesNotReuseOldPositions) {
+  const uint64_t seed = 23;
+  ConsistentHashRing ring(6, 32, seed);
+  // Record the removed worker's positions, then churn the id back in.
+  std::set<uint64_t> removed_positions;
+  for (const auto& point : ring.Points()) {
+    if (point.second == 3) removed_positions.insert(point.first);
+  }
+  ASSERT_EQ(removed_positions.size(), 32u);
+  ring.RemoveWorker(3);
+  ring.AddWorker();  // new worker takes dense id 5 — but a fresh generation
+  for (const auto& point : ring.Points()) {
+    EXPECT_EQ(removed_positions.count(point.first), 0u)
+        << "recycled position " << point.first << " on worker " << point.second;
+  }
+  ExpectRingHealthy(ring, 32, seed);
+}
+
+TEST(ConsistentHashChurnTest, BulkConstructionMatchesIncremental) {
+  // The bulk ctor (append all, sort once) must be observationally identical
+  // to growing a 1-worker ring incrementally: generations are handed out in
+  // the same order either way.
+  const uint64_t seed = 31;
+  ConsistentHashRing bulk(9, 64, seed);
+  ConsistentHashRing grown(1, 64, seed);
+  while (grown.num_workers() < 9) grown.AddWorker();
+  ASSERT_EQ(bulk.ring_size(), grown.ring_size());
+  EXPECT_EQ(bulk.Points(), grown.Points());
+  for (uint64_t key = 0; key < 5000; ++key) {
+    ASSERT_EQ(bulk.Owner(key), grown.Owner(key)) << "key " << key;
+  }
+}
+
+TEST(ConsistentHashChurnTest, MinimalMovementAfterChurn) {
+  // The minimal-movement property must survive churn, not just hold on a
+  // fresh ring: after an add/remove history, one more AddWorker still moves
+  // only ~1/(n+1) of the keys (2x band at 128 vnodes).
+  const uint64_t seed = 41;
+  ConsistentHashRing ring(10, 128, seed);
+  ring.RemoveWorker(4);
+  ring.AddWorker();
+  ring.RemoveWorker(0);
+  ring.AddWorker();  // back to 10 workers, with a churn history
+  const int kKeys = 20000;
+  std::vector<uint32_t> before(kKeys);
+  for (int key = 0; key < kKeys; ++key) before[key] = ring.Owner(key);
+  ring.AddWorker();
+  int moved = 0;
+  for (int key = 0; key < kKeys; ++key) {
+    const uint32_t now = ring.Owner(key);
+    if (now != before[key]) {
+      ++moved;
+      EXPECT_EQ(now, 10u) << "keys may only move TO the new worker";
+    }
+  }
+  EXPECT_GT(moved, kKeys / 22);  // ~1/11 expected, 2x band
+  EXPECT_LT(moved, kKeys * 2 / 11);
+}
+
+TEST(ConsistentHashChurnTest, OwnerDeterministicAcrossChurnHistories) {
+  // Replaying the same churn history must reproduce the exact ownership map
+  // (the simulator's byte-stability guarantee rests on this), for several
+  // seeds.
+  for (uint64_t seed : {3u, 59u, 1234u}) {
+    ConsistentHashRing a(5, 64, seed);
+    ConsistentHashRing b(5, 64, seed);
+    const auto churn = [](ConsistentHashRing* ring) {
+      ring->AddWorker();
+      ring->RemoveWorker(2);
+      ring->AddWorker();
+      ring->AddWorker();
+      ring->RemoveWorker(ring->num_workers() - 1);
+      ring->RemoveWorker(0);
+    };
+    churn(&a);
+    churn(&b);
+    EXPECT_EQ(a.Points(), b.Points());
+    for (uint64_t key = 0; key < 3000; ++key) {
+      ASSERT_EQ(a.Owner(key), b.Owner(key)) << "seed " << seed;
+    }
+  }
+}
+
+TEST(ConsistentHashGroupingTest, RescaleMovesMinimalKeysAndRoutesInRange) {
+  ConsistentHashGrouping ch(Opts(16));
+  EXPECT_TRUE(ch.SupportsRescale());
+  std::vector<uint32_t> before(10000);
+  for (uint64_t key = 0; key < before.size(); ++key) {
+    before[key] = ch.Route(key);
+  }
+  ASSERT_TRUE(ch.Rescale(20).ok());
+  EXPECT_EQ(ch.num_workers(), 20u);
+  int moved = 0;
+  for (uint64_t key = 0; key < before.size(); ++key) {
+    const uint32_t now = ch.Route(key);
+    ASSERT_LT(now, 20u);
+    if (now != before[key]) ++moved;
+  }
+  // 4 added workers own ~4/20 of the key space; 2x band.
+  EXPECT_LT(moved, 10000 * 2 * 4 / 20);
+  EXPECT_GT(moved, 10000 * 4 / (2 * 20));
+
+  ASSERT_TRUE(ch.Rescale(16).ok());  // back down: highest ids removed
+  int restored = 0;
+  for (uint64_t key = 0; key < before.size(); ++key) {
+    if (ch.Route(key) == before[key]) ++restored;
+  }
+  // Scale-in removes the ADDED workers (highest ids first), so the original
+  // mapping comes back exactly.
+  EXPECT_EQ(restored, 10000);
+  EXPECT_FALSE(ch.Rescale(0).ok());
 }
 
 TEST(ConsistentHashRingTest, OwnerStableAndInRange) {

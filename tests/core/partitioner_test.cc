@@ -307,6 +307,84 @@ TEST(PartitionerTest, NamesMatchTableTwo) {
   EXPECT_EQ(Make(AlgorithmKind::kRoundRobinHead, 4)->name(), "RR");
 }
 
+TEST(ParseAlgorithmKindTest, ConsistentHashRoundTrips) {
+  EXPECT_EQ(ParseAlgorithmKind("ch").value(), AlgorithmKind::kConsistentHash);
+  EXPECT_EQ(ParseAlgorithmKind("consistent-hash").value(),
+            AlgorithmKind::kConsistentHash);
+  EXPECT_EQ(AlgorithmKindName(AlgorithmKind::kConsistentHash), "CH");
+  EXPECT_EQ(ParseAlgorithmKind(
+                AlgorithmKindName(AlgorithmKind::kConsistentHash)).value(),
+            AlgorithmKind::kConsistentHash);
+  EXPECT_EQ(Make(AlgorithmKind::kConsistentHash, 4)->name(), "CH");
+}
+
+TEST(RescaleTest, EveryAlgorithmRescalesUpAndDownInRange) {
+  // The simulator rescales whatever the factory hands it; every kind must
+  // either rescale cleanly or declare !SupportsRescale() (none do today).
+  for (AlgorithmKind kind : kAllAlgorithmKinds) {
+    auto part = Make(kind, 10);
+    ASSERT_TRUE(part->SupportsRescale()) << AlgorithmKindName(kind);
+    Rng rng(11);
+    ZipfDistribution zipf(1.4, 500);
+    for (int i = 0; i < 2000; ++i) part->Route(zipf.Sample(&rng));
+
+    ASSERT_TRUE(part->Rescale(14).ok()) << AlgorithmKindName(kind);
+    EXPECT_EQ(part->num_workers(), 14u) << AlgorithmKindName(kind);
+    for (int i = 0; i < 2000; ++i) {
+      ASSERT_LT(part->Route(zipf.Sample(&rng)), 14u) << AlgorithmKindName(kind);
+    }
+
+    ASSERT_TRUE(part->Rescale(6).ok()) << AlgorithmKindName(kind);
+    EXPECT_EQ(part->num_workers(), 6u) << AlgorithmKindName(kind);
+    for (int i = 0; i < 2000; ++i) {
+      ASSERT_LT(part->Route(zipf.Sample(&rng)), 6u) << AlgorithmKindName(kind);
+    }
+
+    EXPECT_FALSE(part->Rescale(0).ok()) << AlgorithmKindName(kind);
+  }
+}
+
+TEST(RescaleTest, FixedDChoicesRegrowsTowardRequestedD) {
+  // fixed_d = 8 clamped to 5 workers at construction must grow back to 8
+  // when the worker set scales past it — the cached clamp cannot stick.
+  PartitionerOptions opt = Opts(5);
+  opt.fixed_d = 8;
+  FixedDChoices fd(opt);
+  EXPECT_EQ(fd.head_choices(), 5u);
+  ASSERT_TRUE(fd.Rescale(20).ok());
+  EXPECT_EQ(fd.head_choices(), 8u);
+  ASSERT_TRUE(fd.Rescale(3).ok());
+  EXPECT_EQ(fd.head_choices(), 3u);
+}
+
+TEST(RescaleTest, GreedyDReclampsRequestedD) {
+  PartitionerOptions opt = Opts(3);
+  GreedyD greedy(opt, 10, "Greedy-D");
+  EXPECT_EQ(greedy.head_choices(), 3u);
+  ASSERT_TRUE(greedy.Rescale(16).ok());
+  EXPECT_EQ(greedy.head_choices(), 10u);
+  for (int i = 0; i < 1000; ++i) ASSERT_LT(greedy.Route(i), 16u);
+}
+
+TEST(RescaleTest, WChoicesHeadSpansNewWorkerSet) {
+  PartitionerOptions opt = Opts(10);
+  WChoices wc(opt);
+  Rng rng(6);
+  for (int i = 0; i < 20000; ++i) {
+    wc.Route(rng.NextBool(0.5) ? 0 : 1 + rng.NextBounded(5000));
+  }
+  ASSERT_TRUE(wc.Rescale(15).ok());
+  EXPECT_EQ(wc.head_choices(), 15u);
+  // The hot key's head placements must reach the ADDED workers too.
+  std::set<uint32_t> head_workers;
+  for (int i = 0; i < 30000; ++i) {
+    const uint64_t key = rng.NextBool(0.5) ? 0 : 1 + rng.NextBounded(5000);
+    const uint32_t w = wc.Route(key);
+    if (key == 0 && wc.last_was_head()) head_workers.insert(w);
+  }
+  EXPECT_EQ(head_workers.size(), 15u);
+}
+
 TEST(SketchAblationTest, AllSketchKindsRouteCorrectly) {
   for (SketchKind sketch : {SketchKind::kSpaceSaving, SketchKind::kMisraGries,
                             SketchKind::kLossyCounting, SketchKind::kCountMin}) {

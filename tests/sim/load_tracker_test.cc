@@ -61,6 +61,54 @@ TEST(LoadTrackerTest, MemoryCountsDistinctKeyWorkerPairs) {
   EXPECT_TRUE(tracker.tracks_memory());
 }
 
+TEST(LoadTrackerTest, RescaleOutAddsZeroLoadWorkers) {
+  LoadTracker tracker(2);
+  for (int i = 0; i < 40; ++i) tracker.Record(i % 2, i, false);
+  tracker.Rescale(4);
+  EXPECT_EQ(tracker.num_workers(), 4u);
+  EXPECT_EQ(tracker.total(), 40u) << "scale-out keeps every recorded message";
+  const auto loads = tracker.NormalizedLoads();
+  EXPECT_DOUBLE_EQ(loads[0], 0.5);
+  EXPECT_DOUBLE_EQ(loads[2], 0.0);
+  EXPECT_DOUBLE_EQ(loads[3], 0.0);
+  // 20/40 on the max worker, average 1/4: I = 0.5 - 0.25.
+  EXPECT_NEAR(tracker.Imbalance(), 0.25, 1e-12);
+  tracker.Record(3, 99, false);  // new workers accept load immediately
+  EXPECT_EQ(tracker.total(), 41u);
+}
+
+TEST(LoadTrackerTest, RescaleInDropsRemovedWorkersCounts) {
+  LoadTracker tracker(4);
+  for (uint32_t w = 0; w < 4; ++w) {
+    for (int i = 0; i < 10; ++i) tracker.Record(w, i, /*is_head=*/w == 3);
+  }
+  EXPECT_EQ(tracker.total(), 40u);
+  EXPECT_EQ(tracker.head_messages(), 10u);
+  tracker.Rescale(2);
+  EXPECT_EQ(tracker.num_workers(), 2u);
+  // Workers 2 and 3 leave the totals: the tracker reports the load carried
+  // by the CURRENT worker set.
+  EXPECT_EQ(tracker.total(), 20u);
+  EXPECT_EQ(tracker.head_messages(), 0u) << "all head load was on worker 3";
+  EXPECT_NEAR(tracker.Imbalance(), 0.0, 1e-12);
+}
+
+TEST(LoadTrackerTest, MemoryEntriesSurviveRescale) {
+  LoadTracker tracker(4, /*track_memory=*/true);
+  tracker.Record(3, 7, false);
+  tracker.Record(0, 7, false);
+  tracker.Rescale(2);
+  // State replicas were created regardless of the later scale-in.
+  EXPECT_EQ(tracker.memory_entries(), 2u);
+  // A pair recorded at the NEW worker count must not alias one recorded at
+  // the old count (the count-independent encoding regression).
+  tracker.Rescale(4);
+  tracker.Record(3, 7, false);
+  EXPECT_EQ(tracker.memory_entries(), 2u) << "same (key,worker) pair as before";
+  tracker.Record(2, 7, false);
+  EXPECT_EQ(tracker.memory_entries(), 3u);
+}
+
 TEST(LoadTrackerTest, MemoryTrackingOffByDefault) {
   LoadTracker tracker(2);
   tracker.Record(0, 1, false);

@@ -1,0 +1,144 @@
+#include "slb/sim/migration_tracker.h"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+namespace slb {
+namespace {
+
+RescaleCostModel Cost(uint64_t bytes_per_key, uint32_t rate) {
+  RescaleCostModel cost;
+  cost.state_bytes_per_key = bytes_per_key;
+  cost.migration_keys_per_message = rate;
+  return cost;
+}
+
+TEST(MigrationTrackerTest, NoRescaleNoCost) {
+  MigrationTracker tracker(Cost(64, 4));
+  for (uint64_t seq = 0; seq < 100; ++seq) {
+    tracker.OnMessage(seq, seq % 10, static_cast<uint32_t>(seq % 3));
+  }
+  EXPECT_EQ(tracker.keys_migrated(), 0u);
+  EXPECT_EQ(tracker.keys_checked(), 0u);
+  EXPECT_EQ(tracker.stalled_messages(), 0u);
+  EXPECT_EQ(tracker.rescale_events(), 0u);
+  EXPECT_EQ(tracker.moved_key_fraction(), 0.0);
+}
+
+TEST(MigrationTrackerTest, ScaleOutMigratesLazilyOnFirstContact) {
+  MigrationTracker tracker(Cost(100, 8));
+  // Keys 0..3 homed on workers 0..3 before the event.
+  for (uint64_t key = 0; key < 4; ++key) {
+    tracker.OnMessage(key, key, static_cast<uint32_t>(key));
+  }
+  tracker.OnRescale(4, 4, 6);
+  EXPECT_EQ(tracker.rescale_events(), 1u);
+  EXPECT_EQ(tracker.keys_migrated(), 0u) << "scale-out moves nothing eagerly";
+
+  // Key 0 re-routes to a NEW worker: one recheck, one migration.
+  tracker.OnMessage(4, 0, 5);
+  EXPECT_EQ(tracker.keys_checked(), 1u);
+  EXPECT_EQ(tracker.keys_migrated(), 1u);
+  EXPECT_EQ(tracker.state_bytes_migrated(), 100u);
+
+  // Key 1 re-routes to its OLD worker: rechecked, no migration.
+  tracker.OnMessage(5, 1, 1);
+  EXPECT_EQ(tracker.keys_checked(), 2u);
+  EXPECT_EQ(tracker.keys_migrated(), 1u);
+
+  // Key 0 again: epoch already checked — no double counting.
+  tracker.OnMessage(6, 0, 5);
+  EXPECT_EQ(tracker.keys_checked(), 2u);
+  EXPECT_EQ(tracker.keys_migrated(), 1u);
+
+  // A key first seen AFTER the event has no state to move.
+  tracker.OnMessage(7, 99, 4);
+  EXPECT_EQ(tracker.keys_checked(), 2u);
+  EXPECT_EQ(tracker.keys_migrated(), 1u);
+
+  EXPECT_DOUBLE_EQ(tracker.moved_key_fraction(), 0.5);
+}
+
+TEST(MigrationTrackerTest, ScaleInMigratesEagerlyAndStalls) {
+  // Drain rate 1 key/message makes stall arithmetic exact.
+  MigrationTracker tracker(Cost(64, 1));
+  // Keys 10, 11, 12 homed on workers 0, 2, 3 of a 4-worker set.
+  tracker.OnMessage(0, 10, 0);
+  tracker.OnMessage(1, 11, 2);
+  tracker.OnMessage(2, 12, 3);
+  // Remove workers 2 and 3: keys 11 and 12 hand off eagerly at seq 3.
+  tracker.OnRescale(3, 4, 2);
+  EXPECT_EQ(tracker.keys_checked(), 3u) << "every live key's placement checked";
+  EXPECT_EQ(tracker.keys_migrated(), 2u);
+  EXPECT_EQ(tracker.state_bytes_migrated(), 128u);
+
+  // FIFO at 1 key/message from seq 3: key 11 completes at 4, key 12 at 5.
+  tracker.OnMessage(3, 11, 1);  // stalled (available_at = 4)
+  tracker.OnMessage(4, 11, 1);  // available
+  tracker.OnMessage(4, 12, 0);  // stalled (available_at = 5)
+  tracker.OnMessage(5, 12, 0);  // available
+  tracker.OnMessage(5, 10, 0);  // never migrated, never stalled
+  EXPECT_EQ(tracker.stalled_messages(), 2u);
+}
+
+TEST(MigrationTrackerTest, HandoffChannelBacklogGrowsCompletionTimes) {
+  // Rate 2 keys/message, 6 keys enqueued at seq 10: slots 20..25, completing
+  // at messages 11, 11, 12, 12, 13, 13 — a backlog, not an instant drain.
+  MigrationTracker tracker(Cost(1, 2));
+  for (uint64_t key = 0; key < 6; ++key) {
+    tracker.OnMessage(key, key, 3);  // all state on worker 3
+  }
+  tracker.OnRescale(10, 4, 3);
+  EXPECT_EQ(tracker.keys_migrated(), 6u);
+  // All 6 keys routed again right at seq 10-11: first four stall.
+  tracker.OnMessage(10, 0, 0);  // available_at 11 -> stalled
+  tracker.OnMessage(10, 1, 0);  // available_at 11 -> stalled
+  tracker.OnMessage(11, 2, 0);  // available_at 12 -> stalled
+  tracker.OnMessage(11, 3, 0);  // available_at 12 -> stalled
+  tracker.OnMessage(12, 4, 0);  // available_at 13 -> stalled
+  tracker.OnMessage(13, 5, 0);  // available_at 13 -> fine
+  EXPECT_EQ(tracker.stalled_messages(), 5u);
+}
+
+TEST(MigrationTrackerTest, PkgStyleReplicasMigrateOnlyWhenAllHomesRemoved) {
+  MigrationTracker tracker(Cost(64, 4));
+  // Key 7 has state on workers 1 AND 5 (a PKG tail key).
+  tracker.OnMessage(0, 7, 1);
+  tracker.OnMessage(1, 7, 5);
+  // Removing worker 5 still hands off (state on a removed worker moves even
+  // if another replica survives — the removed copy must drain somewhere).
+  tracker.OnRescale(2, 6, 5);
+  EXPECT_EQ(tracker.keys_migrated(), 1u);
+  // The surviving replica on worker 1 is intact: routing there after the
+  // handoff window costs nothing further.
+  tracker.OnMessage(10, 7, 1);
+  EXPECT_EQ(tracker.keys_migrated(), 1u);
+  EXPECT_EQ(tracker.stalled_messages(), 0u);
+}
+
+TEST(MigrationTrackerTest, DeterministicAcrossInsertionOrders) {
+  // The eager scale-in sorts affected keys before assigning FIFO slots, so
+  // the aggregate counters cannot depend on hash-map iteration order. Feed
+  // the same key set in two different orders and compare everything.
+  auto run = [](bool reversed) {
+    MigrationTracker tracker(Cost(64, 2));
+    for (int i = 0; i < 50; ++i) {
+      const uint64_t key = reversed ? 49 - i : i;
+      tracker.OnMessage(static_cast<uint64_t>(i), key,
+                        static_cast<uint32_t>(key % 8));
+    }
+    tracker.OnRescale(50, 8, 4);
+    for (int i = 50; i < 150; ++i) {
+      tracker.OnMessage(static_cast<uint64_t>(i), static_cast<uint64_t>(i % 50),
+                        static_cast<uint32_t>(i % 4));
+    }
+    return std::tuple(tracker.keys_migrated(), tracker.keys_checked(),
+                      tracker.stalled_messages(),
+                      tracker.state_bytes_migrated());
+  };
+  EXPECT_EQ(run(false), run(true));
+}
+
+}  // namespace
+}  // namespace slb

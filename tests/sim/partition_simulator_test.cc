@@ -184,6 +184,113 @@ TEST(PartitionSimTest, ReoptimizationCountExposed) {
   EXPECT_EQ(pkg->reoptimizations, 0u);
 }
 
+TEST(ElasticRescaleTest, RejectsInvalidSchedules) {
+  auto config = Config(AlgorithmKind::kPkg, 8);
+  auto stream = Stream(1.2, 500, 10000);
+
+  config.rescale.events = {{0.0, 10}};  // fraction must be in (0, 1)
+  EXPECT_FALSE(RunPartitionSimulation(config, stream.get()).ok());
+  config.rescale.events = {{1.0, 10}};
+  EXPECT_FALSE(RunPartitionSimulation(config, stream.get()).ok());
+  config.rescale.events = {{0.5, 10}, {0.5, 12}};  // non-increasing
+  EXPECT_FALSE(RunPartitionSimulation(config, stream.get()).ok());
+  config.rescale.events = {{0.6, 10}, {0.4, 12}};
+  EXPECT_FALSE(RunPartitionSimulation(config, stream.get()).ok());
+  config.rescale.events = {{0.5, 0}};  // zero workers
+  EXPECT_FALSE(RunPartitionSimulation(config, stream.get()).ok());
+  config.rescale.events = {{0.5, 10}};
+  config.rescale.cost.migration_keys_per_message = 0;
+  EXPECT_FALSE(RunPartitionSimulation(config, stream.get()).ok());
+
+  config.rescale.cost.migration_keys_per_message = 4;
+  EXPECT_TRUE(RunPartitionSimulation(config, stream.get()).ok());
+}
+
+TEST(ElasticRescaleTest, ScaleOutRunBasics) {
+  auto config = Config(AlgorithmKind::kPkg, 8);
+  config.rescale.events = {{0.5, 12}};
+  auto stream = Stream(1.2, 1000, 40000);
+  auto result = RunPartitionSimulation(config, stream.get());
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->final_num_workers, 12u);
+  EXPECT_EQ(result->rescale_events, 1u);
+  EXPECT_EQ(result->worker_loads.size(), 12u);
+  EXPECT_EQ(result->total_messages, 40000u);
+  // Lazy scale-out: pre-existing re-routed keys were rechecked and PKG's
+  // mod-range rehash moved nearly all of them.
+  EXPECT_GT(result->keys_migrated, 0u);
+  EXPECT_GT(result->moved_key_fraction, 0.5);
+  EXPECT_EQ(result->state_bytes_migrated,
+            result->keys_migrated * config.rescale.cost.state_bytes_per_key);
+  // Loads reflect the current (post-rescale) worker set and still sum to 1.
+  double load_sum = std::accumulate(result->worker_loads.begin(),
+                                    result->worker_loads.end(), 0.0);
+  EXPECT_NEAR(load_sum, 1.0, 1e-9);
+}
+
+TEST(ElasticRescaleTest, ScaleInMigratesEagerly) {
+  auto config = Config(AlgorithmKind::kPkg, 12);
+  config.rescale.events = {{0.6, 8}};
+  auto stream = Stream(1.2, 1000, 40000);
+  auto result = RunPartitionSimulation(config, stream.get());
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->final_num_workers, 8u);
+  EXPECT_EQ(result->worker_loads.size(), 8u);
+  // Keys homed on the 4 removed workers hand off at the event; with 1000
+  // hot-ish keys over 12 workers some state must have lived there.
+  EXPECT_GT(result->keys_migrated, 0u);
+  // The eager handoff burst overwhelms the drain rate briefly: messages for
+  // still-in-flight keys stall.
+  EXPECT_GT(result->stalled_messages, 0u);
+}
+
+TEST(ElasticRescaleTest, StaticScheduleLeavesCountersZero) {
+  auto config = Config(AlgorithmKind::kPkg, 8);
+  auto stream = Stream(1.2, 1000, 20000);
+  auto result = RunPartitionSimulation(config, stream.get());
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->final_num_workers, 8u);
+  EXPECT_EQ(result->rescale_events, 0u);
+  EXPECT_EQ(result->keys_migrated, 0u);
+  EXPECT_EQ(result->stalled_messages, 0u);
+  EXPECT_EQ(result->moved_key_fraction, 0.0);
+}
+
+TEST(ElasticRescaleTest, ConsistentHashMovesMinimalFraction) {
+  // The acceptance criterion: on scale-out n -> n + delta, CH's moved-key
+  // fraction must land within 2x of the delta/(n + delta) minimal-movement
+  // expectation, while PKG's mod-range rehash re-homes nearly everything.
+  const uint32_t n = 32, delta = 8;
+  auto run = [&](AlgorithmKind kind) {
+    auto config = Config(kind, n);
+    config.rescale.events = {{0.45, n + delta}};
+    auto stream = Stream(1.1, 10000, 200000);
+    auto result = RunPartitionSimulation(config, stream.get());
+    EXPECT_TRUE(result.ok());
+    return result->moved_key_fraction;
+  };
+  const double expectation =
+      static_cast<double>(delta) / static_cast<double>(n + delta);  // 0.2
+  const double ch = run(AlgorithmKind::kConsistentHash);
+  EXPECT_GT(ch, expectation / 2);
+  EXPECT_LT(ch, expectation * 2);
+  const double pkg = run(AlgorithmKind::kPkg);
+  EXPECT_GT(pkg, 0.75) << "mod-range hashing should re-home nearly all keys";
+  EXPECT_GT(pkg, 3 * ch);
+}
+
+TEST(ElasticRescaleTest, MultiEventScheduleAppliesInOrder) {
+  auto config = Config(AlgorithmKind::kDChoices, 16);
+  config.rescale.events = {{0.3, 24}, {0.7, 12}};
+  auto stream = Stream(1.4, 2000, 60000);
+  auto result = RunPartitionSimulation(config, stream.get());
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->rescale_events, 2u);
+  EXPECT_EQ(result->final_num_workers, 12u);
+  EXPECT_EQ(result->worker_loads.size(), 12u);
+  EXPECT_LT(result->final_imbalance, 0.1);
+}
+
 TEST(PartitionSimTest, DriftingStreamStillBalanced) {
   DatasetSpec ct = MakeCashtagsSpec(0.1);
   auto gen = MakeGenerator(ct);

@@ -257,6 +257,90 @@ TEST(PayloadTest, VariantSourceCountOverride) {
   EXPECT_EQ(table.cells[1].payload.FindMetric("sources")->value, 5.0);
 }
 
+SweepGrid RescaleGrid() {
+  SweepGrid grid;
+  grid.scenarios = {ScenarioFromCatalog("zipf", SmallOptions())};
+  grid.algorithms = {AlgorithmKind::kPkg, AlgorithmKind::kConsistentHash};
+  grid.worker_counts = {8};
+  grid.num_samples = 10;
+  grid.seed = 7;
+  grid.rescale.events = {{0.5, 12}};
+  return grid;
+}
+
+// The migration payload: elastic cells carry the MigrationCounters component
+// and every emitter renders its columns.
+TEST(MigrationPayloadTest, ColumnsAppearWithValues) {
+  const SweepResultTable table = RunSweep(RescaleGrid(), 2);
+  ASSERT_EQ(table.cells.size(), 2u);
+  for (const SweepCellResult& cell : table.cells) {
+    ASSERT_TRUE(cell.status.ok()) << cell.status.ToString();
+    ASSERT_TRUE(cell.payload.migration.has_value());
+    EXPECT_EQ(cell.payload.migration->final_num_workers, 12u);
+    EXPECT_EQ(cell.payload.migration->rescale_events, 1u);
+    EXPECT_GT(cell.payload.migration->keys_migrated, 0u);
+  }
+
+  const std::string tsv = SweepToTsv(table);
+  for (const char* column :
+       {"final_workers", "rescale_events", "keys_migrated",
+        "state_bytes_migrated", "stalled_messages", "moved_key_fraction"}) {
+    EXPECT_NE(tsv.find(column), std::string::npos) << column;
+    EXPECT_NE(SweepToCsv(table).find(column), std::string::npos) << column;
+  }
+  const std::string json = SweepToJson(table);
+  EXPECT_NE(json.find("\"migration\":{\"final_workers\":12"),
+            std::string::npos);
+}
+
+// The tentpole guarantee extended to elastic runs: migration columns are
+// byte-stable and thread-count-invariant (the tracker's sorted eager handoff
+// plus the deterministic stream make this exact, not approximate).
+TEST(MigrationPayloadTest, TablesAreThreadCountInvariant) {
+  SweepGrid grid = RescaleGrid();
+  grid.rescale.events = {{0.4, 12}, {0.8, 6}};  // out AND eager in
+  grid.runs = 2;
+  const SweepGrid copy = grid;
+  const SweepResultTable serial = RunSweep(grid, 1);
+  const SweepResultTable parallel = RunSweep(copy, 8);
+  EXPECT_EQ(SweepToTsv(serial), SweepToTsv(parallel));
+  EXPECT_EQ(SweepToCsv(serial), SweepToCsv(parallel));
+  EXPECT_EQ(SweepToJson(serial), SweepToJson(parallel));
+  EXPECT_EQ(SweepSeriesToTsv(serial), SweepSeriesToTsv(parallel));
+}
+
+// SweepVariant::rescale overrides the grid schedule per cell, making the
+// schedule a sweep axis; an empty variant schedule inherits the grid's.
+TEST(MigrationPayloadTest, VariantScheduleOverridesGrid) {
+  SweepGrid grid = RescaleGrid();
+  grid.algorithms = {AlgorithmKind::kConsistentHash};
+  SweepVariant stat;
+  stat.label = "grid-schedule";
+  SweepVariant out;
+  out.label = "out-to-16";
+  out.rescale.events = {{0.5, 16}};
+  grid.variants = {stat, out};
+  const SweepResultTable table = RunSweep(grid, 1);
+  ASSERT_EQ(table.cells.size(), 2u);
+  ASSERT_TRUE(table.cells[0].payload.migration.has_value());
+  EXPECT_EQ(table.cells[0].payload.migration->final_num_workers, 12u);
+  ASSERT_TRUE(table.cells[1].payload.migration.has_value());
+  EXPECT_EQ(table.cells[1].payload.migration->final_num_workers, 16u);
+}
+
+// Static cells have no migration component and no migration columns.
+TEST(MigrationPayloadTest, StaticGridsStayClean) {
+  SweepGrid grid = RescaleGrid();
+  grid.rescale.events.clear();
+  const SweepResultTable table = RunSweep(grid, 1);
+  for (const SweepCellResult& cell : table.cells) {
+    EXPECT_FALSE(cell.payload.migration.has_value());
+  }
+  const std::string header = SweepToTsv(table);
+  EXPECT_EQ(header.substr(0, header.find('\n')).find("keys_migrated"),
+            std::string::npos);
+}
+
 // The worker-loads emitter: one row per (cell, worker), head + tail == total,
 // failed cells contribute nothing.
 TEST(PayloadTest, WorkerLoadsEmitter) {

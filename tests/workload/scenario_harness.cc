@@ -278,6 +278,71 @@ void ReplayWithNoiseShape(const std::vector<uint64_t>& keys,
   }
 }
 
+// --- scale-out-under-flash-crowd: load ignites, then keeps growing ---------
+void ScaleOutFlashCrowdShape(const std::vector<uint64_t>& keys,
+                             const ScenarioOptions& opt,
+                             const StreamGenerator&) {
+  const uint64_t group_start = opt.num_keys - opt.burst_group_size;
+  const auto first = static_cast<size_t>(
+      opt.burst_begin * static_cast<double>(keys.size()));
+  // Quiet before ignition.
+  EXPECT_LT(ShareOf(keys, 0, first, group_start, opt.num_keys), 0.02);
+  // Step edge: just after ignition the group holds ~burst_fraction/2.
+  const size_t post = keys.size() - first;
+  EXPECT_NEAR(ShareOf(keys, first, first + post / 8, group_start, opt.num_keys),
+              opt.burst_fraction * 0.5, 0.08);
+  // Sustained growth, not a receding burst: the last decile's share must be
+  // near the FULL burst_fraction (mean of the ramp over that decile) and
+  // strictly above the ignition-edge share.
+  const size_t decile = keys.size() / 10;
+  const double ignition_share =
+      ShareOf(keys, first, first + post / 8, group_start, opt.num_keys);
+  const double mean_progress =
+      (static_cast<double>(keys.size() - decile - first) +
+       static_cast<double>(keys.size() - first)) /
+      (2.0 * static_cast<double>(post));
+  const double final_share = ShareOf(keys, keys.size() - decile, keys.size(),
+                                     group_start, opt.num_keys);
+  EXPECT_NEAR(final_share, opt.burst_fraction * 0.5 * (1.0 + mean_progress),
+              0.08);
+  EXPECT_GT(final_share, ignition_share + 0.05)
+      << "the load must keep growing after ignition";
+}
+
+// --- scale-in-during-drift: the live prefix contracts while the head moves -
+void ScaleInDriftShape(const std::vector<uint64_t>& keys,
+                       const ScenarioOptions& opt, const StreamGenerator&) {
+  const size_t epoch_length = keys.size() / opt.num_epochs;
+  // Independent restatement of ScaleInDriftStreamGenerator::LiveKeys.
+  auto live_at = [&](uint64_t epoch) {
+    const double progress =
+        opt.num_epochs <= 1 ? 1.0
+                            : static_cast<double>(epoch) /
+                                  static_cast<double>(opt.num_epochs - 1);
+    const double fraction =
+        1.0 - (1.0 - opt.shrink_final_fraction) * progress;
+    return std::max<uint64_t>(
+        2, static_cast<uint64_t>(fraction * static_cast<double>(opt.num_keys)));
+  };
+  for (uint64_t epoch = 0; epoch < opt.num_epochs; ++epoch) {
+    const uint64_t live = live_at(epoch);
+    uint64_t max_key = 0;
+    for (size_t i = epoch * epoch_length; i < (epoch + 1) * epoch_length; ++i) {
+      max_key = std::max(max_key, keys[i]);
+    }
+    EXPECT_LT(max_key, live) << "epoch " << epoch
+                             << " emitted keys past the live prefix";
+  }
+  // The contraction is real: the final epoch fits in the shrunken prefix,
+  // a strict subset of epoch 0's range.
+  EXPECT_LT(live_at(opt.num_epochs - 1), opt.num_keys * 3 / 4);
+  // The head drifts: the hottest identity moves across epochs.
+  const uint64_t first_hot = HottestKey(Frequencies(keys, 0, epoch_length));
+  const uint64_t last_hot = HottestKey(Frequencies(
+      keys, (opt.num_epochs - 1) * epoch_length, opt.num_epochs * epoch_length));
+  EXPECT_NE(first_hot, last_hot) << "the hot identity never drifted";
+}
+
 // One entry per catalog name. ORDER MATTERS ONLY FOR DIAGNOSTICS; coverage
 // is compared against ScenarioNames() as a set by the completeness test.
 constexpr HarnessEntry kRegistry[] = {
@@ -291,6 +356,8 @@ constexpr HarnessEntry kRegistry[] = {
     {"diurnal", nullptr, DiurnalShape},
     {"key-space-growth", nullptr, KeySpaceGrowthShape},
     {"replay-with-noise", nullptr, ReplayWithNoiseShape},
+    {"scale-out-under-flash-crowd", nullptr, ScaleOutFlashCrowdShape},
+    {"scale-in-during-drift", nullptr, ScaleInDriftShape},
 };
 
 const HarnessEntry* FindEntry(const std::string& name) {
