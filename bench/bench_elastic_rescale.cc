@@ -25,6 +25,13 @@
 // derived "# rescale:" table putting final imbalance next to keys migrated,
 // stalled messages, and the moved-key fraction per (scenario, schedule,
 // algorithm) — the imbalance-vs-migration trade-off at a glance.
+//
+// --engine threaded runs every cell on ExecuteTopologyThreaded instead of
+// the partition simulator: the worker set changes live (threads retired or
+// started mid-run, key state moving through real handoff rings) and the
+// rescale table gains measured columns — quiesce / credit-drain /
+// migration-stall wall-clock plus handoff-frame and live-stall counts —
+// next to the modeled replay accounting (which stays engine-independent).
 
 #include <cstdio>
 #include <string>
@@ -32,6 +39,8 @@
 #include <vector>
 
 #include "common/bench_util.h"
+#include "common/dspe_cell.h"
+#include "slb/common/flags.h"
 
 namespace slb::bench {
 namespace {
@@ -87,16 +96,26 @@ std::vector<Schedule> Schedules() {
 /// Derived table: final imbalance next to migration cost per cell, the
 /// trade-off the bench exists to show. TSV with '#' headers, like every
 /// emitter in slb/sim/report.
+/// Reads a named payload metric (the threaded engine's measured columns);
+/// 0 for sim cells, which do not attach them.
+double MetricOr0(const CellPayload& payload, const std::string& name) {
+  const PayloadMetric* metric = payload.FindMetric(name);
+  return metric != nullptr ? metric->value : 0.0;
+}
+
 void PrintRescaleTable(const SweepResultTable& table,
                        const std::vector<std::string>& scenarios,
                        const std::vector<Schedule>& schedules,
                        const std::vector<AlgorithmKind>& algorithms) {
   std::printf(
       "# rescale: imbalance vs migration cost per schedule (moved_frac ~ "
-      "|delta|/n for CH, ~1 for mod-range hashing)\n");
+      "|delta|/n for CH, ~1 for mod-range hashing; quiesce_s/drain_s/"
+      "stall_s/handoff_frames/live_stalls are measured, threaded engine "
+      "only)\n");
   std::printf(
       "# scenario\tschedule\talgo\tfinal_workers\tfinal_I\tkeys_migrated\t"
-      "state_bytes\tstalled\tmoved_frac\n");
+      "state_bytes\tstalled\tmoved_frac\tquiesce_s\tdrain_s\tstall_s\t"
+      "handoff_frames\tlive_stalls\n");
   for (const std::string& scenario : scenarios) {
     for (const Schedule& schedule : schedules) {
       for (AlgorithmKind algorithm : algorithms) {
@@ -108,23 +127,55 @@ void PrintRescaleTable(const SweepResultTable& table,
         const uint32_t final_workers = mig.final_num_workers > 0
                                            ? mig.final_num_workers
                                            : cell->num_workers;
-        std::printf("%s\t%s\t%s\t%u\t%s\t%llu\t%llu\t%llu\t%s\n",
-                    scenario.c_str(), schedule.label,
-                    AlgorithmKindName(algorithm).c_str(), final_workers,
-                    Sci(cell->mean_final_imbalance).c_str(),
-                    static_cast<unsigned long long>(mig.keys_migrated),
-                    static_cast<unsigned long long>(mig.state_bytes_migrated),
-                    static_cast<unsigned long long>(mig.stalled_messages),
-                    Sci(mig.moved_key_fraction).c_str());
+        std::printf(
+            "%s\t%s\t%s\t%u\t%s\t%llu\t%llu\t%llu\t%s\t%s\t%s\t%s\t%llu\t"
+            "%llu\n",
+            scenario.c_str(), schedule.label,
+            AlgorithmKindName(algorithm).c_str(), final_workers,
+            Sci(cell->mean_final_imbalance).c_str(),
+            static_cast<unsigned long long>(mig.keys_migrated),
+            static_cast<unsigned long long>(mig.state_bytes_migrated),
+            static_cast<unsigned long long>(mig.stalled_messages),
+            Sci(mig.moved_key_fraction).c_str(),
+            Sci(MetricOr0(cell->payload, "quiesce_s")).c_str(),
+            Sci(MetricOr0(cell->payload, "credit_drain_s")).c_str(),
+            Sci(MetricOr0(cell->payload, "migration_stall_s")).c_str(),
+            static_cast<unsigned long long>(
+                MetricOr0(cell->payload, "handoff_frames")),
+            static_cast<unsigned long long>(
+                MetricOr0(cell->payload, "measured_stalls")));
       }
     }
   }
 }
 
 int Main(int argc, char** argv) {
+  std::string engine_name = "sim";
+  int64_t engine_threads = 0;
+  int64_t queue_capacity = 1024;
+  int64_t batch_size = 64;
   FlagSet flags("Elastic rescale: imbalance vs key-state migration cost");
-  const BenchEnv env = ParseBenchArgs(argc, argv, "", &flags);
+  flags.AddString("engine", &engine_name,
+                  "execution engine: sim (modeled) or threaded (live rescale, "
+                  "measured quiesce/stall costs)");
+  flags.AddInt64("engine-threads", &engine_threads,
+                 "threaded engine: executor threads (0 = hardware)");
+  flags.AddInt64("queue-capacity", &queue_capacity,
+                 "threaded engine: per-edge ring capacity in tuples");
+  flags.AddInt64("batch-size", &batch_size,
+                 "threaded engine: emit batch / task quantum in tuples");
+  BenchEnv env = ParseBenchArgs(argc, argv, "", &flags);
   if (!CheckReportFormat(env, ReportMode::kTableAndSeries)) return 2;
+  const auto engine = ParseDspeEngine(engine_name);
+  if (!engine.ok()) {
+    std::fprintf(stderr, "%s\n", engine.status().ToString().c_str());
+    return 1;
+  }
+  // The threaded engine saturates the host by itself; serialize the cells so
+  // each one's wall-clock phase measurements stay clean.
+  if (engine.value() == DspeEngine::kThreaded && env.threads == 0) {
+    env.threads = 1;
+  }
   const uint64_t messages = env.MessagesOr(500000, 5000000);
 
   const std::vector<std::string> names = {"scale-out-under-flash-crowd",
@@ -138,8 +189,8 @@ int Main(int argc, char** argv) {
               "no paper figure — elastic-scaling extension (ROADMAP item 1)",
               "n=" + std::to_string(kBaseWorkers) + "±" +
                   std::to_string(kDelta) + ", |K|=1e4, m=" +
-                  std::to_string(messages) + ", scenarios: " +
-                  JoinStrings(names, "/") +
+                  std::to_string(messages) + ", engine=" + engine_name +
+                  ", scenarios: " + JoinStrings(names, "/") +
                   ", schedules: static / out+8@45% / in-8@60% / staged");
 
   SweepGrid grid;
@@ -156,6 +207,14 @@ int Main(int argc, char** argv) {
   }
   // Fine-grained sampling so the rescale edges resolve in the series.
   grid.num_samples = 120;
+  if (engine.value() == DspeEngine::kThreaded) {
+    DspeCellOptions cell;
+    cell.engine = DspeEngine::kThreaded;
+    cell.runtime.num_threads = static_cast<uint32_t>(engine_threads);
+    cell.runtime.queue_capacity = static_cast<uint32_t>(queue_capacity);
+    cell.runtime.batch_size = static_cast<uint32_t>(batch_size);
+    grid.runner = MakeDspeCellRunner(cell);
+  }
 
   const SweepResultTable table = RunGridForEnv(env, std::move(grid));
   const int exit_code = ReportTable(env, table, ReportMode::kTableAndSeries);

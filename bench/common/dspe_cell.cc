@@ -3,34 +3,39 @@
 #include <cctype>
 #include <memory>
 #include <utility>
+#include <vector>
 
-#include "slb/common/rng.h"
 #include "slb/dspe/standard_bolts.h"
 #include "slb/dspe/topology.h"
-#include "slb/workload/zipf.h"
 
 namespace slb::bench {
 namespace {
 
-// Spout used by the threaded engine: one Zipf stream per source task, same
-// workload shape the simulator draws internally.
-class CellZipfSpout final : public Spout {
+// Spout used by the threaded engine: the scenario's global stream split
+// round-robin among the spout tasks (spout s emits keys s, s+S, s+2S, ...).
+// This is the same sender interleave the partition simulator models, so a
+// threaded run and a sim run over the same generator route the same keys
+// from the same senders — the property the elastic-rescale replay and the
+// sim-vs-threaded equivalence test depend on. All spouts share one
+// materialized key vector (read-only after construction, so thread-safe).
+class CellVectorSpout final : public Spout {
  public:
-  CellZipfSpout(double z, uint64_t keys, uint64_t count, uint64_t seed)
-      : zipf_(z, keys), remaining_(count), rng_(seed) {}
+  CellVectorSpout(std::shared_ptr<const std::vector<uint64_t>> keys,
+                  uint64_t offset, uint64_t stride)
+      : keys_(std::move(keys)), pos_(offset), stride_(stride) {}
 
   bool NextTuple(TopologyTuple* out) override {
-    if (remaining_ == 0) return false;
-    --remaining_;
-    out->key = zipf_.Sample(&rng_);
+    if (pos_ >= keys_->size()) return false;
+    out->key = (*keys_)[pos_];
     out->value = 1;
+    pos_ += stride_;
     return true;
   }
 
  private:
-  ZipfDistribution zipf_;
-  uint64_t remaining_;
-  Rng rng_;
+  std::shared_ptr<const std::vector<uint64_t>> keys_;
+  uint64_t pos_;
+  uint64_t stride_;
 };
 
 Result<CellPayload> RunSimCell(const DspeCellOptions& options,
@@ -70,22 +75,26 @@ Result<CellPayload> RunThreadedCell(const DspeCellOptions& options,
                                     const DspeConfig& config,
                                     const SweepCellContext& ctx) {
   // The same spout->worker shape the simulator models: num_sources spout
-  // tasks splitting the stream evenly, `n` worker-bolt tasks, the cell's
-  // grouping scheme on the single edge. Worker state is a real per-key sum,
-  // so processing cost is genuine work rather than an injected delay.
-  const uint64_t per_source = config.num_messages / config.num_sources;
-  const uint64_t remainder = config.num_messages % config.num_sources;
-  const double z = config.zipf_exponent;
-  const uint64_t keys = config.num_keys;
-  const uint64_t seed = config.seed;
+  // tasks splitting the scenario's stream round-robin, `n` worker-bolt
+  // tasks, the cell's grouping scheme on the single edge. Worker state is a
+  // real per-key sum, so processing cost is genuine work rather than an
+  // injected delay.
+  auto gen = ctx.MakeStream();
+  if (!gen.ok()) return gen.status();
+  auto stream = std::make_shared<std::vector<uint64_t>>();
+  stream->reserve(config.num_messages);
+  for (uint64_t i = 0; i < config.num_messages; ++i) {
+    stream->push_back((*gen)->NextKey());
+  }
+  std::shared_ptr<const std::vector<uint64_t>> shared_stream = stream;
+  const uint32_t num_sources = config.num_sources;
 
   TopologyBuilder builder;
   builder.AddSpout(
       "sources",
-      [=](uint32_t task) {
-        const uint64_t count = per_source + (task < remainder ? 1 : 0);
-        return std::make_unique<CellZipfSpout>(
-            z, keys, count, seed ^ (0x5851f42d4c957f2dULL * (task + 1)));
+      [shared_stream, num_sources](uint32_t task) {
+        return std::make_unique<CellVectorSpout>(shared_stream, task,
+                                                 num_sources);
       },
       config.num_sources);
   Grouping grouping;
@@ -104,8 +113,20 @@ Result<CellPayload> RunThreadedCell(const DspeCellOptions& options,
   topology_options.seed = config.seed;
   topology_options.max_pending_per_spout = config.max_pending_per_source;
 
-  auto result = ExecuteTopologyThreaded(builder.Build(), topology_options,
-                                        options.runtime);
+  // Live elastic rescale: the variant's schedule (the sweep axis in
+  // bench_elastic_rescale) wins over the grid default, mirroring how the
+  // simulator's RunDefault() resolves it.
+  TopologyRuntimeOptions runtime = options.runtime;
+  const RescaleSchedule& schedule = !ctx.variant->rescale.empty()
+                                        ? ctx.variant->rescale
+                                        : ctx.grid->rescale;
+  if (!schedule.empty()) {
+    runtime.rescale.schedule = schedule;
+    runtime.rescale.total_messages = config.num_messages;
+  }
+
+  auto result =
+      ExecuteTopologyThreaded(builder.Build(), topology_options, runtime);
   if (!result.ok()) return result.status();
   const TopologyStats& stats = result.value();
 
@@ -127,6 +148,32 @@ Result<CellPayload> RunThreadedCell(const DspeCellOptions& options,
     snapshot.p99_ms = stats.latency_p99_ms;
     snapshot.max_ms = stats.latency_max_ms;
     payload.latency = snapshot;
+  }
+  if (!schedule.empty()) {
+    // Modeled replay counters go where the simulator puts them (so the
+    // rescale summary tables render both engines uniformly); the live
+    // protocol's measured costs ride as named metric columns.
+    const TopologyRescaleStats& rs = stats.rescale;
+    MigrationCounters mig;
+    mig.final_num_workers = rs.final_parallelism;
+    mig.rescale_events = rs.rescale_events;
+    mig.keys_migrated = rs.keys_migrated;
+    mig.state_bytes_migrated = rs.state_bytes_migrated;
+    mig.stalled_messages = rs.stalled_messages;
+    mig.moved_key_fraction = rs.moved_key_fraction;
+    payload.migration = mig;
+    payload.AddMetric("quiesce_s", rs.total_quiesce_s);
+    payload.AddMetric("credit_drain_s", rs.total_credit_drain_s);
+    payload.AddMetric("migration_stall_s", rs.total_migration_stall_s);
+    payload.AddCount("handoff_frames", rs.handoff_frames);
+    payload.AddCount("measured_stalls", rs.measured_stalled_messages);
+    for (const ComponentStats& comp : stats.components) {
+      if (comp.name == "workers") {
+        payload.sim.final_imbalance = comp.imbalance;
+        payload.sim.worker_loads = comp.task_loads;
+        payload.sim.final_num_workers = rs.final_parallelism;
+      }
+    }
   }
   return payload;
 }

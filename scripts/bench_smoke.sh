@@ -184,6 +184,66 @@ else
   rescale_failures=1
 fi
 
+# Live-rescale guard: bench_elastic_rescale must also work with
+# --engine threaded (worker set mutated on the running topology, key state
+# through real handoff rings). Beyond the sim-engine checks above, the
+# threaded run must MEASURE the protocol: scale-out cells need a strictly
+# positive migration-stall time (resume -> last state install) on top of
+# nonzero migrated keys, and every rescaling row needs a positive quiesce
+# time. Zeros there mean the live protocol silently did nothing — the rot
+# this guard exists to catch.
+THREADED_RESCALE_TSV="$OUT_DIR/bench_elastic_rescale.threaded.tsv"
+threaded_rescale_failures=0
+rescale_bin="$BUILD_DIR/bench/bench_elastic_rescale"
+if [ -x "$rescale_bin" ]; then
+  if ! "$rescale_bin" --engine threaded --messages "$MESSAGES" --runs 1 \
+       > "$THREADED_RESCALE_TSV" 2> "$OUT_DIR/bench_elastic_rescale.threaded.err"; then
+    echo "FAIL  bench_elastic_rescale --engine threaded: non-zero exit" >&2
+    sed 's/^/      /' "$OUT_DIR/bench_elastic_rescale.threaded.err" >&2 || true
+    threaded_rescale_failures=$((threaded_rescale_failures + 1))
+  else
+    tr_rows="$(sed -n '/^# rescale:/,$p' "$THREADED_RESCALE_TSV" \
+                 | grep -v '^#' | grep -c '[^[:space:]]' || true)"
+    if [ "${tr_rows:-0}" -eq 0 ]; then
+      echo "FAIL  bench_elastic_rescale --engine threaded: empty rescale table" >&2
+      threaded_rescale_failures=$((threaded_rescale_failures + 1))
+    else
+      bad_threaded_rescale="$(sed -n '/^# rescale:/,$p' "$THREADED_RESCALE_TSV" | awk -F'\t' '
+        /^# scenario\t/ {
+          for (i = 1; i <= NF; i++) {
+            if ($i == "schedule") sched = i
+            if ($i == "keys_migrated") keys = i
+            if ($i == "quiesce_s") quiesce = i
+            if ($i == "stall_s") stall = i
+          }
+          next
+        }
+        /^#/ || /^[[:space:]]*$/ { next }
+        {
+          if (!keys || !sched || !quiesce || !stall) { print "missing-columns"; exit }
+          if ($sched == "static") next
+          if ($quiesce + 0 <= 0) print $1 "/" $sched "/" $3 ": quiesce_s=" $quiesce
+          if ($sched ~ /^out/) {
+            if ($keys + 0 <= 0) print $1 "/" $sched "/" $3 ": keys_migrated=" $keys
+            if ($stall + 0 <= 0) print $1 "/" $sched "/" $3 ": stall_s=" $stall
+          }
+        }')"
+      if [ -n "$bad_threaded_rescale" ]; then
+        echo "FAIL  bench_elastic_rescale --engine threaded: live protocol" \
+             "not measured in: $bad_threaded_rescale" >&2
+        threaded_rescale_failures=$((threaded_rescale_failures + 1))
+      else
+        echo "OK    bench_elastic_rescale --engine threaded" \
+             "(${tr_rows} rows, measured quiesce/stall all positive)"
+      fi
+    fi
+  fi
+else
+  echo "FAIL  bench_elastic_rescale missing from the build; live-rescale" \
+       "guard cannot run" >&2
+  threaded_rescale_failures=1
+fi
+
 echo "---"
 echo "$((count - failures))/$count bench binaries passed"
 if [ "$headroom_failures" -gt 0 ]; then
@@ -195,4 +255,7 @@ fi
 if [ "$rescale_failures" -gt 0 ]; then
   echo "elastic-rescale migration guard FAILED ($rescale_failures problems)" >&2
 fi
-exit "$(((failures + headroom_failures + threaded_failures + rescale_failures) > 0 ? 1 : 0))"
+if [ "$threaded_rescale_failures" -gt 0 ]; then
+  echo "live-rescale (threaded) guard FAILED ($threaded_rescale_failures problems)" >&2
+fi
+exit "$(((failures + headroom_failures + threaded_failures + rescale_failures + threaded_rescale_failures) > 0 ? 1 : 0))"

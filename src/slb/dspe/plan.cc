@@ -107,6 +107,31 @@ uint64_t EdgeHashSeed(uint64_t base_seed, uint32_t component, size_t edge_index)
          (0x517cc1b727220a95ULL * (edge_index + 1));
 }
 
+Result<ElasticTargetPlan> ResolveElasticTarget(const TopologyPlan& plan,
+                                               const std::string& component) {
+  if (plan.components.size() != 2 || plan.num_spout_components != 1) {
+    return Status::InvalidArgument(
+        "live rescale requires exactly one spout component feeding one bolt "
+        "component");
+  }
+  const PlannedComponent& spout = plan.components[0];
+  const PlannedComponent& bolt = plan.components[1];
+  if (spout.outputs.size() != 1 || spout.outputs[0].to_component != 1) {
+    return Status::InvalidArgument(
+        "live rescale requires a single spout->bolt edge");
+  }
+  if (!bolt.outputs.empty()) {
+    return Status::InvalidArgument(
+        "live rescale requires the rescaled bolt to be a sink");
+  }
+  if (!component.empty() && component != bolt.name) {
+    return Status::InvalidArgument("rescale target component '" + component +
+                                   "' is not the topology's bolt '" +
+                                   bolt.name + "'");
+  }
+  return ElasticTargetPlan{0, 1};
+}
+
 Result<std::vector<std::unique_ptr<StreamPartitioner>>> MakeEdgePartitioners(
     const TopologyPlan& plan, uint32_t component, uint64_t base_hash_seed) {
   const PlannedComponent& comp = plan.components[component];

@@ -59,4 +59,19 @@ uint64_t EdgeHashSeed(uint64_t base_seed, uint32_t component, size_t edge_index)
 Result<std::vector<std::unique_ptr<StreamPartitioner>>> MakeEdgePartitioners(
     const TopologyPlan& plan, uint32_t component, uint64_t base_hash_seed);
 
+/// The spout/bolt pair a live rescale schedule operates on.
+struct ElasticTargetPlan {
+  uint32_t spout_component = 0;
+  uint32_t bolt_component = 0;
+};
+
+/// Resolves the component a ThreadedRescaleSchedule targets. Live rescale is
+/// supported on exactly the paper's simulation DAG: one spout component
+/// feeding one sink bolt component over a single partitioned edge (the shape
+/// RunPartitionSimulation models, which keeps the replayed migration
+/// accounting byte-comparable to the simulator). `component` may be empty
+/// (meaning "the one bolt") or must name that bolt.
+Result<ElasticTargetPlan> ResolveElasticTarget(const TopologyPlan& plan,
+                                               const std::string& component);
+
 }  // namespace slb

@@ -3,10 +3,14 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
+#include <deque>
 #include <exception>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <thread>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -14,6 +18,7 @@
 #include "slb/common/logging.h"
 #include "slb/dspe/plan.h"
 #include "slb/dspe/spsc_queue.h"
+#include "slb/hash/hash.h"
 
 namespace slb {
 namespace {
@@ -54,6 +59,24 @@ struct OutEdge {
   std::vector<size_t> flushed;                // prefix of buffer already sent
 };
 
+// Spout trigger sentinel: no rescale event pending for this spout.
+constexpr uint64_t kNoTrigger = ~0ULL;
+
+// Key-state handoff frames, carried on dedicated SPSC rings between bolt
+// workers of the rescaled component. kStateFrame ships one key's state to
+// its new owner; kPullRequest asks the owner named by the directory to ship
+// it (the lazy scale-out pull).
+constexpr uint32_t kStateFrame = 0;
+constexpr uint32_t kPullRequest = 1;
+constexpr uint32_t kHandoffRingCapacity = 128;
+
+struct HandoffFrame {
+  uint64_t key = 0;
+  uint64_t value = 0;
+  uint32_t kind = kStateFrame;
+  uint32_t from_worker = 0;  // sender's worker index in the rescaled bolt
+};
+
 struct TaskState {
   uint32_t task_id = 0;
   uint32_t component = 0;
@@ -73,13 +96,104 @@ struct TaskState {
   std::atomic<uint32_t> in_flight{0};
   uint32_t slot_cursor = 0;
   bool exhausted = false;
+
+  // --- Elastic rescale (all meaningful only when Runtime::elastic set). ----
+  // Spout side: pause after `processed == next_trigger` emissions; the
+  // routed stream is logged for the post-run migration replay.
+  uint64_t next_trigger = kNoTrigger;
+  bool paused = false;
+  bool log_routing = false;
+  SenderRoutingLog routing_log;
+  // Bolt side: membership in the rescaled component, scale-in drain state,
+  // and the key-state handoff mesh endpoints this task owns.
+  bool elastic = false;
+  bool draining = false;
+  bool retired = false;
+  std::vector<uint64_t> drain_keys;
+  size_t drain_cursor = 0;
+  std::vector<std::pair<TaskState*, SpscRing<HandoffFrame>*>> handoff_out;
+  std::vector<SpscRing<HandoffFrame>*> handoff_in;
+  std::vector<std::pair<TaskState*, HandoffFrame>> handoff_stash;
 };
+
+// Live-rescale coordination. Ownership discipline: fields below the barrier
+// block are written only by the mutator (the last executor to park at a
+// barrier) or before threads start; every executor re-reads them only after
+// the barrier generation advances, so barrier_mu carries the happens-before.
+struct ElasticState {
+  // Static configuration.
+  uint32_t spout_component = 0;
+  uint32_t bolt_component = 0;
+  uint32_t num_spouts = 0;
+  uint64_t edge_hash_seed = 0;
+  RescaleCostModel cost;
+  BoltFactory bolt_factory;
+  uint64_t thread_seed_base = 0;
+
+  struct PendingEvent {
+    uint64_t at_message = 0;
+    uint32_t num_workers = 0;
+  };
+  std::vector<PendingEvent> pending;
+
+  // Mutator-owned topology view.
+  size_t next_event = 0;
+  std::vector<TaskState*> spouts;      // elastic spout tasks, index order
+  std::vector<TaskState*> workers;     // live bolt tasks by worker index
+  std::vector<TaskState*> bolt_tasks;  // every bolt task ever (stats)
+  std::vector<TaskState*> draining;    // scale-in tasks not yet settled
+  std::vector<RescaleFiredEvent> fired;
+
+  // Quiesce barrier: phase flips 0->1 when every spout sits at its trigger
+  // and every in-flight tuple tree has acked; threads then park on the
+  // generation barrier and the last arrival mutates the worker set.
+  std::mutex barrier_mu;
+  std::condition_variable barrier_cv;
+  uint64_t barrier_gen = 0;      // guarded by barrier_mu
+  uint32_t barrier_waiting = 0;  // guarded by barrier_mu
+  uint32_t active_threads = 0;   // guarded by barrier_mu
+  std::atomic<uint32_t> spouts_quiesced{0};
+  std::atomic<uint32_t> phase{0};
+  std::atomic<bool> cancelled{false};
+
+  // Migration directory: the keys that still owe a move this window.
+  // Scale-in entries are created at the barrier (frames_pending = number of
+  // removed holders); scale-out entries hold the lazy owner lists and
+  // resolve on first post-event touch. dir_active mirrors directory.size()
+  // so the per-tuple hot path can skip the lock when nothing is pending
+  // (entries are only created at barriers, so a stale zero is impossible
+  // while a key is actually unresolved).
+  struct DirEntry {
+    std::vector<uint32_t> owners;
+    uint32_t frames_pending = 0;
+  };
+  std::mutex dir_mu;
+  std::unordered_map<uint64_t, DirEntry> directory;  // guarded by dir_mu
+  std::atomic<uint64_t> dir_active{0};
+  std::atomic<uint64_t> inflight_keys{0};
+  std::atomic<uint32_t> draining_tasks{0};
+
+  // Measured protocol costs.
+  std::atomic<uint64_t> handoff_frames{0};
+  std::atomic<uint64_t> measured_stalls{0};
+  std::atomic<int64_t> quiesce_start_ns{0};
+  std::atomic<int64_t> drain_done_ns{0};
+  std::atomic<int64_t> stall_window_start_ns{0};
+  std::atomic<int64_t> last_install_ns{0};
+  double total_quiesce_s = 0.0;          // mutator / post-join main only
+  double total_credit_drain_s = 0.0;     // mutator / post-join main only
+  double total_migration_stall_s = 0.0;  // mutator / post-join main only
+};
+
+struct ThreadCtx;
 
 struct Runtime {
   std::vector<std::unique_ptr<TaskState>> tasks;
   std::vector<std::unique_ptr<SpscRing<RtTuple>>> rings;
+  std::vector<std::unique_ptr<SpscRing<HandoffFrame>>> handoff_rings;
   uint32_t batch_size = 64;
   uint32_t max_pending = 1;
+  uint32_t queue_capacity = 1024;
   uint64_t max_tuples = 0;
 
   std::chrono::steady_clock::time_point start;
@@ -87,6 +201,15 @@ struct Runtime {
   std::atomic<uint64_t> active_roots{0};
   std::atomic<uint64_t> total_processed{0};
   std::atomic<bool> stop{false};
+
+  std::unique_ptr<ElasticState> elastic;  // null = static worker set
+
+  // Executor threads and their contexts. A scale-out barrier appends while
+  // the main thread is join-looping, so both live behind spawn_mu and the
+  // thread container is a deque (stable references across growth).
+  std::mutex spawn_mu;
+  std::deque<std::thread> threads;                   // guarded by spawn_mu
+  std::vector<std::unique_ptr<ThreadCtx>> contexts;  // guarded by spawn_mu
 
   std::mutex error_mu;
   Status first_error;  // guarded by error_mu
@@ -116,6 +239,21 @@ struct ThreadCtx {
   double last_ack_s = 0.0;
   uint64_t processed_delta = 0;
 };
+
+void ThreadMain(Runtime& rt, ThreadCtx& ctx);
+
+int64_t NowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// Messages spout s (of S, fed round-robin) emits before global position p:
+// the count of i < p with i == s (mod S). Triggers derived this way make the
+// threaded engine fire events at exactly the simulator's stream positions.
+uint64_t PreCount(uint64_t p, uint32_t s, uint32_t num_spouts) {
+  return p > s ? (p - s - 1) / num_spouts + 1 : 0;
+}
 
 // Attempts to publish every buffered tuple; returns true if any tuple moved.
 bool FlushTask(TaskState& task) {
@@ -155,6 +293,10 @@ void RouteDownstream(Runtime& rt, TaskState& task, const TopologyTuple& tuple,
   for (size_t e = 0; e < task.out.size(); ++e) {
     OutEdge& edge = task.out[e];
     const uint32_t dest = task.partitioners[e]->Route(tuple.key);
+    if (task.log_routing && e == 0) {
+      task.routing_log.keys.push_back(tuple.key);
+      task.routing_log.workers.push_back(dest);
+    }
     root.pending.fetch_add(1, std::memory_order_relaxed);
     edge.buffers[dest].push_back(
         RtTuple{tuple.key, tuple.value, spout_task, root_slot});
@@ -195,13 +337,173 @@ uint32_t ClaimRootSlot(TaskState& task) {
   return 0;
 }
 
+// ---------------------------------------------------------------------------
+// Key-state handoff mesh.
+// ---------------------------------------------------------------------------
+
+SpscRing<HandoffFrame>* FindHandoffRing(TaskState& from, const TaskState* to) {
+  for (auto& [dest, ring] : from.handoff_out) {
+    if (dest == to) return ring;
+  }
+  return nullptr;
+}
+
+// Sends one frame from `from` toward `to`, stashing on a full ring (the
+// stash preserves order and is retried each quantum — natural backpressure
+// for the drain pace). Counts the frame exactly once, at send time.
+void PushHandoff(ElasticState& els, TaskState& from, TaskState* to,
+                 const HandoffFrame& frame) {
+  els.handoff_frames.fetch_add(1, std::memory_order_relaxed);
+  if (!from.handoff_stash.empty()) {
+    from.handoff_stash.emplace_back(to, frame);
+    return;
+  }
+  SpscRing<HandoffFrame>* ring = FindHandoffRing(from, to);
+  SLB_CHECK(ring != nullptr) << "no handoff ring for worker pair";
+  if (ring == nullptr || !ring->TryPush(frame)) {
+    from.handoff_stash.emplace_back(to, frame);
+  }
+}
+
+bool FlushHandoffStash(TaskState& task) {
+  bool moved = false;
+  auto& stash = task.handoff_stash;
+  for (size_t i = 0; i < stash.size();) {
+    SpscRing<HandoffFrame>* ring = FindHandoffRing(task, stash[i].first);
+    SLB_CHECK(ring != nullptr) << "no handoff ring for stashed frame";
+    if (ring != nullptr && ring->TryPush(stash[i].second)) {
+      stash.erase(stash.begin() + i);  // stashes are tiny; O(n) is fine
+      moved = true;
+    } else {
+      ++i;
+    }
+  }
+  return moved;
+}
+
+// A state frame landed: retire its directory obligation. Erasing the entry
+// (once all expected frames arrived) is what re-opens the key's hot path.
+void ResolveInstalledKey(ElasticState& els, uint64_t key) {
+  std::lock_guard<std::mutex> lock(els.dir_mu);
+  auto it = els.directory.find(key);
+  SLB_CHECK(it != els.directory.end()) << "state frame for unknown key";
+  if (--it->second.frames_pending == 0) {
+    els.directory.erase(it);
+    els.dir_active.fetch_sub(1, std::memory_order_relaxed);
+    els.inflight_keys.fetch_sub(1, std::memory_order_relaxed);
+  }
+  els.last_install_ns.store(NowNs(), std::memory_order_relaxed);
+}
+
+// Services this worker's side of the handoff mesh: retries the stash, then
+// drains incoming frames — installing state, or answering pull requests by
+// extracting the key and shipping it back.
+bool ServiceHandoffs(ElasticState& els, TaskState& task) {
+  bool did_work = FlushHandoffStash(task);
+  HandoffFrame frame;
+  for (SpscRing<HandoffFrame>* ring : task.handoff_in) {
+    while (ring->TryPop(&frame)) {
+      did_work = true;
+      if (frame.kind == kStateFrame) {
+        task.bolt->InstallKeyState(frame.key, frame.value);
+        ResolveInstalledKey(els, frame.key);
+      } else {
+        uint64_t value = 0;
+        task.bolt->ExtractKeyState(frame.key, &value);
+        PushHandoff(els, task, els.workers[frame.from_worker],
+                    HandoffFrame{frame.key, value, kStateFrame, task.index});
+      }
+    }
+  }
+  return did_work;
+}
+
+// Per-tuple migration check on the rescaled bolt, active only while the
+// directory is non-empty. Mirrors MigrationTracker::OnMessage: a key whose
+// state is in flight counts as a measured stall (the tuple is processed
+// anyway; counters merge once the frame lands); a key landing on a worker
+// that already holds its state resolves without moving; a key landing
+// anywhere else pulls the state from its lowest-indexed owner.
+void ElasticCheck(ElasticState& els, TaskState& task, uint64_t key) {
+  std::lock_guard<std::mutex> lock(els.dir_mu);
+  auto it = els.directory.find(key);
+  if (it == els.directory.end()) return;
+  ElasticState::DirEntry& entry = it->second;
+  if (entry.frames_pending > 0) {
+    els.measured_stalls.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  const uint32_t self = task.index;
+  if (std::find(entry.owners.begin(), entry.owners.end(), self) !=
+      entry.owners.end()) {
+    els.directory.erase(it);  // checked, nothing moves
+    els.dir_active.fetch_sub(1, std::memory_order_relaxed);
+    return;
+  }
+  const uint32_t owner = entry.owners.front();
+  entry.frames_pending = 1;
+  els.inflight_keys.fetch_add(1, std::memory_order_relaxed);
+  PushHandoff(els, task, els.workers[owner],
+              HandoffFrame{key, 0, kPullRequest, task.index});
+}
+
+// Quantum of a worker removed by scale-in: stream its sorted key state to
+// the survivors at batch pace, then retire. The thread hosting it exits once
+// every task it owns has retired.
+bool DrainQuantum(Runtime& rt, ElasticState& els, TaskState& task) {
+  bool did_work = FlushHandoffStash(task);
+  if (!task.handoff_stash.empty()) return did_work;
+  const uint32_t n_live = static_cast<uint32_t>(els.workers.size());
+  uint32_t budget = rt.batch_size;
+  while (budget > 0 && task.drain_cursor < task.drain_keys.size()) {
+    const uint64_t key = task.drain_keys[task.drain_cursor++];
+    uint64_t value = 0;
+    task.bolt->ExtractKeyState(key, &value);
+    const uint32_t dest =
+        HashToRange(SeededHash64(key, els.edge_hash_seed), n_live);
+    PushHandoff(els, task, els.workers[dest],
+                HandoffFrame{key, value, kStateFrame, task.index});
+    --budget;
+    did_work = true;
+    if (!task.handoff_stash.empty()) break;  // ring full: resume next quantum
+  }
+  if (task.drain_cursor == task.drain_keys.size() &&
+      task.handoff_stash.empty()) {
+    task.draining = false;
+    task.retired = true;
+    els.draining_tasks.fetch_sub(1, std::memory_order_relaxed);
+    did_work = true;
+  }
+  return did_work;
+}
+
 bool SpoutQuantum(Runtime& rt, ThreadCtx& ctx, TaskState& task) {
   bool did_work = FlushTask(task);
-  // Emitting while a stash is pending would reorder tuples per destination;
-  // hold off until backpressure clears.
   if (!AllFlushed(task) || task.exhausted) return did_work;
 
+  ElasticState* els = rt.elastic.get();
+  if (els != nullptr && task.paused) {
+    if (!els->cancelled.load(std::memory_order_acquire)) return did_work;
+    // The schedule was cancelled while this spout sat at its trigger.
+    task.paused = false;
+    task.next_trigger = kNoTrigger;
+    els->spouts_quiesced.fetch_sub(1, std::memory_order_acq_rel);
+  }
+
   for (uint32_t n = 0; n < rt.batch_size; ++n) {
+    if (els != nullptr && task.processed == task.next_trigger) {
+      if (els->cancelled.load(std::memory_order_acquire)) {
+        task.next_trigger = kNoTrigger;
+      } else {
+        // Quiesce point: pause before emitting the first post-event tuple.
+        task.paused = true;
+        els->spouts_quiesced.fetch_add(1, std::memory_order_acq_rel);
+        int64_t expected = 0;
+        els->quiesce_start_ns.compare_exchange_strong(
+            expected, NowNs(), std::memory_order_acq_rel);
+        break;
+      }
+    }
     if (task.in_flight.load(std::memory_order_relaxed) >= rt.max_pending) {
       break;  // credit window exhausted: wait for acks (backpressure)
     }
@@ -209,6 +511,13 @@ bool SpoutQuantum(Runtime& rt, ThreadCtx& ctx, TaskState& task) {
     if (!task.spout->NextTuple(&tuple)) {
       task.exhausted = true;
       rt.active_spouts.fetch_sub(1, std::memory_order_relaxed);
+      if (els != nullptr && task.next_trigger != kNoTrigger) {
+        // The stream ran out short of the schedule's promised length: this
+        // spout can never reach its trigger, so no barrier can assemble.
+        // Cancel the remaining events (paused peers release themselves).
+        els->cancelled.store(true, std::memory_order_release);
+        els->quiesce_start_ns.store(0, std::memory_order_relaxed);
+      }
       break;
     }
     ++task.processed;
@@ -229,7 +538,10 @@ bool SpoutQuantum(Runtime& rt, ThreadCtx& ctx, TaskState& task) {
 }
 
 bool BoltQuantum(Runtime& rt, ThreadCtx& ctx, TaskState& task) {
-  bool did_work = FlushTask(task);
+  ElasticState* els = rt.elastic.get();
+  bool did_work = false;
+  if (els != nullptr && task.elastic) did_work |= ServiceHandoffs(*els, task);
+  did_work |= FlushTask(task);
   if (!AllFlushed(task)) return did_work;  // backpressure: do not consume
 
   uint32_t budget = rt.batch_size;
@@ -251,6 +563,10 @@ bool BoltQuantum(Runtime& rt, ThreadCtx& ctx, TaskState& task) {
 
     for (size_t i = 0; i < popped; ++i) {
       const RtTuple& in = chunk[i];
+      if (els != nullptr && task.elastic &&
+          els->dir_active.load(std::memory_order_relaxed) > 0) {
+        ElasticCheck(*els, task, in.key);
+      }
       task.collector.emitted.clear();
       task.bolt->Execute(TopologyTuple{in.key, in.value}, &task.collector);
       ++task.processed;
@@ -267,13 +583,364 @@ bool BoltQuantum(Runtime& rt, ThreadCtx& ctx, TaskState& task) {
   return did_work;
 }
 
+// ---------------------------------------------------------------------------
+// Barrier-time mutation (runs with every other executor parked).
+// ---------------------------------------------------------------------------
+
+void CloseStallWindow(ElasticState& els) {
+  const int64_t start =
+      els.stall_window_start_ns.load(std::memory_order_relaxed);
+  const int64_t last = els.last_install_ns.load(std::memory_order_relaxed);
+  if (start != 0 && last > start) {
+    els.total_migration_stall_s += static_cast<double>(last - start) * 1e-9;
+  }
+  els.stall_window_start_ns.store(0, std::memory_order_relaxed);
+  els.last_install_ns.store(0, std::memory_order_relaxed);
+}
+
+// Delivers one frame directly (no rings; mutator only). A pull request both
+// extracts at the owner and installs at the requester in one step.
+void DeliverInline(ElasticState& els, TaskState* to,
+                   const HandoffFrame& frame) {
+  if (frame.kind == kStateFrame) {
+    to->bolt->InstallKeyState(frame.key, frame.value);
+    ResolveInstalledKey(els, frame.key);
+    return;
+  }
+  uint64_t value = 0;
+  to->bolt->ExtractKeyState(frame.key, &value);
+  els.handoff_frames.fetch_add(1, std::memory_order_relaxed);
+  TaskState* requester = els.workers[frame.from_worker];
+  requester->bolt->InstallKeyState(frame.key, value);
+  ResolveInstalledKey(els, frame.key);
+}
+
+// Forces the previous window's migration to completion so the next event
+// never straddles an unfinished one: pumps stashes and rings to a fixpoint
+// (a pull request spawns a state frame), finishes any scale-in drain inline,
+// and clears the directory. Lazy entries whose keys were never touched keep
+// their state where it is — exactly the lazy protocol.
+void SettleHandoffs(ElasticState& els) {
+  bool moved = true;
+  while (moved) {
+    moved = false;
+    for (TaskState* t : els.bolt_tasks) {
+      for (auto& [to, frame] : t->handoff_stash) {
+        DeliverInline(els, to, frame);
+        moved = true;
+      }
+      t->handoff_stash.clear();
+      HandoffFrame frame;
+      for (SpscRing<HandoffFrame>* ring : t->handoff_in) {
+        while (ring->TryPop(&frame)) {
+          DeliverInline(els, t, frame);
+          moved = true;
+        }
+      }
+    }
+  }
+  const uint32_t n_live = static_cast<uint32_t>(els.workers.size());
+  for (TaskState* t : els.draining) {
+    if (t->retired) continue;
+    while (t->drain_cursor < t->drain_keys.size()) {
+      const uint64_t key = t->drain_keys[t->drain_cursor++];
+      uint64_t value = 0;
+      t->bolt->ExtractKeyState(key, &value);
+      els.handoff_frames.fetch_add(1, std::memory_order_relaxed);
+      const uint32_t dest =
+          HashToRange(SeededHash64(key, els.edge_hash_seed), n_live);
+      els.workers[dest]->bolt->InstallKeyState(key, value);
+      ResolveInstalledKey(els, key);
+    }
+    t->draining = false;
+    t->retired = true;
+    els.draining_tasks.fetch_sub(1, std::memory_order_relaxed);
+  }
+  els.draining.clear();
+  SLB_CHECK(els.draining_tasks.load(std::memory_order_relaxed) == 0);
+  {
+    std::lock_guard<std::mutex> lock(els.dir_mu);
+    for (const auto& [key, entry] : els.directory) {
+      (void)key;
+      SLB_CHECK(entry.frames_pending == 0)
+          << "unsettled handoff frame at barrier";
+    }
+    els.directory.clear();
+    els.dir_active.store(0, std::memory_order_relaxed);
+  }
+  SLB_CHECK(els.inflight_keys.load(std::memory_order_relaxed) == 0);
+}
+
+void EnsureHandoffRing(Runtime& rt, TaskState* from, TaskState* to) {
+  if (from == to || FindHandoffRing(*from, to) != nullptr) return;
+  rt.handoff_rings.push_back(
+      std::make_unique<SpscRing<HandoffFrame>>(kHandoffRingCapacity));
+  SpscRing<HandoffFrame>* ring = rt.handoff_rings.back().get();
+  from->handoff_out.emplace_back(to, ring);
+  to->handoff_in.push_back(ring);
+}
+
+// Scale-in: the top (old_n - new_n) workers leave the routing range and
+// enter drain mode — after resume they stream their sorted key state to
+// HashToRange-chosen survivors and then retire. The directory pins every
+// affected key until its state lands (tuples arriving earlier count as
+// measured stalls).
+void ScaleIn(Runtime& rt, ElasticState& els, uint32_t new_n) {
+  const uint32_t old_n = static_cast<uint32_t>(els.workers.size());
+  std::lock_guard<std::mutex> dir_lock(els.dir_mu);
+  for (uint32_t w = new_n; w < old_n; ++w) {
+    TaskState* t = els.workers[w];
+    t->drain_keys.clear();
+    t->bolt->AppendStateKeys(&t->drain_keys);
+    std::sort(t->drain_keys.begin(), t->drain_keys.end());
+    t->drain_cursor = 0;
+    t->draining = true;
+    els.draining.push_back(t);
+    els.draining_tasks.fetch_add(1, std::memory_order_relaxed);
+    for (uint64_t key : t->drain_keys) {
+      const uint32_t dest =
+          HashToRange(SeededHash64(key, els.edge_hash_seed), new_n);
+      auto [it, inserted] =
+          els.directory.try_emplace(key, ElasticState::DirEntry{{dest}, 0});
+      if (inserted) {
+        els.dir_active.fetch_add(1, std::memory_order_relaxed);
+        els.inflight_keys.fetch_add(1, std::memory_order_relaxed);
+      }
+      ++it->second.frames_pending;
+    }
+    for (uint32_t d = 0; d < new_n; ++d) {
+      EnsureHandoffRing(rt, t, els.workers[d]);
+    }
+  }
+  els.workers.resize(new_n);
+}
+
+// Scale-out: spawns fresh bolt tasks for worker indices [old_n, new_n),
+// wires new data rings from every spout (replacing the drained rings of any
+// previously retired worker at a reused index), builds the lazy owner
+// directory over every live key, extends the handoff mesh to all live
+// pairs, and starts ONE new executor thread owning the new tasks.
+void ScaleOut(Runtime& rt, ElasticState& els, uint32_t new_n) {
+  const uint32_t old_n = static_cast<uint32_t>(els.workers.size());
+  {
+    std::lock_guard<std::mutex> lock(els.dir_mu);
+    for (uint32_t w = 0; w < old_n; ++w) {
+      std::vector<uint64_t> keys;
+      els.workers[w]->bolt->AppendStateKeys(&keys);
+      for (uint64_t key : keys) {
+        auto [it, inserted] =
+            els.directory.try_emplace(key, ElasticState::DirEntry{});
+        if (inserted) els.dir_active.fetch_add(1, std::memory_order_relaxed);
+        it->second.owners.push_back(w);
+      }
+    }
+  }
+
+  ThreadCtx* ctx = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(rt.spawn_mu);
+    rt.contexts.push_back(std::make_unique<ThreadCtx>(
+        els.thread_seed_base ^
+        (0x9e3779b97f4a7c15ULL * (rt.contexts.size() + 1))));
+    ctx = rt.contexts.back().get();
+  }
+  for (uint32_t w = old_n; w < new_n; ++w) {
+    auto task = std::make_unique<TaskState>();
+    task->task_id = static_cast<uint32_t>(rt.tasks.size());
+    task->component = els.bolt_component;
+    task->index = w;
+    task->elastic = true;
+    task->bolt = els.bolt_factory(w);
+    SLB_CHECK(task->bolt != nullptr) << "bolt factory returned null";
+    task->bolt->Prepare(w, new_n);
+    SLB_CHECK(task->bolt->SupportsStateHandoff());
+    TaskState* raw = task.get();
+    for (TaskState* spout : els.spouts) {
+      rt.rings.push_back(
+          std::make_unique<SpscRing<RtTuple>>(rt.queue_capacity));
+      SpscRing<RtTuple>* ring = rt.rings.back().get();
+      OutEdge& out = spout->out[0];
+      if (w < out.rings.size()) {
+        // A retired worker owned this index before; its ring is drained and
+        // orphaned — swap in a fresh one.
+        SLB_CHECK(out.rings[w]->EmptyApprox());
+        SLB_CHECK(out.buffers[w].empty());
+        out.rings[w] = ring;
+        out.flushed[w] = 0;
+      } else {
+        SLB_CHECK(out.rings.size() == w);
+        out.rings.push_back(ring);
+        out.buffers.emplace_back();
+        out.flushed.push_back(0);
+      }
+      raw->inputs.push_back(ring);
+    }
+    rt.tasks.push_back(std::move(task));
+    els.workers.push_back(raw);
+    els.bolt_tasks.push_back(raw);
+    ctx->tasks.push_back(raw);
+  }
+  // Lazy pulls flow between any live pair once the window opens.
+  for (TaskState* a : els.workers) {
+    for (TaskState* b : els.workers) EnsureHandoffRing(rt, a, b);
+  }
+  ++els.active_threads;  // caller (the mutator) holds barrier_mu
+  {
+    std::lock_guard<std::mutex> lock(rt.spawn_mu);
+    rt.threads.emplace_back(ThreadMain, std::ref(rt), std::ref(*ctx));
+  }
+}
+
+// Runs with barrier_mu held and every other live executor parked: settles
+// the previous migration window, audits the quiesce invariants, fires the
+// next event (rescaling every sender's partitioner in lockstep, exactly like
+// the simulator's event loop), reprograms triggers, and opens the next
+// measured stall window.
+void MutateAtBarrier(Runtime& rt) {
+  ElasticState& els = *rt.elastic;
+  const int64_t quiesce_start =
+      els.quiesce_start_ns.load(std::memory_order_relaxed);
+  const int64_t drain_done = els.drain_done_ns.load(std::memory_order_relaxed);
+
+  SettleHandoffs(els);
+  CloseStallWindow(els);
+
+  // Credit-backpressure audit (the regression pin): a quiesced topology has
+  // no live root trees, no unreturned spout credit, and empty transport.
+  SLB_CHECK(rt.active_roots.load(std::memory_order_acquire) == 0)
+      << "root trees alive across quiesce";
+  for (TaskState* spout : els.spouts) {
+    SLB_CHECK(spout->in_flight.load(std::memory_order_acquire) == 0)
+        << "spout credit not returned across quiesce";
+    SLB_CHECK(AllFlushed(*spout)) << "spout emit buffer non-empty at barrier";
+    SLB_CHECK(spout->paused && spout->processed == spout->next_trigger)
+        << "spout not at its trigger at barrier";
+  }
+  for (const auto& ring : rt.rings) {
+    SLB_CHECK(ring->EmptyApprox()) << "data ring non-empty at barrier";
+  }
+
+  SLB_CHECK(els.next_event < els.pending.size());
+  const ElasticState::PendingEvent event = els.pending[els.next_event++];
+  const uint32_t old_n = static_cast<uint32_t>(els.workers.size());
+  if (event.num_workers != old_n) {
+    els.fired.push_back(
+        RescaleFiredEvent{event.at_message, old_n, event.num_workers});
+    for (TaskState* spout : els.spouts) {
+      Status status = spout->partitioners[0]->Rescale(event.num_workers);
+      if (!status.ok()) {
+        rt.Fail(std::move(status));
+        return;
+      }
+    }
+    if (event.num_workers < old_n) {
+      ScaleIn(rt, els, event.num_workers);
+    } else {
+      ScaleOut(rt, els, event.num_workers);
+    }
+  }
+
+  // Next trigger may equal the current position (stacked events): the spout
+  // then re-pauses before emitting anything and the next barrier fires it.
+  for (TaskState* spout : els.spouts) {
+    spout->next_trigger =
+        els.next_event < els.pending.size()
+            ? PreCount(els.pending[els.next_event].at_message, spout->index,
+                       els.num_spouts)
+            : kNoTrigger;
+    spout->paused = false;
+  }
+  els.spouts_quiesced.store(0, std::memory_order_relaxed);
+
+  const int64_t resume = NowNs();
+  if (quiesce_start != 0) {
+    els.total_credit_drain_s +=
+        static_cast<double>(drain_done - quiesce_start) * 1e-9;
+    els.total_quiesce_s +=
+        static_cast<double>(resume - quiesce_start) * 1e-9;
+  }
+  els.quiesce_start_ns.store(0, std::memory_order_relaxed);
+  els.drain_done_ns.store(0, std::memory_order_relaxed);
+  els.stall_window_start_ns.store(resume, std::memory_order_relaxed);
+  els.last_install_ns.store(0, std::memory_order_relaxed);
+}
+
+// Generation barrier every executor parks on while phase == 1. The last
+// arrival (counting threads that already exited) becomes the mutator; a
+// waiter that becomes last after a peer exits takes over. wait_for keeps the
+// barrier live across Fail() from any thread.
+void ParkAtBarrier(Runtime& rt) {
+  ElasticState& els = *rt.elastic;
+  std::unique_lock<std::mutex> lock(els.barrier_mu);
+  if (els.phase.load(std::memory_order_acquire) != 1) {
+    return;  // stale observation (e.g. a freshly spawned thread)
+  }
+  const uint64_t gen = els.barrier_gen;
+  ++els.barrier_waiting;
+  auto mutate_and_release = [&]() {
+    try {
+      MutateAtBarrier(rt);
+    } catch (const std::exception& e) {
+      rt.Fail(Status::Internal(std::string("rescale mutation threw: ") +
+                               e.what()));
+    } catch (...) {
+      rt.Fail(Status::Internal("rescale mutation threw a non-std exception"));
+    }
+    --els.barrier_waiting;
+    ++els.barrier_gen;
+    els.phase.store(0, std::memory_order_release);
+    els.barrier_cv.notify_all();
+  };
+  if (els.barrier_waiting == els.active_threads) {
+    mutate_and_release();
+    return;
+  }
+  while (els.barrier_gen == gen) {
+    if (rt.stop.load(std::memory_order_acquire)) break;
+    els.barrier_cv.wait_for(lock, std::chrono::milliseconds(1));
+    if (els.barrier_gen == gen && !rt.stop.load(std::memory_order_acquire) &&
+        els.barrier_waiting == els.active_threads) {
+      mutate_and_release();
+      return;
+    }
+  }
+  --els.barrier_waiting;
+}
+
 void ThreadMain(Runtime& rt, ThreadCtx& ctx) {
+  ElasticState* els = rt.elastic.get();
   while (!rt.stop.load(std::memory_order_acquire)) {
+    if (els != nullptr) {
+      if (els->phase.load(std::memory_order_acquire) == 1) {
+        ParkAtBarrier(rt);
+        continue;
+      }
+      if (els->spouts_quiesced.load(std::memory_order_acquire) ==
+              els->num_spouts &&
+          !els->cancelled.load(std::memory_order_acquire) &&
+          rt.active_roots.load(std::memory_order_acquire) == 0) {
+        // Every spout sits at its trigger and every in-flight tree has
+        // acked: the topology is quiescent. First observer opens the
+        // barrier; drain_done stamps the credit-drain endpoint.
+        uint32_t expected = 0;
+        if (els->phase.compare_exchange_strong(expected, 1,
+                                               std::memory_order_acq_rel)) {
+          els->drain_done_ns.store(NowNs(), std::memory_order_relaxed);
+        }
+        continue;
+      }
+    }
     bool did_work = false;
     try {
       for (TaskState* task : ctx.tasks) {
-        did_work |= task->spout != nullptr ? SpoutQuantum(rt, ctx, *task)
-                                           : BoltQuantum(rt, ctx, *task);
+        if (task->retired) continue;
+        if (task->draining) {
+          did_work |= DrainQuantum(rt, *els, *task);
+        } else if (task->spout != nullptr) {
+          did_work |= SpoutQuantum(rt, ctx, *task);
+        } else {
+          did_work |= BoltQuantum(rt, ctx, *task);
+        }
       }
     } catch (const std::exception& e) {
       rt.Fail(Status::Internal(std::string("topology task threw: ") + e.what()));
@@ -294,9 +961,24 @@ void ThreadMain(Runtime& rt, ThreadCtx& ctx) {
         return;
       }
     }
+    if (els != nullptr && !ctx.tasks.empty()) {
+      bool all_retired = true;
+      for (const TaskState* task : ctx.tasks) all_retired &= task->retired;
+      if (all_retired) {
+        // Every task this thread owned drained away in a scale-in: retire
+        // the thread. The decrement may make a parked peer the mutator.
+        std::lock_guard<std::mutex> lock(els->barrier_mu);
+        --els->active_threads;
+        els->barrier_cv.notify_all();
+        return;
+      }
+    }
     if (!did_work) {
       if (rt.active_spouts.load(std::memory_order_acquire) == 0 &&
-          rt.active_roots.load(std::memory_order_acquire) == 0) {
+          rt.active_roots.load(std::memory_order_acquire) == 0 &&
+          (els == nullptr ||
+           (els->draining_tasks.load(std::memory_order_acquire) == 0 &&
+            els->inflight_keys.load(std::memory_order_acquire) == 0))) {
         rt.stop.store(true, std::memory_order_release);
         return;
       }
@@ -319,15 +1001,35 @@ Result<TopologyStats> ExecuteTopologyThreaded(
   if (runtime_options.batch_size < 1) {
     return Status::InvalidArgument("batch_size must be >= 1");
   }
+  const bool elastic = !runtime_options.rescale.empty();
+  if (elastic) {
+    if (Status status =
+            ValidateRescaleSchedule(runtime_options.rescale.schedule);
+        !status.ok()) {
+      return status;
+    }
+    if (runtime_options.rescale.total_messages == 0) {
+      return Status::InvalidArgument("rescale.total_messages must be > 0");
+    }
+  }
 
   auto planned = PlanTopology(topology);
   if (!planned.ok()) return planned.status();
   const TopologyPlan& plan = planned.value();
   const std::vector<PlannedComponent>& components = plan.components;
 
+  ElasticTargetPlan target;
+  if (elastic) {
+    auto resolved =
+        ResolveElasticTarget(plan, runtime_options.rescale.component);
+    if (!resolved.ok()) return resolved.status();
+    target = resolved.value();
+  }
+
   Runtime rt;
   rt.batch_size = runtime_options.batch_size;
   rt.max_pending = options.max_pending_per_spout;
+  rt.queue_capacity = runtime_options.queue_capacity;
   rt.max_tuples = options.max_tuples;
 
   // --- Instantiate tasks and their sender-local partitioners. --------------
@@ -385,6 +1087,51 @@ Result<TopologyStats> ExecuteTopologyThreaded(
     }
   }
 
+  // --- Elastic rescale wiring. ---------------------------------------------
+  if (elastic) {
+    rt.elastic = std::make_unique<ElasticState>();
+    ElasticState& els = *rt.elastic;
+    els.spout_component = target.spout_component;
+    els.bolt_component = target.bolt_component;
+    els.num_spouts = components[target.spout_component].parallelism;
+    els.edge_hash_seed =
+        EdgeHashSeed(options.hash_seed, target.spout_component, 0);
+    els.cost = runtime_options.rescale.schedule.cost;
+    els.bolt_factory =
+        topology.bolts[components[target.bolt_component].decl_index].factory;
+    els.thread_seed_base = options.seed ^ 0x7f4a7c15ULL;
+    const double m =
+        static_cast<double>(runtime_options.rescale.total_messages);
+    for (const RescaleEvent& event : runtime_options.rescale.schedule.events) {
+      els.pending.push_back(ElasticState::PendingEvent{
+          static_cast<uint64_t>(event.at_fraction * m), event.num_workers});
+    }
+    const PlannedComponent& spout_comp = components[target.spout_component];
+    for (uint32_t i = 0; i < spout_comp.parallelism; ++i) {
+      TaskState* t = rt.tasks[spout_comp.first_task + i].get();
+      if (!t->partitioners[0]->SupportsRescale()) {
+        return Status::InvalidArgument(t->partitioners[0]->name() +
+                                       " does not support rescaling");
+      }
+      t->log_routing = true;
+      t->next_trigger =
+          PreCount(els.pending.front().at_message, i, els.num_spouts);
+      els.spouts.push_back(t);
+    }
+    const PlannedComponent& bolt_comp = components[target.bolt_component];
+    for (uint32_t i = 0; i < bolt_comp.parallelism; ++i) {
+      TaskState* t = rt.tasks[bolt_comp.first_task + i].get();
+      if (!t->bolt->SupportsStateHandoff()) {
+        return Status::InvalidArgument(
+            "bolt '" + bolt_comp.name +
+            "' does not support state handoff (required for live rescale)");
+      }
+      t->elastic = true;
+      els.workers.push_back(t);
+      els.bolt_tasks.push_back(t);
+    }
+  }
+
   // --- Executor threads: tasks assigned round-robin. -----------------------
   uint32_t num_threads = runtime_options.num_threads;
   if (num_threads == 0) {
@@ -399,22 +1146,37 @@ Result<TopologyStats> ExecuteTopologyThreaded(
   }
   rt.active_spouts.store(num_spout_tasks, std::memory_order_relaxed);
 
-  std::vector<std::unique_ptr<ThreadCtx>> contexts;
-  contexts.reserve(num_threads);
   for (uint32_t t = 0; t < num_threads; ++t) {
-    contexts.push_back(std::make_unique<ThreadCtx>(options.seed ^ (t + 1)));
+    rt.contexts.push_back(std::make_unique<ThreadCtx>(options.seed ^ (t + 1)));
   }
   for (uint32_t t = 0; t < plan.num_tasks; ++t) {
-    contexts[t % num_threads]->tasks.push_back(rt.tasks[t].get());
+    rt.contexts[t % num_threads]->tasks.push_back(rt.tasks[t].get());
   }
+  if (rt.elastic != nullptr) rt.elastic->active_threads = num_threads;
 
   rt.start = std::chrono::steady_clock::now();
-  std::vector<std::thread> threads;
-  threads.reserve(num_threads);
-  for (uint32_t t = 0; t < num_threads; ++t) {
-    threads.emplace_back(ThreadMain, std::ref(rt), std::ref(*contexts[t]));
+  {
+    std::lock_guard<std::mutex> lock(rt.spawn_mu);
+    for (uint32_t t = 0; t < num_threads; ++t) {
+      rt.threads.emplace_back(ThreadMain, std::ref(rt),
+                              std::ref(*rt.contexts[t]));
+    }
   }
-  for (auto& thread : threads) thread.join();
+  // Join in arrival order; a scale-out barrier may append threads while we
+  // wait, so re-check the deque after every join (deque references stay
+  // valid across growth). When the joined prefix covers the whole deque no
+  // live thread remains, so no further spawn can happen.
+  size_t joined = 0;
+  while (true) {
+    std::thread* next = nullptr;
+    {
+      std::lock_guard<std::mutex> lock(rt.spawn_mu);
+      if (joined < rt.threads.size()) next = &rt.threads[joined];
+    }
+    if (next == nullptr) break;
+    next->join();
+    ++joined;
+  }
 
   {
     std::lock_guard<std::mutex> lock(rt.error_mu);
@@ -425,7 +1187,7 @@ Result<TopologyStats> ExecuteTopologyThreaded(
   TopologyStats stats;
   Histogram latency_ms(1 << 18, options.seed ^ 0xabcdULL);
   double last_ack_s = 0.0;
-  for (const auto& ctx : contexts) {
+  for (const auto& ctx : rt.contexts) {
     latency_ms.Merge(ctx->latency_ms);
     stats.roots_acked += ctx->roots_acked;
     last_ack_s = std::max(last_ack_s, ctx->last_ack_s);
@@ -440,9 +1202,36 @@ Result<TopologyStats> ExecuteTopologyThreaded(
   stats.latency_p99_ms = latency_ms.p99();
   stats.latency_max_ms = latency_ms.max();
 
-  for (const PlannedComponent& comp : components) {
+  ElasticState* els = rt.elastic.get();
+  for (uint32_t c = 0; c < components.size(); ++c) {
+    const PlannedComponent& comp = components[c];
     ComponentStats cs;
     cs.name = comp.name;
+    if (els != nullptr && c == els->bolt_component) {
+      // Tuples processed spans every task that ever existed (including
+      // retired ones); loads and state describe the FINAL worker set.
+      for (const TaskState* t : els->bolt_tasks) {
+        cs.tuples_processed += t->processed;
+      }
+      const uint32_t n = static_cast<uint32_t>(els->workers.size());
+      uint64_t final_total = 0;
+      for (const TaskState* t : els->workers) final_total += t->processed;
+      cs.task_loads.resize(n, 0.0);
+      double max_load = 0.0;
+      for (uint32_t i = 0; i < n; ++i) {
+        const TaskState& task = *els->workers[i];
+        cs.task_loads[i] = final_total > 0
+                               ? static_cast<double>(task.processed) /
+                                     static_cast<double>(final_total)
+                               : 0.0;
+        max_load = std::max(max_load, cs.task_loads[i]);
+        cs.state_entries += task.bolt->StateEntries();
+      }
+      cs.imbalance =
+          final_total > 0 ? max_load - 1.0 / static_cast<double>(n) : 0.0;
+      stats.components.push_back(std::move(cs));
+      continue;
+    }
     uint64_t total = 0;
     for (uint32_t i = 0; i < comp.parallelism; ++i) {
       total += rt.tasks[comp.first_task + i]->processed;
@@ -461,6 +1250,32 @@ Result<TopologyStats> ExecuteTopologyThreaded(
     cs.imbalance =
         total > 0 ? max_load - 1.0 / static_cast<double>(comp.parallelism) : 0.0;
     stats.components.push_back(std::move(cs));
+  }
+
+  if (els != nullptr) {
+    CloseStallWindow(*els);
+    TopologyRescaleStats& rs = stats.rescale;
+    rs.rescale_events = static_cast<uint32_t>(els->fired.size());
+    rs.final_parallelism = static_cast<uint32_t>(els->workers.size());
+    rs.handoff_frames = els->handoff_frames.load(std::memory_order_relaxed);
+    rs.measured_stalled_messages =
+        els->measured_stalls.load(std::memory_order_relaxed);
+    rs.total_quiesce_s = els->total_quiesce_s;
+    rs.total_credit_drain_s = els->total_credit_drain_s;
+    rs.total_migration_stall_s = els->total_migration_stall_s;
+    // Modeled columns: replay the recorded routing logs through the same
+    // migration protocol the simulator runs — deterministic at any thread
+    // count and byte-identical to RunPartitionSimulation on these streams.
+    std::vector<SenderRoutingLog> logs;
+    logs.reserve(els->spouts.size());
+    for (TaskState* t : els->spouts) logs.push_back(std::move(t->routing_log));
+    MigrationTracker tracker =
+        ReplayRoundRobinMigration(els->cost, els->fired, logs);
+    rs.keys_migrated = tracker.keys_migrated();
+    rs.state_bytes_migrated = tracker.state_bytes_migrated();
+    rs.stalled_messages = tracker.stalled_messages();
+    rs.moved_key_fraction = tracker.moved_key_fraction();
+    rs.migrated_keys = tracker.migrated_keys();
   }
   return stats;
 }

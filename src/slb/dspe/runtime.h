@@ -26,15 +26,51 @@
 // count and interleaving (locked down by tests/dspe/runtime_test.cc). Timing
 // fields (makespan, throughput, latency percentiles) are measured wall-clock
 // and naturally vary run to run.
+//
+// Live elastic rescale (TopologyRuntimeOptions::rescale): the runtime can
+// grow and shrink the bolt component of a spout->bolt topology while it
+// runs — executor threads are started and retired without tearing the
+// topology down, and per-key bolt state follows the keys through real
+// handoff frames on dedicated rings. Which keys move is governed by the
+// same protocol RunPartitionSimulation models (eager sorted handoff on
+// scale-in, lazy recheck on scale-out; see docs/ARCHITECTURE.md "Elastic
+// rescale protocol"), while TopologyStats::rescale additionally reports the
+// *measured* costs: quiesce latency, credit-drain time, and post-resume
+// migration stall.
 
 #pragma once
 
 #include <cstdint>
+#include <string>
 
 #include "slb/common/status.h"
 #include "slb/dspe/topology.h"
+#include "slb/sim/migration_tracker.h"
 
 namespace slb {
+
+/// A live worker add/remove schedule for ExecuteTopologyThreaded. Event
+/// positions are fractions of `total_messages` (the caller's intended spout
+/// root-tuple total), converted with the same truncation the simulator uses,
+/// so a threaded run and a RunPartitionSimulation over the same per-sender
+/// streams fire at identical global stream positions. The runtime turns each
+/// position into per-spout emission triggers: spout s (of S spouts, fed
+/// round-robin) pauses after emitting its share of the first `position`
+/// global messages, the topology quiesces (credit windows drain to zero),
+/// the worker set mutates at a barrier, and execution resumes. If a spout
+/// exhausts before reaching its trigger the remaining events are cancelled
+/// (the stream was shorter than `total_messages` promised).
+struct ThreadedRescaleSchedule {
+  RescaleSchedule schedule;
+  /// Total root tuples the spouts will emit (sets event positions).
+  uint64_t total_messages = 0;
+  /// Bolt component to rescale; empty = the topology's only bolt. Live
+  /// rescale supports exactly the paper's simulation DAG: one spout
+  /// component feeding one sink bolt component over one partitioned edge.
+  std::string component;
+
+  bool empty() const { return schedule.empty(); }
+};
 
 struct TopologyRuntimeOptions {
   /// Executor threads (0 = hardware concurrency, capped at the task count).
@@ -45,6 +81,10 @@ struct TopologyRuntimeOptions {
   /// Emit-path batch: tuples buffered per destination before one ring
   /// publish; also the number of tuples a task processes per quantum.
   uint32_t batch_size = 64;
+  /// Live elastic rescale schedule (empty = static worker set). Requires a
+  /// rescalable partitioner on the spout->bolt edge and bolts that implement
+  /// the Bolt state-handoff API.
+  ThreadedRescaleSchedule rescale;
 };
 
 /// Runs the topology on real threads until every spout is exhausted and all

@@ -78,6 +78,20 @@ class SpscRing {
     return n;
   }
 
+  /// Drains everything currently visible into `out` (appending); returns the
+  /// count. Consumer-side; used by the rescale mutator to settle rings while
+  /// every executor is parked, and by shutdown paths that must not drop
+  /// in-flight items.
+  size_t TryPopAll(std::vector<T>* out) {
+    size_t total = 0;
+    T item;
+    while (TryPop(&item)) {
+      out->push_back(item);
+      ++total;
+    }
+    return total;
+  }
+
   /// Approximate occupancy (exact only when both sides are quiescent).
   size_t SizeApprox() const {
     return tail_.load(std::memory_order_acquire) -

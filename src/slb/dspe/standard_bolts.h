@@ -34,6 +34,28 @@ class CountingBolt final : public Bolt {
   }
   size_t StateEntries() const override { return counts_.size(); }
 
+  // Elastic key-state handoff: the state is the running sum itself, so a
+  // migrating key ships its count and the receiver adds it in (installs do
+  // not re-fire the sink — the updates were already mirrored at the source).
+  bool SupportsStateHandoff() const override { return true; }
+  void AppendStateKeys(std::vector<uint64_t>* keys) const override {
+    keys->reserve(keys->size() + counts_.size());
+    for (const auto& [key, count] : counts_) keys->push_back(key);
+  }
+  bool ExtractKeyState(uint64_t key, uint64_t* value) override {
+    auto it = counts_.find(key);
+    if (it == counts_.end()) {
+      *value = 0;
+      return false;
+    }
+    *value = it->second;
+    counts_.erase(it);
+    return true;
+  }
+  void InstallKeyState(uint64_t key, uint64_t value) override {
+    counts_[key] += value;
+  }
+
  private:
   std::unordered_map<uint64_t, uint64_t> counts_;
   Sink sink_;
@@ -81,6 +103,25 @@ class MergingBolt final : public Bolt {
     if (sink_) sink_(tuple.key, tuple.value);
   }
   size_t StateEntries() const override { return totals_.size(); }
+
+  bool SupportsStateHandoff() const override { return true; }
+  void AppendStateKeys(std::vector<uint64_t>* keys) const override {
+    keys->reserve(keys->size() + totals_.size());
+    for (const auto& [key, total] : totals_) keys->push_back(key);
+  }
+  bool ExtractKeyState(uint64_t key, uint64_t* value) override {
+    auto it = totals_.find(key);
+    if (it == totals_.end()) {
+      *value = 0;
+      return false;
+    }
+    *value = it->second;
+    totals_.erase(it);
+    return true;
+  }
+  void InstallKeyState(uint64_t key, uint64_t value) override {
+    totals_[key] += value;
+  }
 
  private:
   std::unordered_map<uint64_t, uint64_t> totals_;

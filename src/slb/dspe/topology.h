@@ -69,6 +69,34 @@ class Bolt {
   virtual void Execute(const TopologyTuple& tuple, OutputCollector* out) = 0;
   /// Entries of operator state held by this instance (memory accounting).
   virtual size_t StateEntries() const { return 0; }
+
+  // --- Elastic key-state handoff (live rescale on the threaded engine). ----
+  // A bolt on a component named by TopologyRuntimeOptions::rescale must
+  // return true from SupportsStateHandoff and implement the three methods
+  // below. State is modeled as one uint64 per key — enough for counter-style
+  // operators; richer operators can treat the value as a handle into
+  // external storage. All four are called only from the thread driving the
+  // instance (or from the rescale mutator while every executor is parked),
+  // so implementations need no locking.
+
+  /// True when this bolt can extract and install per-key state.
+  virtual bool SupportsStateHandoff() const { return false; }
+  /// Appends every key this instance currently holds state for.
+  virtual void AppendStateKeys(std::vector<uint64_t>* keys) const {
+    (void)keys;
+  }
+  /// Removes `key`'s state from this instance, writing it to `*value`.
+  /// Returns false (and writes 0) when the key has no state here.
+  virtual bool ExtractKeyState(uint64_t key, uint64_t* value) {
+    (void)key;
+    *value = 0;
+    return false;
+  }
+  /// Merges state for `key` handed off from another instance.
+  virtual void InstallKeyState(uint64_t key, uint64_t value) {
+    (void)key;
+    (void)value;
+  }
 };
 
 using SpoutFactory = std::function<std::unique_ptr<Spout>(uint32_t task_index)>;
@@ -145,6 +173,39 @@ struct ComponentStats {
   size_t state_entries = 0;
 };
 
+/// Outcome of a live elastic rescale (ExecuteTopologyThreaded with a
+/// non-empty TopologyRuntimeOptions::rescale; all-zero otherwise). The
+/// migration accounting splits into two families:
+///
+///  * MODELED — keys_migrated / state_bytes_migrated / stalled_messages /
+///    moved_key_fraction / migrated_keys come from replaying the spouts'
+///    recorded routing logs through a MigrationTracker in the canonical
+///    round-robin order (ReplayRoundRobinMigration), so they are
+///    byte-identical to RunPartitionSimulation on the same per-sender
+///    streams and deterministic at any thread count.
+///
+///  * MEASURED — handoff_frames / measured_stalled_messages and the wall-
+///    clock phase costs describe what the live protocol actually did:
+///    frames through the handoff rings, tuples that arrived before their
+///    key's state, and how long quiesce / credit drain / post-resume
+///    migration took.
+struct TopologyRescaleStats {
+  uint32_t rescale_events = 0;     // worker-set changes that fired
+  uint32_t final_parallelism = 0;  // rescaled component's final task count
+  // Modeled (replay) accounting.
+  uint64_t keys_migrated = 0;
+  uint64_t state_bytes_migrated = 0;
+  uint64_t stalled_messages = 0;
+  double moved_key_fraction = 0.0;
+  std::vector<uint64_t> migrated_keys;  // handoff-enqueue order
+  // Measured (live protocol) accounting.
+  uint64_t handoff_frames = 0;            // state + pull frames on the rings
+  uint64_t measured_stalled_messages = 0; // tuples processed before state
+  double total_credit_drain_s = 0.0;  // spout pause -> in-flight trees acked
+  double total_quiesce_s = 0.0;       // spout pause -> topology resumed
+  double total_migration_stall_s = 0.0;  // resume -> last handoff installed
+};
+
 struct TopologyStats {
   double makespan_s = 0.0;
   double throughput_per_s = 0.0;  // spout-root tuples acked per second
@@ -157,6 +218,8 @@ struct TopologyStats {
   double latency_p99_ms = 0.0;
   double latency_max_ms = 0.0;
   std::vector<ComponentStats> components;
+  /// Live elastic-rescale outcome (threaded engine only).
+  TopologyRescaleStats rescale;
 };
 
 /// Runs the topology to spout exhaustion; deterministic for a fixed seed.

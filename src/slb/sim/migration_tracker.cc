@@ -6,11 +6,34 @@
 
 namespace slb {
 
+Status ValidateRescaleSchedule(const RescaleSchedule& schedule) {
+  double prev_fraction = 0.0;
+  for (const RescaleEvent& event : schedule.events) {
+    if (event.at_fraction <= 0.0 || event.at_fraction >= 1.0) {
+      return Status::InvalidArgument(
+          "rescale event fraction must be in (0, 1)");
+    }
+    if (event.at_fraction <= prev_fraction) {
+      return Status::InvalidArgument(
+          "rescale events must have strictly increasing fractions");
+    }
+    if (event.num_workers < 1) {
+      return Status::InvalidArgument("rescale target must be >= 1 workers");
+    }
+    prev_fraction = event.at_fraction;
+  }
+  if (schedule.cost.migration_keys_per_message < 1) {
+    return Status::InvalidArgument(
+        "migration_keys_per_message must be >= 1");
+  }
+  return Status::OK();
+}
+
 MigrationTracker::MigrationTracker(const RescaleCostModel& cost) : cost_(cost) {
   SLB_CHECK(cost_.migration_keys_per_message >= 1);
 }
 
-uint64_t MigrationTracker::EnqueueHandoff(uint64_t seq) {
+uint64_t MigrationTracker::EnqueueHandoff(uint64_t seq, uint64_t key) {
   // The channel transfers `rate` keys per message, so slot s completes by
   // message ceil((s + 1) / rate). A handoff enqueued at message `seq` cannot
   // start before slot seq * rate (the channel capacity up to that point is
@@ -20,6 +43,7 @@ uint64_t MigrationTracker::EnqueueHandoff(uint64_t seq) {
   next_free_slot_ = slot + 1;
   state_bytes_migrated_ += cost_.state_bytes_per_key;
   ++keys_migrated_;
+  migrated_keys_.push_back(key);
   return (slot + rate) / rate;  // == ceil((slot + 1) / rate)
 }
 
@@ -36,7 +60,8 @@ void MigrationTracker::OnMessage(uint64_t seq, uint64_t key, uint32_t worker) {
         std::find(state.replicas.begin(), state.replicas.end(), worker) !=
         state.replicas.end();
     if (!has_state) {
-      state.available_at = std::max(state.available_at, EnqueueHandoff(seq));
+      state.available_at =
+          std::max(state.available_at, EnqueueHandoff(seq, key));
     }
   } else {
     state.checked_epoch = epoch_;
@@ -76,13 +101,61 @@ void MigrationTracker::OnRescale(uint64_t seq, uint32_t old_num_workers,
                            return w >= new_num_workers;
                          }),
           state.replicas.end());
-      state.available_at = std::max(state.available_at, EnqueueHandoff(seq));
+      state.available_at =
+          std::max(state.available_at, EnqueueHandoff(seq, key));
     }
   } else if (new_num_workers > old_num_workers) {
     // Lazy scale-out: open a recheck epoch; OnMessage migrates on first
     // contact with each pre-existing key.
     ++epoch_;
   }
+}
+
+MigrationTracker ReplayRoundRobinMigration(
+    const RescaleCostModel& cost, const std::vector<RescaleFiredEvent>& events,
+    const std::vector<SenderRoutingLog>& senders) {
+  MigrationTracker tracker(cost);
+  const size_t num_senders = senders.size();
+  SLB_CHECK(num_senders > 0);
+  uint64_t total = 0;
+  for (const SenderRoutingLog& log : senders) {
+    SLB_CHECK(log.keys.size() == log.workers.size());
+    total += log.keys.size();
+  }
+
+  std::vector<size_t> cursor(num_senders, 0);
+  size_t next_event = 0;
+  uint64_t position = 0;
+  for (uint64_t consumed = 0; consumed < total; ++consumed, ++position) {
+    while (next_event < events.size() &&
+           position >= events[next_event].at_message) {
+      const RescaleFiredEvent& event = events[next_event];
+      tracker.OnRescale(position, event.old_num_workers,
+                        event.new_num_workers);
+      ++next_event;
+    }
+    // Round-robin: position i belongs to sender i mod S. A sender whose log
+    // ran out (shorter stream than the even split) cedes its slot to the
+    // next sender in cyclic order.
+    size_t s = static_cast<size_t>(position % num_senders);
+    for (size_t probe = 0; probe < num_senders; ++probe) {
+      const size_t candidate = (s + probe) % num_senders;
+      if (cursor[candidate] < senders[candidate].keys.size()) {
+        s = candidate;
+        break;
+      }
+    }
+    tracker.OnMessage(position, senders[s].keys[cursor[s]],
+                      senders[s].workers[cursor[s]]);
+    ++cursor[s];
+  }
+  // Events pinned at or past the end of the logs (possible only if a caller
+  // fired an event after its last message) still replay.
+  for (; next_event < events.size(); ++next_event) {
+    const RescaleFiredEvent& event = events[next_event];
+    tracker.OnRescale(position, event.old_num_workers, event.new_num_workers);
+  }
+  return tracker;
 }
 
 }  // namespace slb

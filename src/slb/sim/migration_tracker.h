@@ -29,6 +29,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "slb/common/status.h"
+
 namespace slb {
 
 /// One timed worker-set change. Fractions are of the total stream length so
@@ -55,6 +57,27 @@ struct RescaleSchedule {
   bool empty() const { return events.empty(); }
 };
 
+/// Checks a schedule's invariants (fractions strictly increasing in (0, 1),
+/// targets >= 1 workers, sane cost model). Shared by the simulator
+/// (PartitionSimConfig::rescale) and the threaded engine
+/// (TopologyRuntimeOptions::rescale).
+Status ValidateRescaleSchedule(const RescaleSchedule& schedule);
+
+/// A worker-set change that actually fired, pinned to its global stream
+/// position in the canonical round-robin interleave across senders (the
+/// simulator's shuffle-grouping order: message i belongs to sender i mod S).
+struct RescaleFiredEvent {
+  uint64_t at_message = 0;
+  uint32_t old_num_workers = 0;
+  uint32_t new_num_workers = 0;
+};
+
+/// One sender's routed stream on the rescaled edge, in emission order.
+struct SenderRoutingLog {
+  std::vector<uint64_t> keys;
+  std::vector<uint32_t> workers;
+};
+
 /// Per-key state-replica and handoff accounting. One instance per simulation
 /// (it sees the ground-truth routed stream, like LoadTracker).
 class MigrationTracker {
@@ -76,6 +99,11 @@ class MigrationTracker {
   uint64_t state_bytes_migrated() const { return state_bytes_migrated_; }
   uint64_t stalled_messages() const { return stalled_messages_; }
   uint32_t rescale_events() const { return rescale_events_; }
+
+  /// Every migrated key in handoff-enqueue order (eager events contribute
+  /// their affected keys sorted; lazy pulls in first-touch order). The
+  /// sim-vs-threaded equivalence tests compare this vector byte-for-byte.
+  const std::vector<uint64_t>& migrated_keys() const { return migrated_keys_; }
 
   /// Fraction of checked keys that actually moved; the minimal-movement
   /// headline number (0 when no placement was ever checked).
@@ -101,10 +129,11 @@ class MigrationTracker {
 
   /// Enqueues one key handoff at message `seq`; returns the message position
   /// at which it completes (FIFO channel, `migration_keys_per_message` rate).
-  uint64_t EnqueueHandoff(uint64_t seq);
+  uint64_t EnqueueHandoff(uint64_t seq, uint64_t key);
 
   RescaleCostModel cost_;
   std::unordered_map<uint64_t, KeyState> keys_;
+  std::vector<uint64_t> migrated_keys_;
   uint32_t epoch_ = 0;             // bumped by scale-out events
   uint64_t next_free_slot_ = 0;    // handoff channel tail, in key-slot units
   uint64_t keys_migrated_ = 0;
@@ -113,5 +142,17 @@ class MigrationTracker {
   uint64_t stalled_messages_ = 0;
   uint32_t rescale_events_ = 0;
 };
+
+/// Replays per-sender routing logs through a fresh MigrationTracker in the
+/// canonical global order: message i belongs to sender i mod S (skipping a
+/// sender once its log is exhausted), and each fired event's OnRescale runs
+/// before the message at its position — exactly the simulator's loop. The
+/// threaded engine records logs live and replays them after the run, so its
+/// modeled migration columns are byte-identical to RunPartitionSimulation on
+/// the same per-sender streams and event positions, independent of thread
+/// interleaving.
+MigrationTracker ReplayRoundRobinMigration(
+    const RescaleCostModel& cost, const std::vector<RescaleFiredEvent>& events,
+    const std::vector<SenderRoutingLog>& senders);
 
 }  // namespace slb

@@ -7,33 +7,6 @@
 
 namespace slb {
 
-namespace {
-
-Status ValidateSchedule(const RescaleSchedule& schedule) {
-  double prev_fraction = 0.0;
-  for (const RescaleEvent& event : schedule.events) {
-    if (event.at_fraction <= 0.0 || event.at_fraction >= 1.0) {
-      return Status::InvalidArgument(
-          "rescale event fraction must be in (0, 1)");
-    }
-    if (event.at_fraction <= prev_fraction) {
-      return Status::InvalidArgument(
-          "rescale events must have strictly increasing fractions");
-    }
-    if (event.num_workers < 1) {
-      return Status::InvalidArgument("rescale target must be >= 1 workers");
-    }
-    prev_fraction = event.at_fraction;
-  }
-  if (schedule.cost.migration_keys_per_message < 1) {
-    return Status::InvalidArgument(
-        "migration_keys_per_message must be >= 1");
-  }
-  return Status::OK();
-}
-
-}  // namespace
-
 Result<PartitionSimResult> RunPartitionSimulation(const PartitionSimConfig& config,
                                                   StreamGenerator* stream) {
   if (stream == nullptr) {
@@ -42,7 +15,7 @@ Result<PartitionSimResult> RunPartitionSimulation(const PartitionSimConfig& conf
   if (config.num_sources < 1) {
     return Status::InvalidArgument("need at least one source");
   }
-  if (Status status = ValidateSchedule(config.rescale); !status.ok()) {
+  if (Status status = ValidateRescaleSchedule(config.rescale); !status.ok()) {
     return status;
   }
 
@@ -146,6 +119,9 @@ Result<PartitionSimResult> RunPartitionSimulation(const PartitionSimConfig& conf
     result.state_bytes_migrated = migration->state_bytes_migrated();
     result.stalled_messages = migration->stalled_messages();
     result.moved_key_fraction = migration->moved_key_fraction();
+    if (config.record_migrated_keys) {
+      result.migrated_keys = migration->migrated_keys();
+    }
   }
   return result;
 }

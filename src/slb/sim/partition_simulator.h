@@ -46,6 +46,10 @@ struct PartitionSimConfig {
   /// increasing at_fraction in (0, 1) and target >= 1 workers; the algorithm
   /// must support rescaling. partitioner.num_workers is the INITIAL count.
   RescaleSchedule rescale;
+
+  /// Copies the per-key migration log into the result (equivalence tests;
+  /// static sweeps should leave it off — the vector grows with migrations).
+  bool record_migrated_keys = false;
 };
 
 struct PartitionSimResult {
@@ -88,6 +92,9 @@ struct PartitionSimResult {
   uint64_t state_bytes_migrated = 0;
   uint64_t stalled_messages = 0;
   double moved_key_fraction = 0.0;
+  /// Migrated keys in handoff-enqueue order (only when
+  /// config.record_migrated_keys).
+  std::vector<uint64_t> migrated_keys;
 };
 
 /// Runs the full stream through `config.num_sources` independent senders.
