@@ -244,6 +244,48 @@ else
   threaded_rescale_failures=1
 fi
 
+# Cost-routing guard: bench_cost_routing's derived "# cost:" mis-rank table
+# must be non-empty, and every anti-correlated row must report a strictly
+# positive cost imbalance under the count signal — that hidden imbalance is
+# the effect the bench exists to measure, so a zero there means the cost
+# layer silently priced nothing (model never wired, tracker not enabled).
+# Columns are resolved by name from the table header so reordering can't
+# silently blind the guard.
+COST_TSV="$OUT_DIR/bench_cost_routing.tsv"
+cost_failures=0
+if [ -f "$COST_TSV" ]; then
+  cost_rows="$(sed -n '/^# cost:/,$p' "$COST_TSV" \
+                 | grep -v '^#' | grep -c '[^[:space:]]' || true)"
+  if [ "${cost_rows:-0}" -eq 0 ]; then
+    echo "FAIL  bench_cost_routing: empty cost table" >&2
+    cost_failures=$((cost_failures + 1))
+  else
+    bad_cost="$(sed -n '/^# cost:/,$p' "$COST_TSV" | awk -F'\t' '
+      /^# model\t/ {
+        for (i = 1; i <= NF; i++) if ($i == "cost_I_count") col = i
+        next
+      }
+      /^#/ || /^[[:space:]]*$/ { next }
+      {
+        if (!col) { print "no-cost_I_count-column"; exit }
+        if ($1 == "anti-correlated" && $col + 0 <= 0)
+          print $1 "/" $2 ": cost_I_count=" $col
+      }')"
+    if [ -n "$bad_cost" ]; then
+      echo "FAIL  bench_cost_routing: anti-correlated cells show no cost" \
+           "imbalance under the count signal: $bad_cost" >&2
+      cost_failures=$((cost_failures + 1))
+    else
+      echo "OK    bench_cost_routing cost table" \
+           "(${cost_rows} rows, anti-correlated cost imbalance positive)"
+    fi
+  fi
+else
+  echo "FAIL  bench_cost_routing: no result table at $COST_TSV" \
+       "(binary missing from the build?)" >&2
+  cost_failures=1
+fi
+
 echo "---"
 echo "$((count - failures))/$count bench binaries passed"
 if [ "$headroom_failures" -gt 0 ]; then
@@ -258,4 +300,7 @@ fi
 if [ "$threaded_rescale_failures" -gt 0 ]; then
   echo "live-rescale (threaded) guard FAILED ($threaded_rescale_failures problems)" >&2
 fi
-exit "$(((failures + headroom_failures + threaded_failures + rescale_failures + threaded_rescale_failures) > 0 ? 1 : 0))"
+if [ "$cost_failures" -gt 0 ]; then
+  echo "cost-routing guard FAILED ($cost_failures problems)" >&2
+fi
+exit "$(((failures + headroom_failures + threaded_failures + rescale_failures + threaded_rescale_failures + cost_failures) > 0 ? 1 : 0))"

@@ -51,6 +51,7 @@ GreedyD::GreedyD(const PartitionerOptions& options, uint32_t d, std::string name
       name_(std::move(name)),
       loads_(options.num_workers, 0) {
   SLB_CHECK(options.num_workers >= 1);
+  signal_.Init(options);
 }
 
 Status GreedyD::Rescale(uint32_t new_num_workers) {
@@ -60,11 +61,33 @@ Status GreedyD::Rescale(uint32_t new_num_workers) {
   d_ = std::clamp(requested_d_, 1u, new_num_workers);
   family_ = HashFamily(d_, new_num_workers, family_.seed());
   loads_.resize(new_num_workers, 0);
+  signal_.Rescale(new_num_workers, messages_);
   return Status::OK();
 }
 
 uint32_t GreedyD::Route(uint64_t key) {
   ++messages_;
+  if (signal_.active()) {
+    // Cost-aware path: d-way min over the cost/in-flight signal. The
+    // candidate set is identical to the count path (same hash family); no
+    // branchless special case — the cost-model call dominates anyway.
+    uint32_t best = family_.Worker(key, 0);
+    double best_load = signal_.At(best, messages_);
+    double best_tie = signal_.TieBreak(best);
+    for (uint32_t i = 1; i < d_; ++i) {
+      const uint32_t candidate = family_.Worker(key, i);
+      const double load = signal_.At(candidate, messages_);
+      const double tie = signal_.TieBreak(candidate);
+      if (load < best_load || (load == best_load && tie < best_tie)) {
+        best = candidate;
+        best_load = load;
+        best_tie = tie;
+      }
+    }
+    ++loads_[best];
+    signal_.OnRoute(best, signal_.CostOf(key), messages_);
+    return best;
+  }
   uint32_t best;
   if (d_ == 2) {
     // The PKG fast path: pair-hash both candidates, pick the lighter one

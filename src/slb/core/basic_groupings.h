@@ -7,6 +7,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "slb/core/balance_signal.h"
 #include "slb/core/partitioner.h"
 #include "slb/hash/hash_family.h"
 
@@ -79,7 +80,8 @@ class GreedyD final : public StreamPartitioner {
   uint32_t requested_d_;  // caller's d before clamping to [1, n]
   uint32_t d_;
   std::string name_;
-  std::vector<uint64_t> loads_;  // sender-local load estimate
+  std::vector<uint64_t> loads_;  // sender-local routed-message counts
+  CostSignal signal_;            // cost/in-flight signal when balance_on != kCount
   uint64_t messages_ = 0;
 };
 

@@ -67,6 +67,7 @@ HeadTailPartitioner::HeadTailPartitioner(const PartitionerOptions& options)
   SLB_CHECK(options_.num_workers >= 1);
   SLB_CHECK(options_.theta_ratio > 0.0) << "theta must be positive";
   SLB_CHECK(sketch_ != nullptr);
+  signal_.Init(options);
 }
 
 Status HeadTailPartitioner::Rescale(uint32_t new_num_workers) {
@@ -76,6 +77,7 @@ Status HeadTailPartitioner::Rescale(uint32_t new_num_workers) {
   options_.num_workers = new_num_workers;
   family_ = HashFamily(new_num_workers, new_num_workers, options_.hash_seed);
   loads_.resize(new_num_workers, 0);
+  signal_.Rescale(new_num_workers, messages_);
   // Force Reoptimize() on the next Route(): derived head policy (D-Choices'
   // d, the theta threshold's 1/n factor) must see the new n before routing.
   next_reoptimize_ = messages_;
@@ -87,6 +89,24 @@ uint32_t HeadTailPartitioner::LeastLoadedOfChoices(uint64_t key, uint32_t d) con
   // must degrade to one choice when n == 1 (d > n never helps anyway: the
   // candidate set cannot contain more than n distinct workers).
   d = std::min(d, family_.max_functions());
+  if (signal_.active()) {
+    // Cost-aware path: same candidate set, min over the cost/in-flight
+    // signal instead of the message count.
+    uint32_t best = family_.Worker(key, 0);
+    double best_load = signal_.At(best, messages_);
+    double best_tie = signal_.TieBreak(best);
+    for (uint32_t i = 1; i < d; ++i) {
+      const uint32_t candidate = family_.Worker(key, i);
+      const double load = signal_.At(candidate, messages_);
+      const double tie = signal_.TieBreak(candidate);
+      if (load < best_load || (load == best_load && tie < best_tie)) {
+        best = candidate;
+        best_load = load;
+        best_tie = tie;
+      }
+    }
+    return best;
+  }
   if (d == 2) {
     // The tail-key fast path (the overwhelming majority of routed messages):
     // pair-hash both candidates and select branchlessly — on skewed streams
@@ -115,6 +135,21 @@ void HeadTailPartitioner::RouteBatch(const uint64_t* keys, size_t count,
 }
 
 uint32_t HeadTailPartitioner::LeastLoadedOverall() const {
+  if (signal_.active()) {
+    uint32_t best = 0;
+    double best_load = signal_.At(0, messages_);
+    double best_tie = signal_.TieBreak(0);
+    for (uint32_t w = 1; w < loads_.size(); ++w) {
+      const double load = signal_.At(w, messages_);
+      const double tie = signal_.TieBreak(w);
+      if (load < best_load || (load == best_load && tie < best_tie)) {
+        best = w;
+        best_load = load;
+        best_tie = tie;
+      }
+    }
+    return best;
+  }
   uint32_t best = 0;
   uint64_t best_load = loads_[0];
   for (uint32_t w = 1; w < loads_.size(); ++w) {
@@ -149,6 +184,7 @@ uint32_t HeadTailPartitioner::Route(uint64_t key) {
   const uint32_t worker =
       last_was_head_ ? RouteHead(key) : LeastLoadedOfChoices(key, 2);
   ++loads_[worker];
+  if (signal_.active()) signal_.OnRoute(worker, signal_.CostOf(key), messages_);
   return worker;
 }
 

@@ -12,6 +12,7 @@
 #include <memory>
 #include <vector>
 
+#include "slb/core/balance_signal.h"
 #include "slb/core/partitioner.h"
 #include "slb/hash/hash_family.h"
 #include "slb/sketch/frequency_estimator.h"
@@ -66,6 +67,7 @@ class HeadTailPartitioner : public StreamPartitioner {
   HashFamily family_;
   std::unique_ptr<FrequencyEstimator> sketch_;
   std::vector<uint64_t> loads_;
+  CostSignal signal_;  // cost/in-flight signal when balance_on != kCount
   uint64_t messages_ = 0;
   uint64_t next_reoptimize_ = 0;  // doubling warm-up, then fixed cadence
   bool last_was_head_ = false;

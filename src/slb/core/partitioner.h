@@ -57,6 +57,30 @@ enum class SketchKind {
   kDecayingSpaceSaving,  // recency-weighted extension for drifting streams
 };
 
+/// Per-key service-cost oracle (ROADMAP item 2). Implementations must be
+/// pure functions of (construction options, key): senders, the ground-truth
+/// tracker, and the mis-rank analysis evaluate costs independently — and
+/// concurrently — so two oracles built from the same options must agree
+/// byte-for-byte. slb/workload/cost_model.h provides the catalog
+/// implementations behind MakeCostModel().
+class KeyCostFunction {
+ public:
+  virtual ~KeyCostFunction() = default;
+  /// Service cost of one message carrying `key`; always > 0.
+  virtual double CostOf(uint64_t key) const = 0;
+};
+
+/// Which sender-local quantity the greedy min-choice comparisons minimize.
+/// Only algorithms with a least-loaded step (PKG/Greedy-d and the head-aware
+/// schemes) read it; KG/SG/CH route load-obliviously and ignore it.
+enum class BalanceSignal {
+  kCount,     // cumulative routed messages — the paper's unit-cost signal
+  kCost,      // cumulative service cost (requires cost_model)
+  kInFlight,  // outstanding (routed minus completed) service cost — the
+              // partialkey exemplar's contention-avoidance variant
+              // (requires cost_model and service_rate > 0)
+};
+
 struct PartitionerOptions {
   uint32_t num_workers = 1;
 
@@ -96,6 +120,24 @@ struct PartitionerOptions {
 
   /// Fixed d for kFixedDChoices / kGreedyD.
   uint32_t fixed_d = 2;
+
+  /// Which load estimate the greedy min-choice comparisons use (ROADMAP
+  /// item 2). kCost and kInFlight require `cost_model`; kInFlight also
+  /// requires service_rate > 0. CreatePartitioner rejects inconsistent
+  /// combinations with InvalidArgument.
+  BalanceSignal balance_on = BalanceSignal::kCount;
+
+  /// Per-key service-cost oracle for cost-aware balance signals. Like
+  /// hash_seed it MUST be identical across all senders of one stream (share
+  /// one instance — implementations are immutable and thread-safe).
+  std::shared_ptr<const KeyCostFunction> cost_model;
+
+  /// kInFlight only: service units each worker completes per message routed
+  /// BY THIS SENDER — the sender-local deterministic completion model that
+  /// drains outstanding work. A sender sees only 1/num_sources of the
+  /// stream, so the simulator derives this as
+  /// PartitionSimConfig::service.rate x num_sources.
+  double service_rate = 1.0;
 
   /// Effective threshold: theta_ratio / num_workers.
   double theta() const {

@@ -79,6 +79,16 @@ Result<std::unique_ptr<StreamPartitioner>> CreatePartitioner(
   if (options.theta_ratio <= 0.0) {
     return Status::InvalidArgument("theta_ratio must be positive");
   }
+  if (options.balance_on != BalanceSignal::kCount &&
+      options.cost_model == nullptr) {
+    return Status::InvalidArgument(
+        "balance_on=cost/in-flight requires a cost model");
+  }
+  if (options.balance_on == BalanceSignal::kInFlight &&
+      !(options.service_rate > 0.0)) {
+    return Status::InvalidArgument(
+        "in-flight balancing requires service_rate > 0");
+  }
   switch (kind) {
     case AlgorithmKind::kKeyGrouping:
       return std::unique_ptr<StreamPartitioner>(new KeyGrouping(options));

@@ -9,11 +9,31 @@ namespace slb {
 LoadTracker::LoadTracker(uint32_t num_workers, bool track_memory)
     : counts_(num_workers, 0),
       head_counts_(num_workers, 0),
-      track_memory_(track_memory) {
+      track_memory_(track_memory),
+      costs_(num_workers, 0.0),
+      outstanding_(num_workers, 0.0),
+      outstanding_step_(num_workers, 0) {
   SLB_CHECK(num_workers >= 1);
 }
 
-void LoadTracker::Record(uint32_t worker, uint64_t key, bool is_head) {
+void LoadTracker::EnableCostTracking(double service_rate) {
+  SLB_CHECK(service_rate > 0.0) << "service rate must be positive";
+  service_rate_ = service_rate;
+}
+
+void LoadTracker::MaterializeOutstanding(uint32_t worker) {
+  if (service_rate_ > 0.0) {
+    const double drain = service_rate_ * static_cast<double>(
+                             steps_ - outstanding_step_[worker]);
+    const double applied = std::min(drain, outstanding_[worker]);
+    outstanding_[worker] -= applied;
+    completed_cost_ += applied;
+  }
+  outstanding_step_[worker] = steps_;
+}
+
+void LoadTracker::Record(uint32_t worker, uint64_t key, bool is_head,
+                         double cost) {
   SLB_CHECK(worker < counts_.size()) << "worker id out of range";
   ++counts_[worker];
   ++total_;
@@ -29,6 +49,15 @@ void LoadTracker::Record(uint32_t worker, uint64_t key, bool is_head) {
     SLB_CHECK(worker < (1u << 16)) << "memory tracking supports < 65536 workers";
     key_worker_pairs_.insert((key << 16) | worker);
   }
+
+  ++steps_;
+  MaterializeOutstanding(worker);
+  costs_[worker] += cost;
+  total_cost_ += cost;
+  outstanding_[worker] += cost;
+  // Between Records a worker's backlog only drains, so the peak over all
+  // steps is always hit right after an arrival — lazy drain sees every peak.
+  peak_outstanding_ = std::max(peak_outstanding_, outstanding_[worker]);
 }
 
 void LoadTracker::Rescale(uint32_t new_num_workers) {
@@ -36,9 +65,13 @@ void LoadTracker::Rescale(uint32_t new_num_workers) {
   for (size_t w = new_num_workers; w < counts_.size(); ++w) {
     total_ -= counts_[w];
     head_messages_ -= head_counts_[w];
+    total_cost_ -= costs_[w];
   }
   counts_.resize(new_num_workers, 0);
   head_counts_.resize(new_num_workers, 0);
+  costs_.resize(new_num_workers, 0.0);
+  outstanding_.resize(new_num_workers, 0.0);
+  outstanding_step_.resize(new_num_workers, steps_);
 }
 
 double LoadTracker::Imbalance() const {
@@ -75,6 +108,51 @@ std::vector<double> LoadTracker::NormalizedTailLoads() const {
                static_cast<double>(total_);
   }
   return loads;
+}
+
+double LoadTracker::CostImbalance() const {
+  if (!(total_cost_ > 0.0)) return 0.0;
+  const double max_cost = *std::max_element(costs_.begin(), costs_.end());
+  return max_cost / total_cost_ - 1.0 / static_cast<double>(costs_.size());
+}
+
+std::vector<double> LoadTracker::NormalizedCostLoads() const {
+  std::vector<double> loads(costs_.size(), 0.0);
+  if (!(total_cost_ > 0.0)) return loads;
+  for (size_t w = 0; w < costs_.size(); ++w) {
+    loads[w] = costs_[w] / total_cost_;
+  }
+  return loads;
+}
+
+double LoadTracker::OutstandingWork(uint32_t worker) const {
+  SLB_CHECK(worker < outstanding_.size()) << "worker id out of range";
+  if (service_rate_ <= 0.0) return outstanding_[worker];
+  const double drain = service_rate_ * static_cast<double>(
+                           steps_ - outstanding_step_[worker]);
+  return std::max(0.0, outstanding_[worker] - drain);
+}
+
+double LoadTracker::TotalOutstanding() const {
+  double sum = 0.0;
+  for (uint32_t w = 0; w < outstanding_.size(); ++w) {
+    sum += OutstandingWork(w);
+  }
+  return sum;
+}
+
+double LoadTracker::completed_cost() const {
+  // Fold in drains that have elapsed but not yet been materialized by a
+  // Record on the worker, so the conservation invariant holds at any step.
+  double pending = 0.0;
+  if (service_rate_ > 0.0) {
+    for (size_t w = 0; w < outstanding_.size(); ++w) {
+      const double drain = service_rate_ * static_cast<double>(
+                               steps_ - outstanding_step_[w]);
+      pending += std::min(drain, outstanding_[w]);
+    }
+  }
+  return completed_cost_ + pending;
 }
 
 }  // namespace slb

@@ -19,12 +19,39 @@ Result<PartitionSimResult> RunPartitionSimulation(const PartitionSimConfig& conf
     return status;
   }
 
+  // Heterogeneous cost layer: build the per-key cost oracle shared by the
+  // senders (cost-aware signals) and the ground-truth tracker.
+  std::shared_ptr<const CostModel> cost_model;
+  if (config.service.enabled()) {
+    if (!(config.service.rate > 0.0)) {
+      return Status::InvalidArgument("service rate must be positive");
+    }
+    CostModelOptions model_options = config.service.options;
+    model_options.num_keys =
+        std::max<uint64_t>(1, stream != nullptr ? stream->num_keys() : 1);
+    auto model = MakeCostModel(config.service.cost_model, model_options);
+    if (!model.ok()) return model.status();
+    cost_model = std::move(model.value());
+  }
+  PartitionerOptions partitioner_options = config.partitioner;
+  if (partitioner_options.balance_on != BalanceSignal::kCount) {
+    if (!config.service.enabled()) {
+      return Status::InvalidArgument(
+          "balance_on=cost/in-flight requires config.service");
+    }
+    partitioner_options.cost_model = cost_model;
+    // Each sender sees a 1/num_sources slice of the stream, so per-sender
+    // "time" advances num_sources times slower than global completions.
+    partitioner_options.service_rate =
+        config.service.rate * static_cast<double>(config.num_sources);
+  }
+
   // One sender-local partitioner per source, identical configuration
   // (and hence identical hash functions — only load estimates differ).
   std::vector<std::unique_ptr<StreamPartitioner>> senders;
   senders.reserve(config.num_sources);
   for (uint32_t si = 0; si < config.num_sources; ++si) {
-    auto sender = CreatePartitioner(config.algorithm, config.partitioner);
+    auto sender = CreatePartitioner(config.algorithm, partitioner_options);
     if (!sender.ok()) return sender.status();
     senders.push_back(std::move(sender.value()));
   }
@@ -37,6 +64,10 @@ Result<PartitionSimResult> RunPartitionSimulation(const PartitionSimConfig& conf
   stream->Reset();
   const uint64_t m = stream->num_messages();
   LoadTracker tracker(config.partitioner.num_workers, config.track_memory);
+  if (cost_model != nullptr) tracker.EnableCostTracking(config.service.rate);
+  // Per-key arrival counts for the mis-rank analysis (cost runs only).
+  std::vector<uint64_t> key_freq;
+  if (cost_model != nullptr) key_freq.resize(cost_model->num_keys(), 0);
 
   // Rescale events, converted from stream fractions to message positions.
   // The migration tracker exists only for elastic runs — it keeps per-key
@@ -84,7 +115,13 @@ Result<PartitionSimResult> RunPartitionSimulation(const PartitionSimConfig& conf
     const bool is_head = config.oracle_head_size > 0
                              ? key < config.oracle_head_size
                              : sender.last_was_head();
-    tracker.Record(worker, key, is_head);
+    if (cost_model != nullptr) {
+      tracker.Record(worker, key, is_head, cost_model->CostOf(key));
+      if (key >= key_freq.size()) key_freq.resize(key + 1, 0);
+      ++key_freq[key];
+    } else {
+      tracker.Record(worker, key, is_head);
+    }
     if (migration) migration->OnMessage(i, key, worker);
 
     if ((i + 1) % sample_every == 0 || i + 1 == m) {
@@ -122,6 +159,40 @@ Result<PartitionSimResult> RunPartitionSimulation(const PartitionSimConfig& conf
     if (config.record_migrated_keys) {
       result.migrated_keys = migration->migrated_keys();
     }
+  }
+  if (cost_model != nullptr) {
+    result.total_cost = tracker.total_cost();
+    result.cost_imbalance = tracker.CostImbalance();
+    result.peak_outstanding = tracker.peak_outstanding();
+
+    // Mis-rank rate: of the keys whose TRUE cost load clears the head
+    // threshold theta (as a fraction of total cost), how many would a
+    // frequency threshold at the same theta fail to flag? This is the blind
+    // spot of frequency-only sketches on heterogeneous work. The full
+    // stream length m anchors both thresholds (tracker totals shrink under
+    // rescale and would skew them).
+    const double theta = config.partitioner.theta();
+    const double freq_threshold = theta * static_cast<double>(m);
+    double total_cost_load = 0.0;
+    for (uint64_t k = 0; k < key_freq.size(); ++k) {
+      if (key_freq[k] == 0) continue;
+      total_cost_load +=
+          static_cast<double>(key_freq[k]) * cost_model->CostOf(k);
+    }
+    const double cost_threshold = theta * total_cost_load;
+    uint64_t cost_heavy = 0;
+    uint64_t missed = 0;
+    for (uint64_t k = 0; k < key_freq.size(); ++k) {
+      if (key_freq[k] == 0) continue;
+      const double cost_load =
+          static_cast<double>(key_freq[k]) * cost_model->CostOf(k);
+      if (cost_load >= cost_threshold) {
+        ++cost_heavy;
+        if (static_cast<double>(key_freq[k]) < freq_threshold) ++missed;
+      }
+    }
+    result.misrank_rate = static_cast<double>(missed) /
+                          static_cast<double>(std::max<uint64_t>(1, cost_heavy));
   }
   return result;
 }

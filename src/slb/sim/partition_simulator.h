@@ -11,13 +11,36 @@
 #include <memory>
 #include <vector>
 
+#include <string>
+
 #include "slb/common/status.h"
 #include "slb/core/partitioner.h"
 #include "slb/sim/load_tracker.h"
 #include "slb/sim/migration_tracker.h"
+#include "slb/workload/cost_model.h"
 #include "slb/workload/stream_generator.h"
 
 namespace slb {
+
+/// Heterogeneous service model (ROADMAP item 2). When a cost model is named,
+/// every message is priced by it (the tracker's ground-truth accounting and
+/// the senders' cost-aware signals evaluate the same per-key oracle) and a
+/// deterministic completion model drains `rate` cost units per worker per
+/// routed message, which drives the outstanding-work (in-flight) view.
+struct ServiceConfig {
+  /// Cost model name for MakeCostModel ("unit", "pareto", "correlated",
+  /// "anti-correlated"); empty disables the cost layer entirely.
+  std::string cost_model;
+  /// Knobs for the model. num_keys is overwritten with the stream's key
+  /// count so rank-aligned models see the true frequency ranks.
+  CostModelOptions options;
+  /// Completion rate: cost units each worker finishes per stream message.
+  /// Must be > 0 when the layer is enabled. Rates near mean_cost/num_workers
+  /// put workers at ~full utilization, where backlog differences show.
+  double rate = 1.0;
+
+  bool enabled() const { return !cost_model.empty(); }
+};
 
 struct PartitionSimConfig {
   AlgorithmKind algorithm = AlgorithmKind::kPkg;
@@ -50,6 +73,11 @@ struct PartitionSimConfig {
   /// Copies the per-key migration log into the result (equivalence tests;
   /// static sweeps should leave it off — the vector grows with migrations).
   bool record_migrated_keys = false;
+
+  /// Heterogeneous per-key service costs + completion model. Disabled (unit
+  /// cost, no backlog) when service.cost_model is empty. Required whenever
+  /// partitioner.balance_on != kCount — the senders need the cost oracle.
+  ServiceConfig service;
 };
 
 struct PartitionSimResult {
@@ -95,6 +123,16 @@ struct PartitionSimResult {
   /// Migrated keys in handoff-enqueue order (only when
   /// config.record_migrated_keys).
   std::vector<uint64_t> migrated_keys;
+
+  /// Heterogeneous cost outcome (zeros unless config.service is enabled).
+  /// cost_imbalance is the paper's metric computed over true service cost;
+  /// misrank_rate is the fraction of TRUE cost-heavy keys (cost load >=
+  /// theta * total cost) that a frequency threshold at the same theta
+  /// misses — exactly 0 under the unit model.
+  double total_cost = 0.0;
+  double cost_imbalance = 0.0;
+  double peak_outstanding = 0.0;
+  double misrank_rate = 0.0;
 };
 
 /// Runs the full stream through `config.num_sources` independent senders.

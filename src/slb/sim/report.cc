@@ -91,6 +91,10 @@ constexpr const char* kMigrationColumns[] = {
     "final_workers",  "rescale_events",   "keys_migrated",
     "state_bytes_migrated", "stalled_messages", "moved_key_fraction"};
 
+constexpr const char* kCostColumns[] = {
+    "cost_imbalance", "count_imbalance", "misrank_rate",
+    "peak_outstanding", "total_cost"};
+
 // Which payload columns this table renders. Derived by scanning the cells
 // in stable row order, so it is a pure function of the table — identical
 // across thread counts, and identical for every row (cells missing a
@@ -100,6 +104,7 @@ struct PayloadColumns {
   bool latency = false;
   bool throughput = false;
   bool migration = false;
+  bool cost = false;
   /// Union of metric names in first-seen (cell-order, then payload-order)
   /// appearance; `integral` is taken from the first definition.
   std::vector<PayloadMetric> metrics;
@@ -112,6 +117,7 @@ PayloadColumns ScanPayloadColumns(const SweepResultTable& table) {
     if (cell.payload.latency.has_value()) columns.latency = true;
     if (cell.payload.throughput.has_value()) columns.throughput = true;
     if (cell.payload.migration.has_value()) columns.migration = true;
+    if (cell.payload.cost.has_value()) columns.cost = true;
     for (const PayloadMetric& metric : cell.payload.metrics) {
       if (FindMetric(columns.metrics, metric.name) == nullptr) {
         columns.metrics.push_back(PayloadMetric{metric.name, 0.0, metric.integral});
@@ -140,6 +146,9 @@ void AppendHeader(std::string* out, const PayloadColumns& columns, char sep) {
   }
   if (columns.migration) {
     for (const char* text : kMigrationColumns) name(text);
+  }
+  if (columns.cost) {
+    for (const char* text : kCostColumns) name(text);
   }
   for (const PayloadMetric& metric : columns.metrics) name(metric.name.c_str());
   *out += '\n';
@@ -200,6 +209,14 @@ void AppendRow(std::string* out, const SweepCellResult& cell,
     field(Count(mig.state_bytes_migrated));
     field(Count(mig.stalled_messages));
     field(Num(mig.moved_key_fraction));
+  }
+  if (columns.cost) {
+    const CostCounters cost = payload.cost.value_or(CostCounters{});
+    field(Num(cost.cost_imbalance));
+    field(Num(cost.count_imbalance));
+    field(Num(cost.misrank_rate));
+    field(Num(cost.peak_outstanding));
+    field(Num(cost.total_cost));
   }
   for (const PayloadMetric& column : columns.metrics) {
     const PayloadMetric* metric = FindMetric(payload.metrics, column.name);
@@ -290,12 +307,24 @@ std::string SweepToJson(const SweepResultTable& table) {
       out += ",\"moved_key_fraction\":" + Num(mig.moved_key_fraction);
       out += "}";
     }
+    if (payload.cost.has_value()) {
+      const CostCounters& cost = *payload.cost;
+      out += ",\"cost\":{\"cost_imbalance\":";
+      out += Num(cost.cost_imbalance);
+      out += ",\"count_imbalance\":" + Num(cost.count_imbalance);
+      out += ",\"misrank_rate\":" + Num(cost.misrank_rate);
+      out += ",\"peak_outstanding\":" + Num(cost.peak_outstanding);
+      out += ",\"total_cost\":" + Num(cost.total_cost);
+      out += "}";
+    }
     if (!payload.metrics.empty()) {
       out += ",\"metrics\":{";
       for (size_t mi = 0; mi < payload.metrics.size(); ++mi) {
         if (mi > 0) out += ',';
-        out += "\"" + JsonEscape(payload.metrics[mi].name) + "\":" +
-               MetricValue(payload.metrics[mi]);
+        out += '"';
+        out += JsonEscape(payload.metrics[mi].name);
+        out += "\":";
+        out += MetricValue(payload.metrics[mi]);
       }
       out += "}";
     }

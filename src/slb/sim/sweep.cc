@@ -120,6 +120,8 @@ PartitionSimConfig SweepCellContext::MakeSimConfig() const {
   config.track_memory = grid->track_memory;
   config.oracle_head_size = grid->oracle_head_size;
   config.rescale = variant->rescale.empty() ? grid->rescale : variant->rescale;
+  config.service =
+      variant->service.enabled() ? variant->service : grid->service;
   return config;
 }
 
@@ -144,6 +146,15 @@ Result<CellPayload> SweepCellContext::RunDefault() const {
     counters.stalled_messages = payload.sim.stalled_messages;
     counters.moved_key_fraction = payload.sim.moved_key_fraction;
     payload.migration = counters;
+  }
+  if (config.service.enabled()) {
+    CostCounters counters;
+    counters.cost_imbalance = payload.sim.cost_imbalance;
+    counters.count_imbalance = payload.sim.final_imbalance;
+    counters.misrank_rate = payload.sim.misrank_rate;
+    counters.peak_outstanding = payload.sim.peak_outstanding;
+    counters.total_cost = payload.sim.total_cost;
+    payload.cost = counters;
   }
   return payload;
 }

@@ -73,6 +73,10 @@ struct SweepVariant {
   /// Rescale-schedule override for this variant (empty = grid default).
   /// Makes the elastic schedule itself a sweep axis (bench_elastic_rescale).
   RescaleSchedule rescale;
+  /// Service-model override for this variant (disabled = grid default).
+  /// Makes the cost model / completion rate a sweep axis
+  /// (bench_cost_routing pairs it with options.balance_on).
+  ServiceConfig service;
 };
 
 // ---------------------------------------------------------------------------
@@ -111,6 +115,18 @@ struct ThroughputCounters {
   uint64_t completed = 0;
 };
 
+/// Heterogeneous-cost outcome of a cell run with an enabled ServiceConfig:
+/// the paper's imbalance metric over true service cost next to the count
+/// metric on the SAME routing decisions, the sketch mis-rank rate, and the
+/// completion model's peak backlog. All five render as byte-stable columns.
+struct CostCounters {
+  double cost_imbalance = 0.0;
+  double count_imbalance = 0.0;
+  double misrank_rate = 0.0;
+  double peak_outstanding = 0.0;
+  double total_cost = 0.0;
+};
+
 /// Key-state migration costs from an elastic (rescaling) cell run — the
 /// simulator's MigrationTracker counters (slb/sim/migration_tracker.h).
 struct MigrationCounters {
@@ -146,6 +162,7 @@ struct CellPayload {
   std::optional<LatencySnapshot> latency;
   std::optional<ThroughputCounters> throughput;
   std::optional<MigrationCounters> migration;
+  std::optional<CostCounters> cost;
   std::vector<PayloadMetric> metrics;
 
   void AddMetric(std::string name, double value);
@@ -205,6 +222,10 @@ struct SweepGrid {
   /// Elastic rescale schedule applied to every cell (variants may override).
   /// Non-empty schedules make RunDefault() attach MigrationCounters.
   RescaleSchedule rescale;
+
+  /// Heterogeneous service model applied to every cell (variants may
+  /// override). Enabled configs make RunDefault() attach CostCounters.
+  ServiceConfig service;
 
   /// Custom per-cell experiment; empty = SweepCellContext::RunDefault().
   SweepCellRunner runner;

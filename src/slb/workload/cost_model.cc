@@ -1,0 +1,99 @@
+#include "slb/workload/cost_model.h"
+
+#include <cmath>
+
+#include "slb/common/logging.h"
+#include "slb/common/rng.h"
+
+namespace slb {
+
+CostModel::CostModel(const CostModelOptions& options)
+    : options_(options), seed_mix_(Mix64(options.seed ^ 0x5ca1ab1ec0571e55ULL)) {
+  SLB_CHECK(options_.num_keys >= 1);
+}
+
+double CostModel::KeyUniform(uint64_t key) const {
+  const uint64_t bits = Mix64(seed_mix_ ^ (key * 0x9e3779b97f4a7c15ULL));
+  // 53 mantissa bits, shifted into (0, 1]: never 0, so inverse-CDF draws
+  // (u^(-1/alpha)) stay finite.
+  return (static_cast<double>(bits >> 11) + 1.0) * 0x1.0p-53;
+}
+
+double CostModel::MeanCost() const {
+  double sum = 0.0;
+  for (uint64_t k = 0; k < options_.num_keys; ++k) sum += CostOf(k);
+  return sum / static_cast<double>(options_.num_keys);
+}
+
+UnitCostModel::UnitCostModel(const CostModelOptions& options)
+    : CostModel(options) {}
+
+ParetoCostModel::ParetoCostModel(const CostModelOptions& options)
+    : CostModel(options) {
+  SLB_CHECK(options_.pareto_tail_index > 0.0);
+  SLB_CHECK(options_.pareto_scale > 0.0);
+}
+
+double ParetoCostModel::CostOf(uint64_t key) const {
+  return options_.pareto_scale *
+         std::pow(KeyUniform(key), -1.0 / options_.pareto_tail_index);
+}
+
+RankCorrelatedCostModel::RankCorrelatedCostModel(
+    const CostModelOptions& options, bool anti)
+    : CostModel(options), anti_(anti) {
+  SLB_CHECK(options_.cost_correlation >= -1.0 &&
+            options_.cost_correlation <= 1.0);
+  SLB_CHECK(options_.max_cost >= 1.0);
+}
+
+double RankCorrelatedCostModel::CostOf(uint64_t key) const {
+  const double denom = options_.num_keys > 1
+                           ? static_cast<double>(options_.num_keys - 1)
+                           : 1.0;
+  double base = static_cast<double>(key) / denom;  // 0 at rank 0 (hottest)
+  if (base > 1.0) base = 1.0;  // keys past num_keys price like the coldest rank
+  if (!anti_) base = 1.0 - base;
+  const double rho = std::abs(options_.cost_correlation);
+  const double mix = rho * base + (1.0 - rho) * KeyUniform(key);
+  return 1.0 + (options_.max_cost - 1.0) * mix;
+}
+
+std::vector<std::string> CostModelNames() {
+  return {"unit", "pareto", "correlated", "anti-correlated"};
+}
+
+Result<std::unique_ptr<CostModel>> MakeCostModel(
+    const std::string& name, const CostModelOptions& options) {
+  // Ctors SLB_CHECK their invariants; the factory returns InvalidArgument so
+  // sweeps can report bad cells. `!(x > 0)` also rejects NaN knobs.
+  if (options.num_keys < 1) {
+    return Status::InvalidArgument("cost model needs at least 1 key");
+  }
+  if (name == "unit") {
+    return {std::make_unique<UnitCostModel>(options)};
+  }
+  if (name == "pareto") {
+    if (!(options.pareto_tail_index > 0.0)) {
+      return Status::InvalidArgument("pareto_tail_index must be positive");
+    }
+    if (!(options.pareto_scale > 0.0)) {
+      return Status::InvalidArgument("pareto_scale must be positive");
+    }
+    return {std::make_unique<ParetoCostModel>(options)};
+  }
+  if (name == "correlated" || name == "anti-correlated") {
+    if (!(options.cost_correlation >= -1.0 &&
+          options.cost_correlation <= 1.0)) {
+      return Status::InvalidArgument("cost_correlation must be in [-1, 1]");
+    }
+    if (!(options.max_cost >= 1.0)) {
+      return Status::InvalidArgument("max_cost must be >= 1");
+    }
+    return {std::make_unique<RankCorrelatedCostModel>(
+        options, /*anti=*/name == "anti-correlated")};
+  }
+  return Status::InvalidArgument("unknown cost model: " + name);
+}
+
+}  // namespace slb

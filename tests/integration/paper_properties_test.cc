@@ -61,8 +61,11 @@ std::string SweepName(
     const ::testing::TestParamInfo<std::tuple<double, uint32_t>>& info) {
   const double z = std::get<0>(info.param);
   const uint32_t n = std::get<1>(info.param);
-  return "z" + std::to_string(static_cast<int>(z * 10)) + "_n" +
-         std::to_string(n);
+  std::string name = "z";
+  name += std::to_string(static_cast<int>(z * 10));
+  name += "_n";
+  name += std::to_string(n);
+  return name;
 }
 
 INSTANTIATE_TEST_SUITE_P(

@@ -1,0 +1,204 @@
+#include "cost_model_harness.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+namespace slb::testing {
+namespace {
+
+std::vector<double> PriceAll(const CostModel& model) {
+  std::vector<double> costs;
+  costs.reserve(model.num_keys());
+  for (uint64_t k = 0; k < model.num_keys(); ++k) {
+    costs.push_back(model.CostOf(k));
+  }
+  return costs;
+}
+
+// Average rank of each value, ties sharing the mean rank (midrank), as
+// Spearman's rho requires.
+std::vector<double> Ranks(const std::vector<double>& values) {
+  std::vector<size_t> order(values.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](size_t a, size_t b) { return values[a] < values[b]; });
+  std::vector<double> ranks(values.size(), 0.0);
+  size_t i = 0;
+  while (i < order.size()) {
+    size_t j = i;
+    while (j + 1 < order.size() &&
+           values[order[j + 1]] == values[order[i]]) {
+      ++j;
+    }
+    const double midrank = 0.5 * static_cast<double>(i + j) + 1.0;
+    for (size_t t = i; t <= j; ++t) ranks[order[t]] = midrank;
+    i = j + 1;
+  }
+  return ranks;
+}
+
+/// Spearman rank correlation between the key index (0, 1, ...) and the cost.
+double SpearmanVsIndex(const std::vector<double>& costs) {
+  const std::vector<double> cost_ranks = Ranks(costs);
+  const double n = static_cast<double>(costs.size());
+  const double mean = 0.5 * (n + 1.0);
+  double cov = 0.0;
+  double var_index = 0.0;
+  double var_cost = 0.0;
+  for (size_t k = 0; k < costs.size(); ++k) {
+    const double di = static_cast<double>(k + 1) - mean;  // index rank
+    const double dc = cost_ranks[k] - mean;
+    cov += di * dc;
+    var_index += di * di;
+    var_cost += dc * dc;
+  }
+  if (var_index == 0.0 || var_cost == 0.0) return 0.0;
+  return cov / std::sqrt(var_index * var_cost);
+}
+
+/// Hill estimator of the Pareto tail index over the top `k` order
+/// statistics: alpha_hat = k / sum_{i<=k} ln(X_(i) / X_(k+1)).
+double HillTailIndex(std::vector<double> costs, size_t k) {
+  std::sort(costs.begin(), costs.end(), std::greater<double>());
+  double sum = 0.0;
+  for (size_t i = 0; i < k; ++i) sum += std::log(costs[i] / costs[k]);
+  return static_cast<double>(k) / sum;
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------------
+
+using ShapeFn = void (*)(const std::vector<double>&, const CostModelOptions&);
+
+struct HarnessEntry {
+  const char* name;
+  ShapeFn shape;
+};
+
+// --- unit: exactly 1.0 everywhere — count and cost accounting coincide -----
+void UnitShape(const std::vector<double>& costs, const CostModelOptions&) {
+  for (size_t k = 0; k < costs.size(); ++k) {
+    ASSERT_EQ(costs[k], 1.0) << "key " << k;
+  }
+}
+
+// --- pareto: scale is the floor, the Hill estimate recovers the tail index -
+void ParetoShape(const std::vector<double>& costs,
+                 const CostModelOptions& opt) {
+  const double floor = *std::min_element(costs.begin(), costs.end());
+  EXPECT_GE(floor, opt.pareto_scale);
+  // A heavy tail is present: the most expensive key costs a large multiple
+  // of the floor (u_min ~ 1/num_keys => max ~ scale * num_keys^(1/alpha)).
+  EXPECT_GT(*std::max_element(costs.begin(), costs.end()),
+            20.0 * opt.pareto_scale);
+  // Hill over the top 1/16 of the order statistics: std error ~ alpha/sqrt(k)
+  // (~0.1 here), so a +-0.4 window is a real shape check, not noise.
+  const double estimate = HillTailIndex(costs, costs.size() / 16);
+  EXPECT_NEAR(estimate, opt.pareto_tail_index, 0.4);
+}
+
+// --- correlated: hot ranks (low key index) are the expensive ones ----------
+void CorrelatedShape(const std::vector<double>& costs,
+                     const CostModelOptions& opt) {
+  EXPECT_LT(SpearmanVsIndex(costs), -0.8)
+      << "cost must fall with the frequency rank index";
+  // Costs span the advertised range [1, max_cost].
+  EXPECT_GE(*std::min_element(costs.begin(), costs.end()), 1.0);
+  EXPECT_LE(*std::max_element(costs.begin(), costs.end()), opt.max_cost);
+}
+
+// --- anti-correlated: rare ranks (high key index) are the expensive ones ---
+void AntiCorrelatedShape(const std::vector<double>& costs,
+                         const CostModelOptions& opt) {
+  EXPECT_GT(SpearmanVsIndex(costs), 0.8)
+      << "cost must rise with the frequency rank index";
+  EXPECT_GE(*std::min_element(costs.begin(), costs.end()), 1.0);
+  EXPECT_LE(*std::max_element(costs.begin(), costs.end()), opt.max_cost);
+}
+
+// One entry per catalog name; coverage is compared against CostModelNames()
+// as a set by the completeness test.
+constexpr HarnessEntry kRegistry[] = {
+    {"unit", UnitShape},
+    {"pareto", ParetoShape},
+    {"correlated", CorrelatedShape},
+    {"anti-correlated", AntiCorrelatedShape},
+};
+
+const HarnessEntry* FindEntry(const std::string& name) {
+  for (const HarnessEntry& entry : kRegistry) {
+    if (name == entry.name) return &entry;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+CostModelOptions CostModelHarnessOptions() {
+  CostModelOptions opt;
+  opt.num_keys = 4096;
+  opt.seed = 7;
+  return opt;
+}
+
+void RunCostModelPropertyChecks(const std::string& name) {
+  const HarnessEntry* entry = FindEntry(name);
+  if (entry == nullptr) {
+    ADD_FAILURE() << "cost model '" << name
+                  << "' has no harness entry: register a shape predicate in "
+                     "tests/workload/cost_model_harness.cc";
+    return;
+  }
+  const CostModelOptions opt = CostModelHarnessOptions();
+
+  auto model = MakeCostModel(name, opt);
+  auto twin = MakeCostModel(name, opt);
+  ASSERT_TRUE(model.ok()) << model.status().ToString();
+  ASSERT_TRUE(twin.ok()) << twin.status().ToString();
+
+  // 4. Catalog consistency: the factory built what was asked for.
+  EXPECT_EQ((*model)->name(), name);
+  EXPECT_EQ((*model)->num_keys(), opt.num_keys);
+
+  const std::vector<double> costs = PriceAll(**model);
+
+  // 3. Positivity and finiteness — every downstream accumulator divides by
+  // or subtracts these, so a zero, negative, or non-finite cost corrupts
+  // conservation arithmetic silently.
+  for (size_t k = 0; k < costs.size(); ++k) {
+    ASSERT_TRUE(std::isfinite(costs[k])) << "key " << k;
+    ASSERT_GT(costs[k], 0.0) << "key " << k;
+  }
+
+  // 1. Same-seed determinism: a twin instance prices every key identically.
+  EXPECT_EQ(costs, PriceAll(**twin))
+      << "two same-options instances diverged";
+
+  // 2. Reset round-trip: the SAME instance replays its catalog bit-exactly.
+  (*model)->Reset();
+  EXPECT_EQ(costs, PriceAll(**model)) << "Reset() changed the cost catalog";
+
+  // MeanCost agrees with direct enumeration (benches derive completion
+  // rates from it).
+  double sum = 0.0;
+  for (double c : costs) sum += c;
+  EXPECT_DOUBLE_EQ((*model)->MeanCost(),
+                   sum / static_cast<double>(costs.size()));
+
+  // 5. Model-specific shape predicate.
+  entry->shape(costs, opt);
+}
+
+std::vector<std::string> HarnessCoveredCostModels() {
+  std::vector<std::string> names;
+  for (const HarnessEntry& entry : kRegistry) names.emplace_back(entry.name);
+  return names;
+}
+
+}  // namespace slb::testing

@@ -1,0 +1,49 @@
+// Cost-model property-test harness.
+//
+// Every generator in the cost-model catalog (slb/workload/cost_model.h) must
+// satisfy the same contract — the simulator rebuilds models per cell and the
+// senders/tracker/mis-rank analysis evaluate the same oracle independently —
+// so the contract is machine-checked in ONE place, mirroring the scenario
+// harness (tests/workload/scenario_harness.h):
+//
+//   1. same-seed determinism   two same-options instances price every key
+//                              identically (bit-exact doubles);
+//   2. Reset round-trip        Reset() replays the exact per-key costs;
+//   3. positivity              every cost is finite and > 0 (the tracker's
+//                              conservation arithmetic relies on it);
+//   4. catalog consistency     name() round-trips through MakeCostModel and
+//                              num_keys() matches the requested options;
+//   5. shape predicate         a per-model statistical check that the
+//                              advertised shape actually holds — the Hill
+//                              tail-index estimate for pareto, the sign and
+//                              strength of the rank correlation for the
+//                              correlated variants, exact unity for unit.
+//
+// The registry is keyed by catalog name and the completeness test compares
+// HarnessCoveredCostModels() against CostModelNames(), so a model added to
+// the catalog without a harness entry — or an entry whose model was
+// removed — fails CI.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "slb/workload/cost_model.h"
+
+namespace slb::testing {
+
+/// The options every model is checked under: enough keys that the Hill
+/// estimator and rank correlation are statistically decisive, small enough
+/// to run in milliseconds.
+CostModelOptions CostModelHarnessOptions();
+
+/// Runs invariants 1-5 for `name` using gtest EXPECT/ADD_FAILURE, so
+/// failures surface in the calling test (wrap in SCOPED_TRACE(name)).
+/// A name without a registry entry is itself a failure.
+void RunCostModelPropertyChecks(const std::string& name);
+
+/// Catalog names with a registered harness entry, in registry order.
+std::vector<std::string> HarnessCoveredCostModels();
+
+}  // namespace slb::testing

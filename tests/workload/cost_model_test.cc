@@ -1,0 +1,149 @@
+#include "slb/workload/cost_model.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "cost_model_harness.h"
+
+namespace slb {
+namespace {
+
+// --- property-test harness -------------------------------------------------
+//
+// The harness machine-checks the catalog-wide contract (same-seed
+// determinism, Reset round-trip, positivity, factory round-trip) plus one
+// registered shape predicate per model. Running it over CostModelNames()
+// means a future model is covered the moment it is registered in the
+// factory — and the completeness test below makes SKIPPING the harness a CI
+// failure rather than a silent gap.
+
+TEST(CostModelHarnessTest, EveryCatalogModelPassesPropertyChecks) {
+  for (const std::string& name : CostModelNames()) {
+    SCOPED_TRACE(name);
+    slb::testing::RunCostModelPropertyChecks(name);
+  }
+}
+
+TEST(CostModelHarnessTest, HarnessCoversEveryCatalogName) {
+  std::vector<std::string> catalog = CostModelNames();
+  std::vector<std::string> covered = slb::testing::HarnessCoveredCostModels();
+  std::sort(catalog.begin(), catalog.end());
+  std::sort(covered.begin(), covered.end());
+  EXPECT_EQ(catalog, covered)
+      << "catalog and harness registry diverged: every MakeCostModel name "
+         "needs a shape predicate in tests/workload/cost_model_harness.cc, "
+         "and every registry entry needs a live model";
+}
+
+// --- factory validation ----------------------------------------------------
+
+TEST(CostModelFactoryTest, RejectsUnknownName) {
+  auto model = MakeCostModel("no-such-model");
+  ASSERT_FALSE(model.ok());
+  EXPECT_EQ(model.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CostModelFactoryTest, RejectsZeroKeys) {
+  CostModelOptions opt;
+  opt.num_keys = 0;
+  EXPECT_FALSE(MakeCostModel("unit", opt).ok());
+}
+
+TEST(CostModelFactoryTest, RejectsNonPositiveTailIndex) {
+  CostModelOptions opt;
+  opt.pareto_tail_index = 0.0;
+  EXPECT_FALSE(MakeCostModel("pareto", opt).ok());
+  opt.pareto_tail_index = -1.5;
+  EXPECT_FALSE(MakeCostModel("pareto", opt).ok());
+  // !(x > 0) also rejects a NaN knob instead of silently building a model
+  // that prices every key NaN.
+  opt.pareto_tail_index = std::nan("");
+  EXPECT_FALSE(MakeCostModel("pareto", opt).ok());
+}
+
+TEST(CostModelFactoryTest, RejectsNonPositiveParetoScale) {
+  CostModelOptions opt;
+  opt.pareto_scale = 0.0;
+  EXPECT_FALSE(MakeCostModel("pareto", opt).ok());
+}
+
+TEST(CostModelFactoryTest, RejectsCorrelationOutsideUnitInterval) {
+  CostModelOptions opt;
+  opt.cost_correlation = 1.5;
+  EXPECT_FALSE(MakeCostModel("correlated", opt).ok());
+  opt.cost_correlation = -1.5;
+  EXPECT_FALSE(MakeCostModel("anti-correlated", opt).ok());
+  opt.cost_correlation = std::nan("");
+  EXPECT_FALSE(MakeCostModel("correlated", opt).ok());
+}
+
+TEST(CostModelFactoryTest, RejectsMaxCostBelowOne) {
+  CostModelOptions opt;
+  opt.max_cost = 0.5;
+  EXPECT_FALSE(MakeCostModel("correlated", opt).ok());
+}
+
+TEST(CostModelFactoryTest, BoundaryKnobsAreAccepted) {
+  CostModelOptions opt;
+  opt.cost_correlation = 1.0;
+  EXPECT_TRUE(MakeCostModel("correlated", opt).ok());
+  opt.cost_correlation = -1.0;
+  EXPECT_TRUE(MakeCostModel("anti-correlated", opt).ok());
+  opt.max_cost = 1.0;  // degenerate but legal: every key costs exactly 1
+  auto flat = MakeCostModel("correlated", opt);
+  ASSERT_TRUE(flat.ok());
+  EXPECT_DOUBLE_EQ((*flat)->CostOf(0), 1.0);
+}
+
+// --- model semantics beyond the harness ------------------------------------
+
+TEST(CostModelTest, DifferentSeedsPriceKeysDifferently) {
+  CostModelOptions a = slb::testing::CostModelHarnessOptions();
+  CostModelOptions b = a;
+  b.seed = a.seed + 1;
+  auto model_a = MakeCostModel("pareto", a);
+  auto model_b = MakeCostModel("pareto", b);
+  ASSERT_TRUE(model_a.ok() && model_b.ok());
+  size_t differing = 0;
+  for (uint64_t k = 0; k < a.num_keys; ++k) {
+    differing += (*model_a)->CostOf(k) != (*model_b)->CostOf(k);
+  }
+  EXPECT_GT(differing, a.num_keys / 2) << "the seed must matter";
+}
+
+TEST(CostModelTest, KeysPastCatalogArePricedFinitely) {
+  // Streams can emit keys >= num_keys (key-space-growth); every model must
+  // still price them with a positive, finite cost rather than crashing.
+  const CostModelOptions opt = slb::testing::CostModelHarnessOptions();
+  for (const std::string& name : CostModelNames()) {
+    SCOPED_TRACE(name);
+    auto model = MakeCostModel(name, opt);
+    ASSERT_TRUE(model.ok());
+    const double cost = (*model)->CostOf(opt.num_keys + 123);
+    EXPECT_TRUE(std::isfinite(cost));
+    EXPECT_GT(cost, 0.0);
+  }
+}
+
+TEST(CostModelTest, CorrelatedAndAntiCorrelatedAreMirrored) {
+  // At full correlation and no noise the two variants price rank r and rank
+  // (K-1-r) identically: they are reflections of the same ramp. The two
+  // ramps evaluate `1 - k/D` vs `(K-1-k)/D`, equal in exact arithmetic but
+  // an ulp apart in floating point, hence NEAR rather than bit-equality.
+  CostModelOptions opt = slb::testing::CostModelHarnessOptions();
+  opt.cost_correlation = 1.0;
+  auto hot = MakeCostModel("correlated", opt);
+  auto cold = MakeCostModel("anti-correlated", opt);
+  ASSERT_TRUE(hot.ok() && cold.ok());
+  for (uint64_t k = 0; k < opt.num_keys; ++k) {
+    const double mirrored = (*cold)->CostOf(opt.num_keys - 1 - k);
+    ASSERT_NEAR((*hot)->CostOf(k), mirrored, 1e-12 * mirrored) << "key " << k;
+  }
+}
+
+}  // namespace
+}  // namespace slb
