@@ -26,9 +26,11 @@ int Main(int argc, char** argv) {
   defaults.sources = 48;  // the paper's 48 spouts, overridable via --sources
 
   std::string engine_name = "sim";
+  std::string wait_name = "adaptive";
   int64_t engine_threads = 0;
   int64_t queue_capacity = 1024;
   int64_t batch_size = 64;
+  bool pin_threads = false;
   FlagSet extra;
   extra.AddString("engine", &engine_name,
                   "execution engine: sim (modeled) or threaded (measured)");
@@ -38,12 +40,21 @@ int Main(int argc, char** argv) {
                  "threaded engine: per-edge ring capacity in tuples");
   extra.AddInt64("batch-size", &batch_size,
                  "threaded engine: emit batch / task quantum in tuples");
+  extra.AddString("wait-strategy", &wait_name,
+                  "threaded engine: idle executor policy (adaptive or spin)");
+  extra.AddBool("pin-threads", &pin_threads,
+                "threaded engine: pin executors round-robin over CPUs");
 
   BenchEnv env = ParseBenchArgs(argc, argv, "Fig. 13: cluster throughput",
                                 &extra, defaults);
   const auto engine = ParseDspeEngine(engine_name);
   if (!engine.ok()) {
     std::fprintf(stderr, "%s\n", engine.status().ToString().c_str());
+    return 1;
+  }
+  const auto wait_strategy = ParseWaitStrategy(wait_name);
+  if (!wait_strategy.ok()) {
+    std::fprintf(stderr, "%s\n", wait_strategy.status().ToString().c_str());
     return 1;
   }
   // The threaded engine saturates the host by itself; running sweep cells
@@ -66,6 +77,8 @@ int Main(int argc, char** argv) {
   cell.runtime.num_threads = static_cast<uint32_t>(engine_threads);
   cell.runtime.queue_capacity = static_cast<uint32_t>(queue_capacity);
   cell.runtime.batch_size = static_cast<uint32_t>(batch_size);
+  cell.runtime.wait_strategy = wait_strategy.value();
+  cell.runtime.pin_threads = pin_threads;
   // Threaded cells report measured queue delay in the lat_* columns; the
   // sim reports latency via Fig. 14 only.
   cell.latency = engine.value() == DspeEngine::kThreaded;

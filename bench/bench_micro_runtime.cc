@@ -1,0 +1,201 @@
+// Micro-benchmarks isolating the threaded runtime's two hot-path overhauls
+// (not a paper figure):
+//
+//   * BM_AckFanout{PerTuple,Coalesced} — the tuple-tree ack accounting, as
+//     the pre-overhaul runtime did it (one shared-atomic RMW per routed copy
+//     at emit, three per ack) versus the coalesced protocol (one release
+//     store seeds the tree, acks buffered per executor and flushed once per
+//     scheduling quantum with adjacent-run merging). The arg is the tree
+//     fanout; the counter is acks/s.
+//
+//   * BM_IdleWake — round-trip latency of the adaptive wait ladder's park /
+//     wake edge (IdleGate in runtime.cc, replicated here structurally): the
+//     producer bumps the epoch, fences, and notifies; the parked consumer
+//     must observe the epoch and respond. This is the latency a parked
+//     executor adds to the first tuple after an idle period — the price
+//     kAdaptive pays over kSpin for not burning the core.
+//
+// Both benches replicate the runtime's structures rather than linking its
+// internals (RootSlot and IdleGate are runtime.cc-private by design); the
+// layout/ordering discipline — alignas(kCacheLineBytes), acq_rel on the
+// closing decrement, seq_cst fences around the park flag — is kept
+// identical so the numbers track the real thing.
+
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "slb/dspe/spsc_queue.h"
+
+namespace slb {
+namespace {
+
+struct alignas(kCacheLineBytes) BenchRootSlot {
+  std::atomic<uint32_t> pending{0};
+};
+
+constexpr size_t kSlots = 64;       // a realistic credit window
+constexpr size_t kQuantum = 64;     // acks buffered per flush (batch_size)
+
+// The pre-overhaul protocol: every routed copy is a fetch_add at emit;
+// every completed tuple pays an acq_rel fetch_sub on the shared slot plus
+// relaxed decrements of the spout's in-flight credit and the global
+// active-roots count.
+void BM_AckFanoutPerTuple(benchmark::State& state) {
+  const uint32_t fanout = static_cast<uint32_t>(state.range(0));
+  std::vector<BenchRootSlot> slots(kSlots);
+  std::atomic<uint32_t> in_flight{0};
+  std::atomic<uint64_t> active_roots{0};
+
+  uint64_t acks = 0;
+  for (auto _ : state) {
+    const size_t slot = acks % kSlots;
+    BenchRootSlot& root = slots[slot];
+    // Emit: anchor ref, then one fetch_add per routed copy.
+    root.pending.store(1, std::memory_order_relaxed);
+    in_flight.fetch_add(1, std::memory_order_relaxed);
+    active_roots.fetch_add(1, std::memory_order_relaxed);
+    for (uint32_t c = 0; c < fanout; ++c) {
+      root.pending.fetch_add(1, std::memory_order_relaxed);
+    }
+    root.pending.fetch_sub(1, std::memory_order_acq_rel);  // drop the anchor
+    // Ack: every copy completes with three shared RMWs.
+    for (uint32_t c = 0; c < fanout; ++c) {
+      if (root.pending.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        in_flight.fetch_sub(1, std::memory_order_relaxed);
+        active_roots.fetch_sub(1, std::memory_order_relaxed);
+      }
+    }
+    ++acks;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(acks) * fanout);
+}
+BENCHMARK(BM_AckFanoutPerTuple)->Arg(1)->Arg(4);
+
+// The coalesced protocol: one release store seeds the whole tree, final
+// acks land in a thread-local buffer (adjacent-run merge) and flush once
+// per quantum — one fetch_sub per distinct root plus two batched counter
+// updates per flush, instead of three RMWs per tuple.
+void BM_AckFanoutCoalesced(benchmark::State& state) {
+  const uint32_t fanout = static_cast<uint32_t>(state.range(0));
+  std::vector<BenchRootSlot> slots(kSlots);
+  std::atomic<uint32_t> in_flight{0};
+  std::atomic<uint64_t> active_roots{0};
+
+  struct PendingAck {
+    size_t slot;
+    uint32_t count;
+  };
+  std::vector<PendingAck> acks_buffer;
+  acks_buffer.reserve(kQuantum);
+
+  uint64_t acks = 0;
+  uint64_t emitted = 0;
+  for (auto _ : state) {
+    const size_t slot = acks % kSlots;
+    BenchRootSlot& root = slots[slot];
+    // Emit: one release store covers all copies; credit charged in batch.
+    root.pending.store(fanout, std::memory_order_release);
+    ++emitted;
+    // Ack: defer with adjacent-run merging; the fanout-1 intermediate
+    // completions are net-zero (the tree stays open) and cost nothing.
+    for (uint32_t c = 1; c < fanout; ++c) {
+      benchmark::DoNotOptimize(root.pending.load(std::memory_order_relaxed));
+    }
+    if (!acks_buffer.empty() && acks_buffer.back().slot == slot) {
+      ++acks_buffer.back().count;
+    } else {
+      acks_buffer.push_back({slot, 1});
+    }
+    ++acks;
+    if (acks_buffer.size() == kQuantum || (acks % kQuantum) == 0) {
+      in_flight.fetch_add(static_cast<uint32_t>(emitted),
+                          std::memory_order_relaxed);
+      active_roots.fetch_add(emitted, std::memory_order_relaxed);
+      uint64_t completed = 0;
+      for (const PendingAck& ack : acks_buffer) {
+        slots[ack.slot].pending.fetch_sub(ack.count,
+                                          std::memory_order_acq_rel);
+        completed += ack.count;
+      }
+      acks_buffer.clear();
+      in_flight.fetch_sub(static_cast<uint32_t>(completed),
+                          std::memory_order_relaxed);
+      active_roots.fetch_sub(completed, std::memory_order_release);
+      emitted = 0;
+    }
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(acks) * fanout);
+}
+BENCHMARK(BM_AckFanoutCoalesced)->Arg(1)->Arg(4);
+
+// Structural replica of runtime.cc's IdleGate and its WakeGate/ParkIdle
+// fence pairing.
+struct BenchIdleGate {
+  std::atomic<uint64_t> epoch{0};
+  std::atomic<uint32_t> parked{0};
+  std::mutex mu;
+  std::condition_variable cv;
+};
+
+// One park/wake round trip per iteration: the consumer parks until the
+// epoch moves, the producer (benchmark thread) bumps + notifies and waits
+// for the consumer's acknowledgment. Measures the full wake latency a
+// parked executor adds to the first tuple after idleness.
+void BM_IdleWake(benchmark::State& state) {
+  BenchIdleGate gate;
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> acked{0};
+
+  std::thread consumer([&] {
+    uint64_t seen = 0;
+    while (!stop.load(std::memory_order_acquire)) {
+      gate.parked.fetch_add(1, std::memory_order_seq_cst);
+      std::atomic_thread_fence(std::memory_order_seq_cst);
+      {
+        std::unique_lock<std::mutex> lock(gate.mu);
+        gate.cv.wait_for(lock, std::chrono::milliseconds(1), [&] {
+          return gate.epoch.load(std::memory_order_relaxed) != seen ||
+                 stop.load(std::memory_order_acquire);
+        });
+      }
+      gate.parked.fetch_sub(1, std::memory_order_seq_cst);
+      seen = gate.epoch.load(std::memory_order_relaxed);
+      acked.store(seen, std::memory_order_release);
+    }
+  });
+
+  uint64_t epoch = 0;
+  for (auto _ : state) {
+    ++epoch;
+    // WakeGate: bump, fence, notify only if someone is parked.
+    gate.epoch.store(epoch, std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    if (gate.parked.load(std::memory_order_relaxed) > 0) {
+      { std::lock_guard<std::mutex> lock(gate.mu); }
+      gate.cv.notify_all();
+    }
+    while (acked.load(std::memory_order_acquire) < epoch) {
+      std::this_thread::yield();
+    }
+  }
+
+  stop.store(true, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> lock(gate.mu);
+  }
+  gate.cv.notify_all();
+  consumer.join();
+  state.SetItemsProcessed(static_cast<int64_t>(epoch));
+}
+BENCHMARK(BM_IdleWake)->UseRealTime();
+
+}  // namespace
+}  // namespace slb
+
+BENCHMARK_MAIN();

@@ -149,6 +149,13 @@ Result<CellPayload> RunThreadedCell(const DspeCellOptions& options,
     snapshot.max_ms = stats.latency_max_ms;
     payload.latency = snapshot;
   }
+  // Executor idle accounting (the kAdaptive wait ladder; all zero under
+  // kSpin). Always attached so the smoke guard can assert the columns exist
+  // and are non-negative on every threaded run.
+  payload.AddMetric("idle_s", stats.idle_s);
+  payload.AddMetric("park_s", stats.park_s);
+  payload.AddCount("parks", stats.parks);
+  payload.AddCount("threads_pinned", stats.threads_pinned);
   if (!schedule.empty()) {
     // Modeled replay counters go where the simulator puts them (so the
     // rescale summary tables render both engines uniformly); the live
@@ -187,6 +194,15 @@ Result<DspeEngine> ParseDspeEngine(const std::string& text) {
   if (lower == "threaded") return DspeEngine::kThreaded;
   return Status::InvalidArgument("unknown engine '" + text +
                                  "' (expected sim or threaded)");
+}
+
+Result<WaitStrategy> ParseWaitStrategy(const std::string& text) {
+  std::string lower = text;
+  for (char& c : lower) c = static_cast<char>(std::tolower(c));
+  if (lower == "adaptive") return WaitStrategy::kAdaptive;
+  if (lower == "spin") return WaitStrategy::kSpin;
+  return Status::InvalidArgument("unknown wait strategy '" + text +
+                                 "' (expected adaptive or spin)");
 }
 
 SweepCellRunner MakeDspeCellRunner(DspeCellOptions options) {

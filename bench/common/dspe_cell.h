@@ -29,6 +29,10 @@ enum class DspeEngine {
 /// Parses "sim" / "threaded" (case-insensitive).
 Result<DspeEngine> ParseDspeEngine(const std::string& text);
 
+/// Parses "adaptive" / "spin" (case-insensitive) into the threaded engine's
+/// idle-executor policy.
+Result<WaitStrategy> ParseWaitStrategy(const std::string& text);
+
 struct DspeCellOptions {
   /// Template config for the cluster's service parameters. Everything
   /// workload- or cell-shaped is overwritten per cell: algorithm,

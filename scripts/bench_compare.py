@@ -1,0 +1,165 @@
+#!/usr/bin/env python3
+"""Perf-trajectory guard for the threaded DSPE runtime (ISSUE 10).
+
+Two modes, both driven by BENCH_runtime.json:
+
+  compare      Soft CI guard: compare a freshly produced bench TSV against
+               the recorded per-cell throughputs. Regressions beyond
+               --warn-pct print WARN lines but exit 0 (CI hosts are noisy;
+               a hard ratio gate would flake). Exit 1 is reserved for
+               structural rot the noise argument cannot excuse: an empty
+               table, a missing throughput column, a cell at <= 0, or a
+               recorded cell missing from the TSV entirely.
+
+  improvement  The acceptance check: pre_pr_baseline vs current inside the
+               JSON, per-cell ratios plus a per-scenario geomean. With
+               --min-gain-pct N, exits 1 when any scenario's geomean gain
+               is below N percent.
+
+TSV parsing resolves columns by name from the '#scenario\t...' header line
+(the bench tables' column-name contract), so payload reordering cannot
+silently blind the guard. Cells are keyed (scenario, algo); `scenario` is
+column 1, `algo` is resolved by header name.
+"""
+
+import argparse
+import json
+import math
+import sys
+
+
+def read_tsv_cells(path):
+    """Returns {(scenario, algo): throughput} from a bench result TSV."""
+    cells = {}
+    col_throughput = None
+    col_algo = None
+    with open(path) as f:
+        for line in f:
+            line = line.rstrip("\n")
+            if line.startswith("#scenario\t"):
+                header = line.lstrip("#").split("\t")
+                for i, name in enumerate(header):
+                    if name == "throughput_per_s":
+                        col_throughput = i
+                    if name == "algo":
+                        col_algo = i
+                continue
+            if not line or line.startswith("#"):
+                continue
+            fields = line.split("\t")
+            if col_throughput is None or col_algo is None:
+                continue  # rows before any header: not a bench table
+            if len(fields) <= max(col_throughput, col_algo):
+                continue
+            try:
+                value = float(fields[col_throughput])
+            except ValueError:
+                continue
+            cells[(fields[0], fields[col_algo])] = value
+    if col_throughput is None:
+        raise SystemExit(
+            f"FAIL  {path}: no '#scenario\\t...' header with a "
+            "throughput_per_s column (table format changed?)")
+    return cells
+
+
+def recorded_cells(section):
+    """Flattens {scenario: {algo: value}} into {(scenario, algo): value}."""
+    return {(scenario, algo): value
+            for scenario, algos in section.items()
+            for algo, value in algos.items()}
+
+
+def cmd_compare(args):
+    with open(args.baseline) as f:
+        baseline = json.load(f)
+    recorded = recorded_cells(baseline[args.section]["current"])
+    measured = read_tsv_cells(args.tsv)
+
+    failures = []
+    warnings = []
+    for key, base in sorted(recorded.items()):
+        scenario, algo = key
+        if key not in measured:
+            failures.append(f"{scenario}/{algo}: missing from {args.tsv}")
+            continue
+        value = measured[key]
+        if value <= 0:
+            failures.append(f"{scenario}/{algo}: throughput {value} <= 0")
+            continue
+        ratio = value / base
+        if ratio < 1.0 - args.warn_pct / 100.0:
+            warnings.append(
+                f"{scenario}/{algo}: {value:.4g} vs recorded {base:.4g} "
+                f"({(ratio - 1) * 100:+.1f}%)")
+    if not measured:
+        failures.append(f"{args.tsv}: empty result table")
+
+    for w in warnings:
+        print(f"WARN  {w}  (>{args.warn_pct}% below the recorded baseline; "
+              "noisy host or real regression — compare locally)",
+              file=sys.stderr)
+    for fail in failures:
+        print(f"FAIL  {fail}", file=sys.stderr)
+    if failures:
+        return 1
+    ok = len(recorded) - len(warnings)
+    print(f"OK    bench_compare: {ok}/{len(recorded)} cells within "
+          f"{args.warn_pct}% of the recorded baseline"
+          + (f", {len(warnings)} warnings" if warnings else ""))
+    return 0
+
+
+def cmd_improvement(args):
+    with open(args.baseline) as f:
+        baseline = json.load(f)
+    section = baseline[args.section]
+    pre = recorded_cells(section["pre_pr_baseline"])
+    cur = recorded_cells(section["current"])
+
+    by_scenario = {}
+    for key in sorted(pre):
+        if key not in cur:
+            continue
+        scenario, algo = key
+        ratio = cur[key] / pre[key]
+        by_scenario.setdefault(scenario, []).append(ratio)
+        print(f"{scenario}\t{algo}\t{pre[key]:.4g}\t{cur[key]:.4g}\t"
+              f"{(ratio - 1) * 100:+.1f}%")
+
+    status = 0
+    for scenario, ratios in sorted(by_scenario.items()):
+        geomean = math.exp(sum(math.log(r) for r in ratios) / len(ratios))
+        gain = (geomean - 1) * 100
+        verdict = ""
+        if args.min_gain_pct is not None and gain < args.min_gain_pct:
+            verdict = f"  FAIL (< {args.min_gain_pct}%)"
+            status = 1
+        print(f"{scenario}\tgeomean\t-\t-\t{gain:+.1f}%{verdict}")
+    return status
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    sub = parser.add_subparsers(dest="mode", required=True)
+
+    compare = sub.add_parser("compare", help="TSV vs recorded (soft CI guard)")
+    compare.add_argument("--baseline", default="BENCH_runtime.json")
+    compare.add_argument("--tsv", required=True)
+    compare.add_argument("--section", default="fig13_threaded")
+    compare.add_argument("--warn-pct", type=float, default=10.0)
+
+    improvement = sub.add_parser(
+        "improvement", help="pre-PR vs current inside the JSON")
+    improvement.add_argument("--baseline", default="BENCH_runtime.json")
+    improvement.add_argument("--section", default="fig13_threaded")
+    improvement.add_argument("--min-gain-pct", type=float, default=None)
+
+    args = parser.parse_args()
+    if args.mode == "compare":
+        return cmd_compare(args)
+    return cmd_improvement(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

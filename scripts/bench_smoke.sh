@@ -115,30 +115,109 @@ if [ -x "$fig13_bin" ]; then
       # The column header is the '#scenario ...' comment line; resolve the
       # throughput_per_s column by name so payload reordering can't silently
       # blind the guard, then require every row to be measured and positive.
+      # The executor idle accounting (idle_s / park_s metric columns, ISSUE
+      # 10) must be present and non-negative on every threaded row — a
+      # missing column means the stats plumbing rotted, a negative value a
+      # broken clock delta.
       bad_rows="$(awk -F'\t' '
         /^#scenario\t/ {
-          for (i = 1; i <= NF; i++) if ($i == "throughput_per_s") col = i
+          for (i = 1; i <= NF; i++) {
+            if ($i == "throughput_per_s") col = i
+            if ($i == "idle_s") idle = i
+            if ($i == "park_s") park = i
+          }
           next
         }
         /^#/ || /^[[:space:]]*$/ { next }
         {
           if (!col) { print "no-throughput-column"; exit }
+          if (!idle || !park) { print "no-idle-metric-columns"; exit }
           if ($col + 0 <= 0) print $1 "/" $3 "=" $col
+          if ($idle + 0 < 0) print $1 "/" $3 ": idle_s=" $idle
+          if ($park + 0 < 0 || $park + 0 > $idle + 0) \
+            print $1 "/" $3 ": park_s=" $park
         }' "$THREADED_TSV")"
       if [ -n "$bad_rows" ]; then
         echo "FAIL  bench_fig13_throughput --engine threaded: non-positive" \
-             "measured throughput in: $bad_rows" >&2
+             "throughput or malformed idle metrics in: $bad_rows" >&2
         threaded_failures=$((threaded_failures + 1))
       else
         echo "OK    bench_fig13_throughput --engine threaded" \
-             "(${threaded_rows} rows, all throughput_per_s > 0)"
+             "(${threaded_rows} rows, throughput > 0, idle metrics sane)"
       fi
+    fi
+  fi
+
+  # Affinity pinning must run cleanly wherever CI lands (containers with
+  # restricted affinity masks included): a tiny --pin-threads run only has
+  # to exit 0 and produce rows — threads_pinned lands in the table for
+  # eyeballing, but its value is host-dependent and not asserted.
+  PIN_TSV="$OUT_DIR/bench_fig13_throughput.pinned.tsv"
+  if ! "$fig13_bin" --engine threaded --pin-threads --messages 5000 --runs 1 \
+       > "$PIN_TSV" 2> "$OUT_DIR/bench_fig13_throughput.pinned.err"; then
+    echo "FAIL  bench_fig13_throughput --engine threaded --pin-threads:" \
+         "non-zero exit" >&2
+    sed 's/^/      /' "$OUT_DIR/bench_fig13_throughput.pinned.err" >&2 || true
+    threaded_failures=$((threaded_failures + 1))
+  else
+    pin_rows="$(grep -v '^#' "$PIN_TSV" | grep -c '[^[:space:]]' || true)"
+    if [ "${pin_rows:-0}" -eq 0 ]; then
+      echo "FAIL  bench_fig13_throughput --pin-threads: empty result table" >&2
+      threaded_failures=$((threaded_failures + 1))
+    else
+      echo "OK    bench_fig13_throughput --engine threaded --pin-threads" \
+           "(${pin_rows} rows)"
     fi
   fi
 else
   echo "FAIL  bench_fig13_throughput missing from the build; threaded-engine" \
        "guard cannot run" >&2
   threaded_failures=1
+fi
+
+# Perf-trajectory soft guard (scripts/bench_compare.py + BENCH_runtime.json):
+# ratio-checks the threaded fig13 table against the recorded baseline. At
+# the smoke budget the absolute numbers are far from the recorded ones, so
+# >10% deltas only WARN; the guard fails the build solely on structural rot
+# (empty table, missing cells, throughput <= 0).
+compare_failures=0
+REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+if command -v python3 > /dev/null 2>&1; then
+  if [ -f "$THREADED_TSV" ] && [ -f "$REPO_ROOT/BENCH_runtime.json" ]; then
+    if ! python3 "$REPO_ROOT/scripts/bench_compare.py" compare \
+         --baseline "$REPO_ROOT/BENCH_runtime.json" --tsv "$THREADED_TSV"; then
+      echo "FAIL  bench_compare: structural failure (see above)" >&2
+      compare_failures=1
+    fi
+  else
+    echo "FAIL  bench_compare: missing $THREADED_TSV or BENCH_runtime.json" >&2
+    compare_failures=1
+  fi
+else
+  echo "SKIP  bench_compare (python3 not available)"
+fi
+
+# The runtime micro-benches (ack coalescing, park/wake latency) are Google
+# Benchmark binaries, excluded from the sweep loop above; when the library
+# was available at configure time, they must still start and report.
+micro_runtime_failures=0
+micro_bin="$BUILD_DIR/bench/bench_micro_runtime"
+if [ -x "$micro_bin" ]; then
+  if ! "$micro_bin" --benchmark_min_time=0.01 \
+       > "$OUT_DIR/bench_micro_runtime.txt" 2>&1; then
+    echo "FAIL  bench_micro_runtime: non-zero exit" >&2
+    sed 's/^/      /' "$OUT_DIR/bench_micro_runtime.txt" >&2 || true
+    micro_runtime_failures=1
+  elif ! grep -q "BM_AckFanout" "$OUT_DIR/bench_micro_runtime.txt" || \
+       ! grep -q "BM_IdleWake" "$OUT_DIR/bench_micro_runtime.txt"; then
+    echo "FAIL  bench_micro_runtime: expected BM_AckFanout / BM_IdleWake" \
+         "rows missing" >&2
+    micro_runtime_failures=1
+  else
+    echo "OK    bench_micro_runtime (ack + idle-wake micros reported)"
+  fi
+else
+  echo "SKIP  bench_micro_runtime (Google Benchmark not installed)"
 fi
 
 # Elastic-rescale guard: bench_elastic_rescale's derived "# rescale:" table
@@ -303,4 +382,10 @@ fi
 if [ "$cost_failures" -gt 0 ]; then
   echo "cost-routing guard FAILED ($cost_failures problems)" >&2
 fi
-exit "$(((failures + headroom_failures + threaded_failures + rescale_failures + threaded_rescale_failures + cost_failures) > 0 ? 1 : 0))"
+if [ "$compare_failures" -gt 0 ]; then
+  echo "perf-trajectory compare guard FAILED ($compare_failures problems)" >&2
+fi
+if [ "$micro_runtime_failures" -gt 0 ]; then
+  echo "runtime micro-bench guard FAILED ($micro_runtime_failures problems)" >&2
+fi
+exit "$(((failures + headroom_failures + threaded_failures + rescale_failures + threaded_rescale_failures + cost_failures + compare_failures + micro_runtime_failures) > 0 ? 1 : 0))"

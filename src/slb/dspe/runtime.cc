@@ -20,6 +20,11 @@
 #include "slb/dspe/spsc_queue.h"
 #include "slb/hash/hash.h"
 
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
+
 namespace slb {
 namespace {
 
@@ -33,12 +38,19 @@ struct RtTuple {
 };
 
 // One in-flight root tuple tree of a spout task. `pending` counts the
-// unprocessed tuples of the tree plus, while the spout is still routing the
-// root, an anchor of 1 (the anchor guarantees pending cannot transiently hit
-// zero before all copies are queued). emit_time_s is written by the spout
+// not-yet-accounted references on the tree: the spout seeds it with ONE
+// release-store covering every routed copy of the root (the copies are
+// invisible downstream until the trailing FlushTask publishes them, so no
+// anchor reference is needed), bolts apply only the NET change of a
+// processed tuple (emitted copies minus the consumed one — a +k add while
+// their own reference still holds the tree open, or a deferred -1 batched
+// into the executor's ack flush). emit_time_s is written by the spout
 // strictly before the release-store that makes pending non-zero, and read by
 // completers strictly before the final decrement, so slot reuse never races.
-struct RootSlot {
+// Cache-line sized: the slot array is indexed concurrently by every executor
+// completing trees of this spout, and padding keeps one tree's refcount
+// traffic from invalidating its neighbors' lines.
+struct alignas(kCacheLineBytes) RootSlot {
   std::atomic<uint32_t> pending{0};
   double emit_time_s = 0.0;
 };
@@ -49,12 +61,15 @@ class ReusableCollector final : public OutputCollector {
   std::vector<TopologyTuple> emitted;
 };
 
+struct TaskState;
+
 // Per-destination emit buffer of one outgoing edge: tuples routed but not
 // yet published to the destination ring (the batch plus, under backpressure,
 // the stash of rejected pushes).
 struct OutEdge {
   uint32_t to_component = 0;
   std::vector<SpscRing<RtTuple>*> rings;      // one per destination task
+  std::vector<TaskState*> dest_tasks;         // parallel to rings (for wakes)
   std::vector<std::vector<RtTuple>> buffers;  // parallel to rings
   std::vector<size_t> flushed;                // prefix of buffer already sent
 };
@@ -77,7 +92,13 @@ struct HandoffFrame {
   uint32_t from_worker = 0;  // sender's worker index in the rescaled bolt
 };
 
+struct ThreadCtx;
+
 struct TaskState {
+  // Executor thread hosting this task (tasks never migrate; set before the
+  // host starts, or at the rescale barrier for scale-out workers). Producers
+  // use it to wake the host when they publish into one of its empty rings.
+  ThreadCtx* host = nullptr;
   uint32_t task_id = 0;
   uint32_t component = 0;
   uint32_t index = 0;
@@ -93,8 +114,11 @@ struct TaskState {
   // Spout: root-slot table (size = credit window) and live-root count.
   std::unique_ptr<RootSlot[]> slots;
   uint32_t num_slots = 0;
-  std::atomic<uint32_t> in_flight{0};
-  uint32_t slot_cursor = 0;
+  // Credit counter: hammered by every executor's ack flush while the owning
+  // spout polls it for backpressure — isolated on its own cache line so that
+  // traffic never invalidates the spout's cursor/flag fields around it.
+  alignas(kCacheLineBytes) std::atomic<uint32_t> in_flight{0};
+  alignas(kCacheLineBytes) uint32_t slot_cursor = 0;
   bool exhausted = false;
 
   // --- Elastic rescale (all meaningful only when Runtime::elastic set). ----
@@ -116,12 +140,15 @@ struct TaskState {
   std::vector<std::pair<TaskState*, HandoffFrame>> handoff_stash;
 };
 
+struct Runtime;
+
 // Live-rescale coordination. Ownership discipline: fields below the barrier
 // block are written only by the mutator (the last executor to park at a
 // barrier) or before threads start; every executor re-reads them only after
 // the barrier generation advances, so barrier_mu carries the happens-before.
 struct ElasticState {
   // Static configuration.
+  Runtime* runtime = nullptr;  // backpointer for targeted handoff wakes
   uint32_t spout_component = 0;
   uint32_t bolt_component = 0;
   uint32_t num_spouts = 0;
@@ -187,6 +214,21 @@ struct ElasticState {
 
 struct ThreadCtx;
 
+// Wakeup gate of ONE parked executor (WaitStrategy::kAdaptive) — per-thread
+// so producers wake exactly the host of the consumer they published to,
+// never the whole fleet. `epoch` ticks on every signal; the parker snapshots
+// it before announcing itself in `parked`, so the cv predicate catches any
+// signal racing the park. The signaller's seq_cst fence pairs with the
+// parker's (Dekker-style): either the signaller sees `parked` > 0 and
+// notifies, or the parker's final work poll sees whatever the signaller
+// published before signalling.
+struct IdleGate {
+  std::atomic<uint64_t> epoch{0};
+  std::atomic<uint32_t> parked{0};
+  std::mutex mu;
+  std::condition_variable cv;
+};
+
 struct Runtime {
   std::vector<std::unique_ptr<TaskState>> tasks;
   std::vector<std::unique_ptr<SpscRing<RtTuple>>> rings;
@@ -195,14 +237,27 @@ struct Runtime {
   uint32_t max_pending = 1;
   uint32_t queue_capacity = 1024;
   uint64_t max_tuples = 0;
+  uint32_t num_spout_tasks = 0;  // spout task ids are [0, num_spout_tasks)
+  WaitStrategy wait_strategy = WaitStrategy::kAdaptive;
+  uint32_t spin_iterations = 32;
+  uint32_t yield_iterations = 8;
+  bool pin_threads = false;
 
   std::chrono::steady_clock::time_point start;
   std::atomic<uint32_t> active_spouts{0};
   std::atomic<uint64_t> active_roots{0};
   std::atomic<uint64_t> total_processed{0};
   std::atomic<bool> stop{false};
+  std::atomic<uint32_t> threads_pinned{0};
 
   std::unique_ptr<ElasticState> elastic;  // null = static worker set
+
+  bool adaptive() const { return wait_strategy == WaitStrategy::kAdaptive; }
+
+  // Broadcast wake for rare global transitions (stop, failure, quiesce
+  // phase, schedule pause/cancel, thread retirement): pokes every executor's
+  // gate. Defined after ThreadCtx (needs its gate member).
+  void WakeAll();
 
   // Executor threads and their contexts. A scale-out barrier appends while
   // the main thread is join-looping, so both live behind spawn_mu and the
@@ -226,7 +281,15 @@ struct Runtime {
       if (first_error.ok()) first_error = std::move(status);
     }
     stop.store(true, std::memory_order_release);
+    WakeAll();  // parked executors must observe the stop
   }
+};
+
+// One deferred root-tree reference drop, batched per executor pass.
+struct PendingAck {
+  uint32_t spout_task = 0;
+  uint32_t root_slot = 0;
+  uint32_t count = 0;
 };
 
 // Per-executor-thread accumulators, merged after join. Histogram is
@@ -238,7 +301,46 @@ struct ThreadCtx {
   uint64_t roots_acked = 0;
   double last_ack_s = 0.0;
   uint64_t processed_delta = 0;
+  uint32_t thread_index = 0;  // spawn order; drives round-robin CPU pinning
+  // Coalesced acking: reference drops accumulated during the pass, flushed
+  // by FlushAcks before the pass's idle/park decision. Consecutive drops on
+  // the same tree merge in place (descendants of one root arrive adjacent).
+  std::vector<PendingAck> acks;
+  std::vector<uint32_t> spout_acked;  // per-spout completions, scratch
+  // This executor's park gate, signalled by producers publishing to one of
+  // its tasks and by the global transitions in Runtime::WakeAll.
+  IdleGate gate;
+  // Idle-ladder accounting (kAdaptive only): idle_s covers the yield + park
+  // stages, park_s the parked subset, parks the episode count.
+  double idle_s = 0.0;
+  double park_s = 0.0;
+  uint64_t parks = 0;
 };
+
+// Signals one gate: any signal racing a park is caught either by the epoch
+// tick (cv predicate) or by the parker's post-announce work poll.
+void WakeGate(IdleGate& gate) {
+  gate.epoch.fetch_add(1, std::memory_order_relaxed);
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+  if (gate.parked.load(std::memory_order_relaxed) > 0) {
+    // Empty critical section: a parker between its predicate check and
+    // cv.wait cannot miss the notify once we pass through the mutex.
+    { std::lock_guard<std::mutex> lock(gate.mu); }
+    gate.cv.notify_all();
+  }
+}
+
+// Targeted wake: pokes the executor hosting `task`. Cheap when that thread
+// is not parked — one fetch_add, one fence, one load on its gate.
+inline void WakeHost(Runtime& rt, TaskState* task) {
+  if (rt.adaptive() && task->host != nullptr) WakeGate(task->host->gate);
+}
+
+void Runtime::WakeAll() {
+  if (!adaptive()) return;
+  std::lock_guard<std::mutex> lock(spawn_mu);
+  for (auto& ctx : contexts) WakeGate(ctx->gate);
+}
 
 void ThreadMain(Runtime& rt, ThreadCtx& ctx);
 
@@ -256,17 +358,25 @@ uint64_t PreCount(uint64_t p, uint32_t s, uint32_t num_spouts) {
 }
 
 // Attempts to publish every buffered tuple; returns true if any tuple moved.
-bool FlushTask(TaskState& task) {
+// Publishing into an EMPTY ring wakes the consumer's host: a consumer can
+// only park after observing all its rings empty, so every tuple it could be
+// sleeping on crosses an empty->non-empty edge and fires exactly this wake.
+bool FlushTask(Runtime& rt, TaskState& task) {
   bool moved = false;
   for (OutEdge& edge : task.out) {
     for (size_t d = 0; d < edge.rings.size(); ++d) {
       std::vector<RtTuple>& buf = edge.buffers[d];
       size_t& sent = edge.flushed[d];
       if (sent == buf.size()) continue;
+      SpscRing<RtTuple>& ring = *edge.rings[d];
+      const bool was_empty = ring.EmptyApprox();
       const size_t pushed =
-          edge.rings[d]->TryPushBatch(buf.data() + sent, buf.size() - sent);
+          ring.TryPushBatch(buf.data() + sent, buf.size() - sent);
       sent += pushed;
-      moved |= pushed > 0;
+      if (pushed > 0) {
+        moved = true;
+        if (was_empty) WakeHost(rt, edge.dest_tasks[d]);
+      }
       if (sent == buf.size()) {
         buf.clear();
         sent = 0;
@@ -285,39 +395,86 @@ bool AllFlushed(const TaskState& task) {
   return true;
 }
 
-// Routes `tuple` along every outgoing edge of `task`, charging each copy to
-// the root's pending count BEFORE the copy becomes visible downstream.
-void RouteDownstream(Runtime& rt, TaskState& task, const TopologyTuple& tuple,
+// Routes `tuple` along every outgoing edge of `task` into the per-
+// destination emit buffers and returns the number of copies queued. Does NOT
+// touch the root's refcount — buffered copies are invisible downstream until
+// FlushTask publishes them, so the caller charges all copies in one step
+// (the spout's seeding store, or a bolt's net adjustment) before flushing.
+// Routing-log capture is a template parameter so the non-logging
+// instantiation — the only one bolts and non-rescale spouts ever run —
+// carries zero branches and zero allocation for it (pinned by the
+// routing_log_capacity_bytes audit in TopologyStats).
+template <bool kLogRouting>
+uint32_t RouteCopies(TaskState& task, const TopologyTuple& tuple,
                      uint32_t spout_task, uint32_t root_slot) {
-  RootSlot& root = rt.tasks[spout_task]->slots[root_slot];
+  uint32_t copies = 0;
   for (size_t e = 0; e < task.out.size(); ++e) {
     OutEdge& edge = task.out[e];
     const uint32_t dest = task.partitioners[e]->Route(tuple.key);
-    if (task.log_routing && e == 0) {
-      task.routing_log.keys.push_back(tuple.key);
-      task.routing_log.workers.push_back(dest);
+    if constexpr (kLogRouting) {
+      if (e == 0) {
+        task.routing_log.keys.push_back(tuple.key);
+        task.routing_log.workers.push_back(dest);
+      }
     }
-    root.pending.fetch_add(1, std::memory_order_relaxed);
     edge.buffers[dest].push_back(
         RtTuple{tuple.key, tuple.value, spout_task, root_slot});
+    ++copies;
   }
+  return copies;
 }
 
-// Drops one reference on a root tree; the final decrement acks the root:
-// records latency, returns the spout's credit, and retires the live root.
-void CompleteOne(Runtime& rt, ThreadCtx& ctx, uint32_t spout_task,
-                 uint32_t root_slot) {
-  TaskState& spout = *rt.tasks[spout_task];
-  RootSlot& root = spout.slots[root_slot];
-  const double emit_s = root.emit_time_s;  // must precede the decrement
-  if (root.pending.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-    const double now_s = rt.NowSeconds();
-    ctx.latency_ms.Add((now_s - emit_s) * 1e3);
-    ctx.last_ack_s = std::max(ctx.last_ack_s, now_s);
-    ++ctx.roots_acked;
-    spout.in_flight.fetch_sub(1, std::memory_order_relaxed);
-    rt.active_roots.fetch_sub(1, std::memory_order_relaxed);
+// Queues one deferred reference drop on a root tree, merging with the
+// previous entry when it names the same tree (a batch of one root's
+// descendants processed back-to-back coalesces into a single decrement).
+void DeferAck(ThreadCtx& ctx, uint32_t spout_task, uint32_t root_slot) {
+  if (!ctx.acks.empty()) {
+    PendingAck& last = ctx.acks.back();
+    if (last.spout_task == spout_task && last.root_slot == root_slot) {
+      ++last.count;
+      return;
+    }
   }
+  ctx.acks.push_back(PendingAck{spout_task, root_slot, 1});
+}
+
+// Applies the pass's deferred reference drops: one acq_rel fetch_sub per
+// distinct tree touched, then one credit return per spout and one
+// active_roots adjustment for the whole batch. The release on active_roots
+// pairs with the quiesce/termination checks' acquire loads, so an observer
+// of active_roots == 0 also sees every in_flight return of this flush.
+bool FlushAcks(Runtime& rt, ThreadCtx& ctx) {
+  if (ctx.acks.empty()) return false;
+  if (ctx.spout_acked.size() < rt.num_spout_tasks) {
+    ctx.spout_acked.assign(rt.num_spout_tasks, 0);
+  }
+  uint64_t completed = 0;
+  double now_s = 0.0;
+  for (const PendingAck& ack : ctx.acks) {
+    RootSlot& root = rt.tasks[ack.spout_task]->slots[ack.root_slot];
+    const double emit_s = root.emit_time_s;  // must precede the decrement
+    if (root.pending.fetch_sub(ack.count, std::memory_order_acq_rel) ==
+        ack.count) {
+      if (completed == 0) now_s = rt.NowSeconds();
+      ctx.latency_ms.Add((now_s - emit_s) * 1e3);
+      ++ctx.roots_acked;
+      ++ctx.spout_acked[ack.spout_task];
+      ++completed;
+    }
+  }
+  ctx.acks.clear();
+  if (completed == 0) return false;
+  ctx.last_ack_s = std::max(ctx.last_ack_s, now_s);
+  for (uint32_t s = 0; s < rt.num_spout_tasks; ++s) {
+    if (ctx.spout_acked[s] == 0) continue;
+    rt.tasks[s]->in_flight.fetch_sub(ctx.spout_acked[s],
+                                     std::memory_order_relaxed);
+    ctx.spout_acked[s] = 0;
+    // Returned credit may unblock a spout parked on an exhausted window.
+    WakeHost(rt, rt.tasks[s].get());
+  }
+  rt.active_roots.fetch_sub(completed, std::memory_order_release);
+  return true;
 }
 
 // Finds a root slot with pending == 0. Guaranteed to exist because the
@@ -362,16 +519,19 @@ void PushHandoff(ElasticState& els, TaskState& from, TaskState* to,
   SLB_CHECK(ring != nullptr) << "no handoff ring for worker pair";
   if (ring == nullptr || !ring->TryPush(frame)) {
     from.handoff_stash.emplace_back(to, frame);
+    return;
   }
+  if (els.runtime != nullptr) WakeHost(*els.runtime, to);
 }
 
-bool FlushHandoffStash(TaskState& task) {
+bool FlushHandoffStash(ElasticState& els, TaskState& task) {
   bool moved = false;
   auto& stash = task.handoff_stash;
   for (size_t i = 0; i < stash.size();) {
     SpscRing<HandoffFrame>* ring = FindHandoffRing(task, stash[i].first);
     SLB_CHECK(ring != nullptr) << "no handoff ring for stashed frame";
     if (ring != nullptr && ring->TryPush(stash[i].second)) {
+      if (els.runtime != nullptr) WakeHost(*els.runtime, stash[i].first);
       stash.erase(stash.begin() + i);  // stashes are tiny; O(n) is fine
       moved = true;
     } else {
@@ -399,7 +559,7 @@ void ResolveInstalledKey(ElasticState& els, uint64_t key) {
 // drains incoming frames — installing state, or answering pull requests by
 // extracting the key and shipping it back.
 bool ServiceHandoffs(ElasticState& els, TaskState& task) {
-  bool did_work = FlushHandoffStash(task);
+  bool did_work = FlushHandoffStash(els, task);
   HandoffFrame frame;
   for (SpscRing<HandoffFrame>* ring : task.handoff_in) {
     while (ring->TryPop(&frame)) {
@@ -451,7 +611,7 @@ void ElasticCheck(ElasticState& els, TaskState& task, uint64_t key) {
 // the survivors at batch pace, then retire. The thread hosting it exits once
 // every task it owns has retired.
 bool DrainQuantum(Runtime& rt, ElasticState& els, TaskState& task) {
-  bool did_work = FlushHandoffStash(task);
+  bool did_work = FlushHandoffStash(els, task);
   if (!task.handoff_stash.empty()) return did_work;
   const uint32_t n_live = static_cast<uint32_t>(els.workers.size());
   uint32_t budget = rt.batch_size;
@@ -477,19 +637,21 @@ bool DrainQuantum(Runtime& rt, ElasticState& els, TaskState& task) {
   return did_work;
 }
 
-bool SpoutQuantum(Runtime& rt, ThreadCtx& ctx, TaskState& task) {
-  bool did_work = FlushTask(task);
-  if (!AllFlushed(task) || task.exhausted) return did_work;
-
-  ElasticState* els = rt.elastic.get();
-  if (els != nullptr && task.paused) {
-    if (!els->cancelled.load(std::memory_order_acquire)) return did_work;
-    // The schedule was cancelled while this spout sat at its trigger.
-    task.paused = false;
-    task.next_trigger = kNoTrigger;
-    els->spouts_quiesced.fetch_sub(1, std::memory_order_acq_rel);
-  }
-
+// Emission loop of one spout quantum, instantiated with and without routing-
+// log capture (only elastic spouts ever log; everyone else runs the
+// zero-overhead variant). Credit is charged in ONE batched fetch_add per
+// quantum: the loop works against a snapshot of in_flight plus a local
+// emitted count — in_flight is only ever *incremented* by this thread, so
+// the snapshot over-approximates the live value and the credit window is
+// never exceeded. That same bound keeps ClaimRootSlot's free-slot guarantee:
+// trees holding slots <= snapshot + emitted < num_slots.
+template <bool kLogRouting>
+bool SpoutEmitLoop(Runtime& rt, ThreadCtx& ctx, TaskState& task,
+                   ElasticState* els) {
+  bool did_work = false;
+  uint32_t emitted = 0;
+  const uint32_t in_flight_now =
+      task.in_flight.load(std::memory_order_relaxed);
   for (uint32_t n = 0; n < rt.batch_size; ++n) {
     if (els != nullptr && task.processed == task.next_trigger) {
       if (els->cancelled.load(std::memory_order_acquire)) {
@@ -501,10 +663,11 @@ bool SpoutQuantum(Runtime& rt, ThreadCtx& ctx, TaskState& task) {
         int64_t expected = 0;
         els->quiesce_start_ns.compare_exchange_strong(
             expected, NowNs(), std::memory_order_acq_rel);
+        rt.WakeAll();  // parked peers must re-evaluate the quiesce state
         break;
       }
     }
-    if (task.in_flight.load(std::memory_order_relaxed) >= rt.max_pending) {
+    if (in_flight_now + emitted >= rt.max_pending) {
       break;  // credit window exhausted: wait for acks (backpressure)
     }
     TopologyTuple tuple;
@@ -517,6 +680,7 @@ bool SpoutQuantum(Runtime& rt, ThreadCtx& ctx, TaskState& task) {
         // Cancel the remaining events (paused peers release themselves).
         els->cancelled.store(true, std::memory_order_release);
         els->quiesce_start_ns.store(0, std::memory_order_relaxed);
+        rt.WakeAll();  // a peer may be parked with only a paused spout
       }
       break;
     }
@@ -524,16 +688,49 @@ bool SpoutQuantum(Runtime& rt, ThreadCtx& ctx, TaskState& task) {
     ++ctx.processed_delta;
     const uint32_t slot = ClaimRootSlot(task);
     RootSlot& root = task.slots[slot];
-    task.in_flight.fetch_add(1, std::memory_order_relaxed);
-    rt.active_roots.fetch_add(1, std::memory_order_relaxed);
     root.emit_time_s = rt.NowSeconds();
-    // Anchor reference: holds the tree open until all copies are queued.
-    root.pending.store(1, std::memory_order_release);
-    RouteDownstream(rt, task, tuple, task.task_id, slot);
-    CompleteOne(rt, ctx, task.task_id, slot);  // drop the anchor
+    const uint32_t copies =
+        RouteCopies<kLogRouting>(task, tuple, task.task_id, slot);
+    if (copies == 0) {
+      // Edgeless spout: the tree is just the root — acked on emission.
+      const double now_s = rt.NowSeconds();
+      ctx.latency_ms.Add((now_s - root.emit_time_s) * 1e3);
+      ctx.last_ack_s = std::max(ctx.last_ack_s, now_s);
+      ++ctx.roots_acked;
+    } else {
+      // One release-store seeds the whole tree's refcount; the copies only
+      // become visible downstream at the flush below, after the batched
+      // credit charge, so pending can never transiently hit zero and no
+      // completer can outrun the accounting.
+      root.pending.store(copies, std::memory_order_release);
+      ++emitted;
+    }
     did_work = true;
   }
-  did_work |= FlushTask(task);
+  if (emitted > 0) {
+    task.in_flight.fetch_add(emitted, std::memory_order_relaxed);
+    rt.active_roots.fetch_add(emitted, std::memory_order_relaxed);
+  }
+  return did_work;
+}
+
+bool SpoutQuantum(Runtime& rt, ThreadCtx& ctx, TaskState& task) {
+  bool did_work = FlushTask(rt, task);
+  if (!AllFlushed(task) || task.exhausted) return did_work;
+
+  ElasticState* els = rt.elastic.get();
+  if (els != nullptr && task.paused) {
+    if (!els->cancelled.load(std::memory_order_acquire)) return did_work;
+    // The schedule was cancelled while this spout sat at its trigger.
+    task.paused = false;
+    task.next_trigger = kNoTrigger;
+    els->spouts_quiesced.fetch_sub(1, std::memory_order_acq_rel);
+  }
+
+  did_work |= task.log_routing
+                  ? SpoutEmitLoop<true>(rt, ctx, task, els)
+                  : SpoutEmitLoop<false>(rt, ctx, task, els);
+  did_work |= FlushTask(rt, task);
   return did_work;
 }
 
@@ -541,7 +738,7 @@ bool BoltQuantum(Runtime& rt, ThreadCtx& ctx, TaskState& task) {
   ElasticState* els = rt.elastic.get();
   bool did_work = false;
   if (els != nullptr && task.elastic) did_work |= ServiceHandoffs(*els, task);
-  did_work |= FlushTask(task);
+  did_work |= FlushTask(rt, task);
   if (!AllFlushed(task)) return did_work;  // backpressure: do not consume
 
   uint32_t budget = rt.batch_size;
@@ -571,15 +768,26 @@ bool BoltQuantum(Runtime& rt, ThreadCtx& ctx, TaskState& task) {
       task.bolt->Execute(TopologyTuple{in.key, in.value}, &task.collector);
       ++task.processed;
       ++ctx.processed_delta;
+      uint32_t new_refs = 0;
       for (const TopologyTuple& out : task.collector.emitted) {
-        RouteDownstream(rt, task, out, in.spout_task, in.root_slot);
+        new_refs += RouteCopies<false>(task, out, in.spout_task, in.root_slot);
       }
-      CompleteOne(rt, ctx, in.spout_task, in.root_slot);
+      // Net refcount change: +new_refs for the queued copies, -1 for the
+      // consumed input. A pure relay (net zero) touches no atomic at all; a
+      // fan-out applies one relaxed add — safe because our own still-held
+      // reference keeps the tree open until the children are charged; a leaf
+      // defers its lone decrement into the pass's coalesced ack flush.
+      if (new_refs == 0) {
+        DeferAck(ctx, in.spout_task, in.root_slot);
+      } else if (new_refs > 1) {
+        rt.tasks[in.spout_task]->slots[in.root_slot].pending.fetch_add(
+            new_refs - 1, std::memory_order_relaxed);
+      }
     }
     budget -= static_cast<uint32_t>(popped);
     did_work = true;
   }
-  did_work |= FlushTask(task);
+  did_work |= FlushTask(rt, task);
   return did_work;
 }
 
@@ -743,6 +951,7 @@ void ScaleOut(Runtime& rt, ElasticState& els, uint32_t new_n) {
         els.thread_seed_base ^
         (0x9e3779b97f4a7c15ULL * (rt.contexts.size() + 1))));
     ctx = rt.contexts.back().get();
+    ctx->thread_index = static_cast<uint32_t>(rt.contexts.size() - 1);
   }
   for (uint32_t w = old_n; w < new_n; ++w) {
     auto task = std::make_unique<TaskState>();
@@ -766,10 +975,12 @@ void ScaleOut(Runtime& rt, ElasticState& els, uint32_t new_n) {
         SLB_CHECK(out.rings[w]->EmptyApprox());
         SLB_CHECK(out.buffers[w].empty());
         out.rings[w] = ring;
+        out.dest_tasks[w] = raw;
         out.flushed[w] = 0;
       } else {
         SLB_CHECK(out.rings.size() == w);
         out.rings.push_back(ring);
+        out.dest_tasks.push_back(raw);
         out.buffers.emplace_back();
         out.flushed.push_back(0);
       }
@@ -779,6 +990,7 @@ void ScaleOut(Runtime& rt, ElasticState& els, uint32_t new_n) {
     els.workers.push_back(raw);
     els.bolt_tasks.push_back(raw);
     ctx->tasks.push_back(raw);
+    raw->host = ctx;
   }
   // Lazy pulls flow between any live pair once the window opens.
   for (TaskState* a : els.workers) {
@@ -907,8 +1119,148 @@ void ParkAtBarrier(Runtime& rt) {
   --els.barrier_waiting;
 }
 
-void ThreadMain(Runtime& rt, ThreadCtx& ctx) {
+// One cpu-relax hint (the "pause" rung of the idle ladder): tells the core
+// we're in a spin-wait without giving up the timeslice.
+inline void CpuRelax() {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#elif defined(__aarch64__)
+  asm volatile("yield" ::: "memory");
+#else
+  std::this_thread::yield();
+#endif
+}
+
+// CPUs this process may run on (affinity-mask aware on Linux); falls back to
+// hardware_concurrency elsewhere. Used to size the idle ladder's spin rung.
+uint32_t AvailableCpuCount() {
+#if defined(__linux__)
+  cpu_set_t available;
+  CPU_ZERO(&available);
+  if (sched_getaffinity(0, sizeof(available), &available) == 0) {
+    const int count = CPU_COUNT(&available);
+    if (count > 0) return static_cast<uint32_t>(count);
+  }
+#endif
+  const uint32_t hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 1;
+}
+
+// Pins the calling thread to one CPU, chosen round-robin over the CPUs in
+// the process's affinity mask. Returns false (no-op) where unsupported or on
+// any syscall failure — pinning is an optimization, never a requirement.
+bool PinCurrentThreadToCpu(uint32_t thread_index) {
+#if defined(__linux__)
+  cpu_set_t available;
+  CPU_ZERO(&available);
+  if (sched_getaffinity(0, sizeof(available), &available) != 0) return false;
+  const int count = CPU_COUNT(&available);
+  if (count <= 0) return false;
+  int target = static_cast<int>(thread_index % static_cast<uint32_t>(count));
+  cpu_set_t chosen;
+  CPU_ZERO(&chosen);
+  for (int cpu = 0; cpu < CPU_SETSIZE; ++cpu) {
+    if (!CPU_ISSET(cpu, &available)) continue;
+    if (target-- == 0) {
+      CPU_SET(cpu, &chosen);
+      return pthread_setaffinity_np(pthread_self(), sizeof(chosen), &chosen) ==
+             0;
+    }
+  }
+  return false;
+#else
+  (void)thread_index;
+  return false;
+#endif
+}
+
+// Conservative "could any of my tasks make progress?" poll, used as the
+// final check before parking. May return true spuriously (the pass will just
+// find nothing); must never return false while work for this thread exists
+// that no future signal would announce.
+bool MaybeRunnable(Runtime& rt, ThreadCtx& ctx) {
   ElasticState* els = rt.elastic.get();
+  if (els != nullptr) {
+    if (els->phase.load(std::memory_order_acquire) != 0) return true;
+    if (els->spouts_quiesced.load(std::memory_order_acquire) ==
+            els->num_spouts &&
+        !els->cancelled.load(std::memory_order_acquire) &&
+        rt.active_roots.load(std::memory_order_acquire) == 0) {
+      return true;  // quiesce complete: someone must flip the phase
+    }
+  }
+  for (TaskState* task : ctx.tasks) {
+    if (task->retired) continue;
+    if (task->draining || !task->handoff_stash.empty()) return true;
+    for (SpscRing<HandoffFrame>* ring : task->handoff_in) {
+      if (!ring->EmptyApprox()) return true;
+    }
+    if (task->spout != nullptr) {
+      if (task->paused) {
+        if (els != nullptr && els->cancelled.load(std::memory_order_acquire)) {
+          return true;  // must release itself from the cancelled trigger
+        }
+      } else if (!task->exhausted &&
+                 task->in_flight.load(std::memory_order_relaxed) <
+                     rt.max_pending) {
+        return true;
+      }
+    }
+    // A task with unflushed emit buffers must keep retrying: consumers do
+    // not signal "space freed" edges, only "tuples published" ones, so a
+    // backpressured producer stays in the spin/yield rungs until the ring
+    // drains (the consumer is by definition runnable while its ring holds
+    // tuples, so the stall is bounded by downstream progress).
+    if (!AllFlushed(*task)) return true;
+    for (SpscRing<RtTuple>* ring : task->inputs) {
+      if (!ring->EmptyApprox()) return true;
+    }
+  }
+  return false;
+}
+
+// The parked rung: announce in the gate, re-poll once (the Dekker pairing
+// with WakeGate), then sleep on the cv until the epoch moves. The 1 ms
+// timed wait is a safety net, not the wake path — any missed-wakeup bug
+// degrades to polling instead of deadlock (and the stress tests would still
+// catch it through the parks/idle accounting).
+void ParkIdle(Runtime& rt, ThreadCtx& ctx) {
+  IdleGate& gate = ctx.gate;
+  const uint64_t epoch = gate.epoch.load(std::memory_order_relaxed);
+  gate.parked.fetch_add(1, std::memory_order_seq_cst);
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+  if (rt.stop.load(std::memory_order_acquire) || MaybeRunnable(rt, ctx)) {
+    gate.parked.fetch_sub(1, std::memory_order_relaxed);
+    return;
+  }
+  ElasticState* els = rt.elastic.get();
+  const auto park_start = std::chrono::steady_clock::now();
+  {
+    std::unique_lock<std::mutex> lock(gate.mu);
+    gate.cv.wait_for(lock, std::chrono::milliseconds(1), [&] {
+      return gate.epoch.load(std::memory_order_relaxed) != epoch ||
+             rt.stop.load(std::memory_order_relaxed) ||
+             (els != nullptr &&
+              els->phase.load(std::memory_order_relaxed) != 0);
+    });
+  }
+  gate.parked.fetch_sub(1, std::memory_order_relaxed);
+  const double parked_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    park_start)
+          .count();
+  ctx.idle_s += parked_s;
+  ctx.park_s += parked_s;
+  ++ctx.parks;
+}
+
+void ThreadMain(Runtime& rt, ThreadCtx& ctx) {
+  if (rt.pin_threads && PinCurrentThreadToCpu(ctx.thread_index)) {
+    rt.threads_pinned.fetch_add(1, std::memory_order_relaxed);
+  }
+  ElasticState* els = rt.elastic.get();
+  const bool adaptive = rt.wait_strategy == WaitStrategy::kAdaptive;
+  uint32_t idle_streak = 0;
   while (!rt.stop.load(std::memory_order_acquire)) {
     if (els != nullptr) {
       if (els->phase.load(std::memory_order_acquire) == 1) {
@@ -926,6 +1278,7 @@ void ThreadMain(Runtime& rt, ThreadCtx& ctx) {
         if (els->phase.compare_exchange_strong(expected, 1,
                                                std::memory_order_acq_rel)) {
           els->drain_done_ns.store(NowNs(), std::memory_order_relaxed);
+          rt.WakeAll();  // parked peers must join the barrier
         }
         continue;
       }
@@ -949,6 +1302,10 @@ void ThreadMain(Runtime& rt, ThreadCtx& ctx) {
       rt.Fail(Status::Internal("topology task threw a non-std exception"));
       return;
     }
+    // Coalesced acking: apply the pass's deferred reference drops before
+    // anything can decide the pass was idle (and before any barrier or
+    // termination check can depend on the credit they return).
+    did_work |= FlushAcks(rt, ctx);
     if (ctx.processed_delta > 0) {
       const uint64_t total = rt.total_processed.fetch_add(
                                  ctx.processed_delta,
@@ -967,22 +1324,48 @@ void ThreadMain(Runtime& rt, ThreadCtx& ctx) {
       if (all_retired) {
         // Every task this thread owned drained away in a scale-in: retire
         // the thread. The decrement may make a parked peer the mutator.
-        std::lock_guard<std::mutex> lock(els->barrier_mu);
-        --els->active_threads;
-        els->barrier_cv.notify_all();
+        {
+          std::lock_guard<std::mutex> lock(els->barrier_mu);
+          --els->active_threads;
+          els->barrier_cv.notify_all();
+        }
+        rt.WakeAll();
         return;
       }
     }
-    if (!did_work) {
-      if (rt.active_spouts.load(std::memory_order_acquire) == 0 &&
-          rt.active_roots.load(std::memory_order_acquire) == 0 &&
-          (els == nullptr ||
-           (els->draining_tasks.load(std::memory_order_acquire) == 0 &&
-            els->inflight_keys.load(std::memory_order_acquire) == 0))) {
-        rt.stop.store(true, std::memory_order_release);
-        return;
-      }
+    if (did_work) {
+      // Peers were woken in-line by the producer-side targeted wakes (ring
+      // publishes, credit returns, handoff frames) — no broadcast here.
+      idle_streak = 0;
+      continue;
+    }
+    if (rt.active_spouts.load(std::memory_order_acquire) == 0 &&
+        rt.active_roots.load(std::memory_order_acquire) == 0 &&
+        (els == nullptr ||
+         (els->draining_tasks.load(std::memory_order_acquire) == 0 &&
+          els->inflight_keys.load(std::memory_order_acquire) == 0))) {
+      rt.stop.store(true, std::memory_order_release);
+      rt.WakeAll();  // parked peers must observe the stop
+      return;
+    }
+    if (!adaptive) {
+      std::this_thread::yield();  // WaitStrategy::kSpin — legacy behavior
+      continue;
+    }
+    // Idle ladder: relax -> timed yield -> park. Each rung still re-polls
+    // every task at the top of the next pass.
+    ++idle_streak;
+    if (idle_streak <= rt.spin_iterations) {
+      CpuRelax();
+    } else if (idle_streak <= rt.spin_iterations + rt.yield_iterations) {
+      const auto yield_start = std::chrono::steady_clock::now();
       std::this_thread::yield();
+      ctx.idle_s +=
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        yield_start)
+              .count();
+    } else {
+      ParkIdle(rt, ctx);
     }
   }
 }
@@ -1031,6 +1414,16 @@ Result<TopologyStats> ExecuteTopologyThreaded(
   rt.max_pending = options.max_pending_per_spout;
   rt.queue_capacity = runtime_options.queue_capacity;
   rt.max_tuples = options.max_tuples;
+  rt.wait_strategy = runtime_options.wait_strategy;
+  rt.spin_iterations = runtime_options.spin_iterations;
+  rt.yield_iterations = runtime_options.yield_iterations;
+  rt.pin_threads = runtime_options.pin_threads;
+  if (AvailableCpuCount() <= 1) {
+    // Spinning waits for another core to produce; with a single available
+    // CPU nothing can be produced until this thread yields, so the spin
+    // rung only steals the producer's timeslice. Go straight to yielding.
+    rt.spin_iterations = 0;
+  }
 
   // --- Instantiate tasks and their sender-local partitioners. --------------
   rt.tasks.reserve(plan.num_tasks);
@@ -1073,6 +1466,7 @@ Result<TopologyStats> ExecuteTopologyThreaded(
         OutEdge out;
         out.to_component = edge.to_component;
         out.rings.reserve(to.parallelism);
+        out.dest_tasks.reserve(to.parallelism);
         out.buffers.resize(to.parallelism);
         out.flushed.assign(to.parallelism, 0);
         for (uint32_t q = 0; q < to.parallelism; ++q) {
@@ -1080,6 +1474,7 @@ Result<TopologyStats> ExecuteTopologyThreaded(
               runtime_options.queue_capacity));
           SpscRing<RtTuple>* ring = rt.rings.back().get();
           out.rings.push_back(ring);
+          out.dest_tasks.push_back(rt.tasks[to.first_task + q].get());
           rt.tasks[to.first_task + q]->inputs.push_back(ring);
         }
         producer.out.push_back(std::move(out));
@@ -1091,6 +1486,7 @@ Result<TopologyStats> ExecuteTopologyThreaded(
   if (elastic) {
     rt.elastic = std::make_unique<ElasticState>();
     ElasticState& els = *rt.elastic;
+    els.runtime = &rt;
     els.spout_component = target.spout_component;
     els.bolt_component = target.bolt_component;
     els.num_spouts = components[target.spout_component].parallelism;
@@ -1145,12 +1541,15 @@ Result<TopologyStats> ExecuteTopologyThreaded(
     num_spout_tasks += components[c].parallelism;
   }
   rt.active_spouts.store(num_spout_tasks, std::memory_order_relaxed);
+  rt.num_spout_tasks = num_spout_tasks;
 
   for (uint32_t t = 0; t < num_threads; ++t) {
     rt.contexts.push_back(std::make_unique<ThreadCtx>(options.seed ^ (t + 1)));
+    rt.contexts.back()->thread_index = t;
   }
   for (uint32_t t = 0; t < plan.num_tasks; ++t) {
     rt.contexts[t % num_threads]->tasks.push_back(rt.tasks[t].get());
+    rt.tasks[t]->host = rt.contexts[t % num_threads].get();
   }
   if (rt.elastic != nullptr) rt.elastic->active_threads = num_threads;
 
@@ -1191,6 +1590,18 @@ Result<TopologyStats> ExecuteTopologyThreaded(
     latency_ms.Merge(ctx->latency_ms);
     stats.roots_acked += ctx->roots_acked;
     last_ack_s = std::max(last_ack_s, ctx->last_ack_s);
+    stats.idle_s += ctx->idle_s;
+    stats.park_s += ctx->park_s;
+    stats.parks += ctx->parks;
+  }
+  stats.threads_pinned = rt.threads_pinned.load(std::memory_order_relaxed);
+  // Routing-log audit, measured before the elastic replay below moves the
+  // logs out: zero on non-rescale runs pins that the hot path never touched
+  // (or allocated for) per-tuple capture.
+  for (const auto& task : rt.tasks) {
+    stats.routing_log_capacity_bytes +=
+        task->routing_log.keys.capacity() * sizeof(uint64_t) +
+        task->routing_log.workers.capacity() * sizeof(uint32_t);
   }
   stats.tuples_processed = rt.total_processed.load(std::memory_order_relaxed);
   stats.makespan_s = last_ack_s;

@@ -20,6 +20,12 @@
 
 namespace slb {
 
+/// Destructive-interference granularity assumed by the runtime's hot
+/// structures (ring indices, root-slot array, per-task counters). A fixed 64
+/// rather than std::hardware_destructive_interference_size: the constant
+/// feeds alignas() in headers, so it must not vary between TUs/compilers.
+inline constexpr std::size_t kCacheLineBytes = 64;
+
 template <typename T>
 class SpscRing {
  public:
@@ -101,16 +107,17 @@ class SpscRing {
   bool EmptyApprox() const { return SizeApprox() == 0; }
 
  private:
-  static constexpr size_t kCacheLine = 64;
-
   std::vector<T> buffer_;
   size_t mask_ = 0;
   // Producer-owned line: tail plus its cached view of head.
-  alignas(kCacheLine) std::atomic<size_t> tail_{0};
+  alignas(kCacheLineBytes) std::atomic<size_t> tail_{0};
   size_t cached_head_ = 0;
   // Consumer-owned line: head plus its cached view of tail.
-  alignas(kCacheLine) std::atomic<size_t> head_{0};
+  alignas(kCacheLineBytes) std::atomic<size_t> head_{0};
   size_t cached_tail_ = 0;
+  // Trailing pad so a ring packed in an array never shares the consumer's
+  // line with whatever follows it.
+  [[maybe_unused]] char pad_[kCacheLineBytes - sizeof(size_t)];
 };
 
 }  // namespace slb

@@ -217,6 +217,21 @@ struct TopologyStats {
   double latency_p95_ms = 0.0;
   double latency_p99_ms = 0.0;
   double latency_max_ms = 0.0;
+  /// Threaded-engine executor accounting (all zero under the simulator).
+  /// idle_s is wall-clock the executors spent in the idle ladder (yield +
+  /// park stages); park_s is the subset spent parked on the idle gate's
+  /// condition variable; parks counts park episodes. Under
+  /// WaitStrategy::kSpin these stay zero (the legacy untimed yield loop).
+  double idle_s = 0.0;
+  double park_s = 0.0;
+  uint64_t parks = 0;
+  /// Executor threads successfully pinned to a CPU (0 unless
+  /// TopologyRuntimeOptions::pin_threads, or where unsupported).
+  uint32_t threads_pinned = 0;
+  /// Bytes ever reserved by per-tuple routing-log capture across all tasks.
+  /// The hot-path audit: must be exactly zero on runs with no rescale
+  /// schedule (capture is compiled out of the non-logging route path).
+  uint64_t routing_log_capacity_bytes = 0;
   std::vector<ComponentStats> components;
   /// Live elastic-rescale outcome (threaded engine only).
   TopologyRescaleStats rescale;

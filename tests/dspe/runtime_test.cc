@@ -19,6 +19,7 @@
 
 #include "slb/common/rng.h"
 #include "slb/dspe/spsc_queue.h"
+#include "slb/dspe/standard_bolts.h"
 #include "slb/dspe/topology.h"
 #include "slb/workload/zipf.h"
 
@@ -384,6 +385,85 @@ TEST(RuntimeTest, RoutingMatchesSimulatorExactly) {
       EXPECT_DOUBLE_EQ(a.imbalance, b.imbalance);
     }
   }
+}
+
+// Hot-path audit: per-tuple routing-log capture exists only for the elastic
+// replay, so a run with no rescale schedule must never reserve a byte of
+// log storage — the capture branch is compiled out of the non-logging route
+// path (RouteCopies<false>), and this stat is the observable proof. A
+// regression that re-enables capture unconditionally shows up here as a
+// nonzero capacity long before it shows up in a profile.
+TEST(RuntimeTest, RoutingLogCaptureDisabledWithoutRescale) {
+  TopologyOptions options;
+  options.max_pending_per_spout = 32;
+  TopologyRuntimeOptions rt;
+  rt.num_threads = 4;
+  auto result = ExecuteTopologyThreaded(PkgWordCount(5000), options, rt);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result.value().routing_log_capacity_bytes, 0u);
+  EXPECT_GT(result.value().roots_acked, 0u);
+}
+
+// ...and the same stat must be nonzero when a rescale schedule is present
+// (the replay needs the logs), so the audit cannot pass vacuously.
+TEST(RuntimeTest, RoutingLogCaptureEnabledWithRescale) {
+  TopologyBuilder builder;
+  builder.AddSpout("src", [](uint32_t task) {
+    return std::make_unique<ZipfSpout>(1.2, 400, 4000, 11 + task);
+  }, 2);
+  builder.AddBolt("count",
+                  [](uint32_t) { return std::make_unique<CountingBolt>(); }, 6)
+      .Input("src", Grouping::Pkg());
+
+  TopologyOptions options;
+  options.max_pending_per_spout = 16;
+  TopologyRuntimeOptions rt;
+  rt.num_threads = 4;
+  rt.rescale.schedule.events = {RescaleEvent{0.5, 9}};
+  rt.rescale.total_messages = 2 * 4000;
+
+  auto result = ExecuteTopologyThreaded(builder.Build(), options, rt);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_GT(result.value().routing_log_capacity_bytes, 0u);
+  EXPECT_EQ(result.value().rescale.final_parallelism, 9u);
+}
+
+// The executor idle accounting must be well-formed under the default
+// adaptive strategy: park time is a subset of idle time, and a run with no
+// parks reports no park time.
+TEST(RuntimeTest, IdleAccountingWellFormed) {
+  TopologyOptions options;
+  options.max_pending_per_spout = 16;
+  TopologyRuntimeOptions rt;
+  rt.num_threads = 4;
+  rt.wait_strategy = WaitStrategy::kAdaptive;
+  auto result = ExecuteTopologyThreaded(PkgWordCount(5000), options, rt);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const TopologyStats& stats = result.value();
+  EXPECT_GE(stats.idle_s, stats.park_s);
+  EXPECT_GE(stats.park_s, 0.0);
+  if (stats.parks == 0) {
+    EXPECT_EQ(stats.park_s, 0.0);
+  }
+}
+
+// pin_threads is best-effort: on Linux every executor should pin (the count
+// equals the thread count); elsewhere it must degrade to a no-op run that
+// still completes with threads_pinned == 0.
+TEST(RuntimeTest, PinThreadsCompletesAndReportsCount) {
+  TopologyOptions options;
+  options.max_pending_per_spout = 16;
+  TopologyRuntimeOptions rt;
+  rt.num_threads = 4;
+  rt.pin_threads = true;
+  auto result = ExecuteTopologyThreaded(PkgWordCount(3000), options, rt);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result.value().roots_acked, 4u * 3000u);
+#if defined(__linux__)
+  EXPECT_EQ(result.value().threads_pinned, 4u);
+#else
+  EXPECT_EQ(result.value().threads_pinned, 0u);
+#endif
 }
 
 }  // namespace
