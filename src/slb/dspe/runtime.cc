@@ -361,6 +361,12 @@ uint64_t PreCount(uint64_t p, uint32_t s, uint32_t num_spouts) {
 // Publishing into an EMPTY ring wakes the consumer's host: a consumer can
 // only park after observing all its rings empty, so every tuple it could be
 // sleeping on crosses an empty->non-empty edge and fires exactly this wake.
+// The edge detection is approximate: was_empty is sampled before the push,
+// so a consumer popping the last pre-existing element in that window can
+// make the producer see "non-empty" and skip the wake while the consumer
+// parks. That lost edge is deliberately tolerated — ParkIdle's 1 ms timed
+// wait re-polls the rings, so the worst case is a bounded latency blip, not
+// a deadlock; closing it would cost a seq_cst fence on every flush.
 bool FlushTask(Runtime& rt, TaskState& task) {
   bool moved = false;
   for (OutEdge& edge : task.out) {
@@ -652,12 +658,29 @@ bool SpoutEmitLoop(Runtime& rt, ThreadCtx& ctx, TaskState& task,
   uint32_t emitted = 0;
   const uint32_t in_flight_now =
       task.in_flight.load(std::memory_order_relaxed);
+  // Publishes the quantum's batched credit charge. Must run BEFORE any store
+  // that another thread pairs with an active_roots == 0 observation — the
+  // quiesce announcement and the exhaustion decrement below — otherwise the
+  // observer can conclude no roots are live while this quantum's emitted
+  // tuples are still uncharged (and unflushed), and stop the topology or
+  // flip the rescale phase out from under them.
+  const auto charge_emitted = [&] {
+    if (emitted == 0) return;
+    task.in_flight.fetch_add(emitted, std::memory_order_relaxed);
+    rt.active_roots.fetch_add(emitted, std::memory_order_relaxed);
+    emitted = 0;
+  };
   for (uint32_t n = 0; n < rt.batch_size; ++n) {
     if (els != nullptr && task.processed == task.next_trigger) {
       if (els->cancelled.load(std::memory_order_acquire)) {
         task.next_trigger = kNoTrigger;
       } else {
         // Quiesce point: pause before emitting the first post-event tuple.
+        // Charge this quantum's roots before announcing: the acq_rel publish
+        // on spouts_quiesced makes the charge visible to any thread that
+        // observes the full quiesce count, so the phase 0->1 CAS cannot fire
+        // while these roots are uncharged and their tuples unflushed.
+        charge_emitted();
         task.paused = true;
         els->spouts_quiesced.fetch_add(1, std::memory_order_acq_rel);
         int64_t expected = 0;
@@ -672,8 +695,13 @@ bool SpoutEmitLoop(Runtime& rt, ThreadCtx& ctx, TaskState& task,
     }
     TopologyTuple tuple;
     if (!task.spout->NextTuple(&tuple)) {
+      // Charge before the exhaustion decrement, and make that decrement a
+      // release: a peer whose termination check acquires active_spouts == 0
+      // then also sees these roots in active_roots, so it cannot store stop
+      // with this quantum's tuples still uncharged/unflushed.
+      charge_emitted();
       task.exhausted = true;
-      rt.active_spouts.fetch_sub(1, std::memory_order_relaxed);
+      rt.active_spouts.fetch_sub(1, std::memory_order_release);
       if (els != nullptr && task.next_trigger != kNoTrigger) {
         // The stream ran out short of the schedule's promised length: this
         // spout can never reach its trigger, so no barrier can assemble.
@@ -707,10 +735,7 @@ bool SpoutEmitLoop(Runtime& rt, ThreadCtx& ctx, TaskState& task,
     }
     did_work = true;
   }
-  if (emitted > 0) {
-    task.in_flight.fetch_add(emitted, std::memory_order_relaxed);
-    rt.active_roots.fetch_add(emitted, std::memory_order_relaxed);
-  }
+  charge_emitted();
   return did_work;
 }
 
